@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation A6: the shared completion-unit (in-flight window) size.
+ *
+ * DESIGN.md §6.7 notes that modelling the completion unit as a shared
+ * resource is what exposes SRT's window contention; this sweep
+ * quantifies it: base IPC and SRT efficiency across window sizes, with
+ * physical registers scaled to match (the window is bounded by
+ * whichever is smaller).
+ */
+
+#include "bench_util.hh"
+
+using namespace rmt;
+using namespace rmtbench;
+
+int
+main()
+{
+    setInformEnabled(false);
+    const std::vector<unsigned> windows{64, 128, 256, 384};
+    const std::vector<std::string> workloads{"compress", "applu", "swim",
+                                             "gcc", "vortex"};
+
+    std::vector<std::string> cols;
+    for (unsigned w : windows) {
+        cols.push_back("base" + std::to_string(w));
+        cols.push_back("srt" + std::to_string(w));
+    }
+    printHeader("In-flight window sweep: base IPC and SRT SMT-"
+                "Efficiency per window size",
+                cols);
+
+    for (const auto &name : workloads) {
+        std::vector<double> row;
+        for (unsigned w : windows) {
+            SimOptions o = standardOptions();
+            o.cpu.rob_entries = w;
+            o.cpu.phys_regs = 256 + 2 * w;  // window never reg-bound
+            o.mode = SimMode::Base;
+            const double base_ipc =
+                runSimulation({name}, o).threads[0].ipc;
+            o.mode = SimMode::Srt;
+            const double srt_ipc =
+                runSimulation({name}, o).threads[0].ipc;
+            row.push_back(base_ipc);
+            row.push_back(base_ipc > 0 ? srt_ipc / base_ipc : 0);
+        }
+        printRow(name, row);
+    }
+    std::printf("\nlarger windows raise base IPC on memory-bound codes "
+                "(window-limited misses overlap) and *deepen* SRT's "
+                "relative cost: the trailing thread competes for the "
+                "same shared window.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the
+ * hot simulator structures and of whole-core simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/smt_cpu.hh"
+#include "isa/arch_state.hh"
+#include "mem/cache.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/line_predictor.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace rmt;
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheParams{"c", 64 * 1024, 2, 64});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        if (!cache.probe(addr))
+            cache.fill(addr);
+        addr = (addr + 64) & 0xFFFFF;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        const auto snap = bp.history(0);
+        const bool taken = bp.predict(0, pc);
+        bp.update(0, pc, !taken, snap);
+        pc = (pc + 4) & 0xFFFF;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredict);
+
+static void
+BM_LinePredict(benchmark::State &state)
+{
+    LinePredictor lp(LinePredictorParams{});
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lp.predict(0, pc));
+        lp.train(0, pc, pc + 32);
+        pc = (pc + 32) & 0xFFFFF;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinePredict);
+
+static void
+BM_ArchStateStep(benchmark::State &state)
+{
+    const Workload w = buildWorkload("compress");
+    auto mem = w.makeMemory();
+    ArchState st(w.program, *mem);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(st.step().pc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArchStateStep);
+
+static void
+BM_CoreTick(benchmark::State &state)
+{
+    const Workload w = buildWorkload("compress");
+    auto mem = w.makeMemory();
+    MemSystem ms{MemSystemParams{}};
+    SmtParams p;
+    p.num_threads = 1;
+    SmtCpu cpu(p, ms, 0);
+    cpu.addThread(0, w.program, *mem, 0, Role::Single);
+    for (auto _ : state)
+        cpu.tick();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["committed"] =
+        static_cast<double>(cpu.committed(0));
+}
+BENCHMARK(BM_CoreTick);
+
+static void
+BM_SrtSimulationKiloInst(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SimOptions o;
+        o.mode = SimMode::Srt;
+        o.warmup_insts = 0;
+        o.measure_insts = 1000;
+        benchmark::DoNotOptimize(
+            runSimulation({"li"}, o).total_cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);  // both copies
+}
+BENCHMARK(BM_SrtSimulationKiloInst);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1: base processor parameters.  Prints the configuration the
+ * simulator instantiates so it can be diffed against the paper's table.
+ */
+
+#include <cstdio>
+
+#include "cpu/smt_params.hh"
+#include "mem/mem_system.hh"
+
+int
+main()
+{
+    const rmt::SmtParams p;
+    const rmt::MemSystemParams m;
+
+    std::printf("Table 1: base processor parameters (rmtsim defaults)\n");
+    std::printf("%-34s %s\n", "parameter", "value");
+    std::printf("%-34s %u x 8-instruction chunks/cycle\n", "fetch width",
+                p.fetch_chunks_per_cycle);
+    std::printf("%-34s %u entries\n", "line predictor",
+                p.linepred.entries);
+    std::printf("%-34s %llu KB, %u-way, %u B blocks\n", "L1 I-cache",
+                static_cast<unsigned long long>(p.icache.size_bytes /
+                                                1024),
+                p.icache.assoc, p.icache.block_bytes);
+    std::printf("%-34s %u Kbit-equivalent tables\n", "branch predictor",
+                (p.bpred.gshare_entries + p.bpred.bimodal_entries +
+                 p.bpred.chooser_entries) * 2 / 1024);
+    std::printf("%-34s %u-entry SSIT store sets\n", "mem dependence pred",
+                p.store_sets.ssit_entries);
+    std::printf("%-34s one %u-instruction chunk/cycle\n", "map width",
+                p.map_width);
+    std::printf("%-34s %u entries (two %u-entry halves)\n",
+                "instruction queue", p.iq_entries, p.iq_entries / 2);
+    std::printf("%-34s %u per cycle\n", "issue width", p.issue_width);
+    std::printf("%-34s %u physical, %u architectural (%u/thread)\n",
+                "register file", p.phys_regs, 4 * rmt::numArchRegs,
+                rmt::numArchRegs);
+    std::printf("%-34s %u int, %u logic, %u mem, %u fp\n",
+                "functional units", 2 * p.int_units_per_half,
+                2 * p.logic_units_per_half, 2 * p.mem_units_per_half,
+                2 * p.fp_units_per_half);
+    std::printf("%-34s %llu KB, %u-way, %u B blocks, %u ld ports\n",
+                "L1 D-cache",
+                static_cast<unsigned long long>(p.dcache.size_bytes /
+                                                1024),
+                p.dcache.assoc, p.dcache.block_bytes,
+                p.max_loads_per_cycle);
+    std::printf("%-34s %u entries\n", "load queue", p.load_queue_entries);
+    std::printf("%-34s %u entries\n", "store queue",
+                p.store_queue_entries);
+    std::printf("%-34s %u x %u B entries\n", "coalescing merge buffer",
+                p.merge_buffer.entries, p.merge_buffer.block_bytes);
+    std::printf("%-34s %llu MB, %u-way, %u B blocks\n", "L2 cache",
+                static_cast<unsigned long long>(m.l2.size_bytes /
+                                                (1024 * 1024)),
+                m.l2.assoc, m.l2.block_bytes);
+    std::printf("%-34s %u channels, %u-cycle latency\n", "memory",
+                m.mem.channels, m.mem.latency);
+    std::printf("%-34s I=%u P=%u Q=%u+%u R=%u M=%u cycles\n",
+                "pipeline segments", p.ibox_latency, p.pbox_latency,
+                p.qbox_front_latency, p.qbox_back_latency, p.rbox_latency,
+                p.mbox_latency);
+    std::printf("%-34s LPQ %u cycles, LVQ %u cycles, cross-core +%u\n",
+                "SRT/CRT forwarding", p.lpq_forward_latency,
+                p.lvq_forward_latency, p.cross_core_latency);
+    return 0;
+}

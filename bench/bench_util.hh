@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches: canonical run
+ * budgets (paper Section 6.2, scaled to the simulator), and aligned
+ * table printing so every bench emits the same row format the paper's
+ * figures plot.
+ */
+
+#ifndef RMTSIM_BENCH_BENCH_UTIL_HH
+#define RMTSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace rmtbench
+{
+
+/** Canonical bench budgets: warm structures, then measure (the paper
+ *  warms 1M and measures 15M; we scale both by ~375x for simulator
+ *  turnaround, which our workloads are tuned to reach steady state
+ *  within). */
+inline rmt::SimOptions
+standardOptions()
+{
+    rmt::SimOptions o;
+    o.warmup_insts = 20000;
+    o.measure_insts = 40000;
+    return o;
+}
+
+inline void
+printHeader(const char *title, const std::vector<std::string> &columns)
+{
+    std::printf("%s\n", title);
+    std::printf("%-12s", "benchmark");
+    for (const auto &c : columns)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &values,
+         const char *fmt = " %12.3f")
+{
+    std::printf("%-12s", name.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+inline std::string
+mixName(const std::vector<std::string> &mix)
+{
+    std::string name;
+    for (const auto &w : mix) {
+        if (!name.empty())
+            name += "+";
+        name += w.substr(0, 4);
+    }
+    return name;
+}
+
+} // namespace rmtbench
+
+#endif // RMTSIM_BENCH_BENCH_UTIL_HH

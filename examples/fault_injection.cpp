@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fault-injection walkthrough: inject a cosmic-ray-style transient bit
+ * flip into one redundant copy of a running program and watch the SRT
+ * output comparison catch it; then show the two coverage subtleties the
+ * paper highlights — ECC on the LVQ, and preferential space redundancy
+ * against permanent functional-unit faults.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+const char *
+kindName(DetectionKind kind)
+{
+    switch (kind) {
+      case DetectionKind::StoreMismatch: return "store mismatch";
+      case DetectionKind::LvqAddrMismatch: return "LVQ address mismatch";
+      case DetectionKind::ControlDivergence: return "control divergence";
+    }
+    return "?";
+}
+
+SimOptions
+options()
+{
+    SimOptions o;
+    o.mode = SimMode::Srt;
+    o.warmup_insts = 0;
+    o.measure_insts = 12000;
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- 1. A transient strike on an architectural register ---------
+    {
+        Simulation sim({"compress"}, options());
+        FaultRecord f;
+        f.kind = FaultRecord::Kind::TransientReg;
+        f.when = 3000;          // mid-run
+        f.core = 0;
+        f.tid = 0;              // the leading copy
+        f.reg = intReg(3);      // compress's hash-table base pointer
+        f.bit = 5;
+        sim.faultInjector().schedule(f);
+
+        sim.run();
+        const auto &events = sim.chip().redundancy().pair(0).detections();
+        std::printf("1. transient bit flip in the leading copy @3000:\n");
+        if (events.empty()) {
+            std::printf("   NOT DETECTED (fault was architecturally "
+                        "dead)\n");
+        } else {
+            std::printf("   detected at cycle %llu via %s "
+                        "(latency %llu cycles)\n",
+                        static_cast<unsigned long long>(
+                            events.front().cycle),
+                        kindName(events.front().kind),
+                        static_cast<unsigned long long>(
+                            events.front().cycle - 3000));
+        }
+    }
+
+    // --- 2. A strike on the LVQ: ECC matters -----------------------
+    for (bool ecc : {true, false}) {
+        SimOptions o = options();
+        o.lvq_ecc = ecc;
+        Simulation sim({"gcc"}, o);
+        FaultRecord f;
+        f.kind = FaultRecord::Kind::TransientLvq;
+        f.when = 2000;
+        f.core = 0;
+        f.tid = 0;
+        sim.faultInjector().schedule(f);
+        sim.run();
+        const auto &pair = sim.chip().redundancy().pair(0);
+        std::printf("2. LVQ strike with ECC %s: %s\n",
+                    ecc ? "on " : "off",
+                    ecc ? (pair.lvq.eccCorrections()
+                               ? "corrected by ECC, no effect"
+                               : "no entry resident")
+                        : (pair.faultDetected()
+                               ? "corrupted the trailing copy -> "
+                                 "detected downstream"
+                               : "benign"));
+    }
+
+    // --- 2b. Detect AND recover: verified checkpointing -------------
+    {
+        SimOptions o = options();
+        o.recovery = true;
+        o.recovery_params.interval_insts = 1000;
+        Simulation sim({"compress"}, o);
+        FaultRecord f;
+        f.kind = FaultRecord::Kind::TransientReg;
+        f.when = 4000;
+        f.core = 0;
+        f.tid = 0;
+        f.reg = intReg(3);
+        f.bit = 5;
+        sim.faultInjector().schedule(f);
+        const RunResult r = sim.run();
+        const auto &rec = *sim.chip().redundancy().pair(0).recovery;
+        std::printf("2b. same strike with recovery on: %u rollback(s), "
+                    "%llu instructions re-executed, run %s\n",
+                    rec.recoveries(),
+                    static_cast<unsigned long long>(rec.discardedInsts()),
+                    r.completed ? "completed cleanly" : "DID NOT finish");
+    }
+
+    // --- 3. A permanent stuck-at fault in an integer ALU ------------
+    for (bool psr : {true, false}) {
+        SimOptions o = options();
+        o.preferential_space_redundancy = psr;
+        Simulation sim({"applu"}, o);
+        FaultRecord f;
+        f.kind = FaultRecord::Kind::PermanentFu;
+        f.when = 500;
+        f.core = 0;
+        f.fuIndex = 0;          // integer ALU 0 in the upper IQ half
+        f.mask = 1ull << 2;
+        sim.faultInjector().schedule(f);
+        const RunResult r = sim.run();
+        std::printf("3. permanent ALU fault with PSR %s: %s\n",
+                    psr ? "on " : "off",
+                    r.detections
+                        ? "detected (copies used different units)"
+                        : "NOT detected — both copies used the broken "
+                          "unit (coverage hole PSR closes)");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Quickstart: build a tiny program, run it on the base SMT core, then
+ * run it under SRT (leading + trailing redundant threads) and print the
+ * slowdown — the paper's headline trade-off in a dozen lines.
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+
+int
+main()
+{
+    using namespace rmt;
+
+    // 1. Pick a workload (one of the 18 SPEC CPU95-like kernels).
+    const std::string workload = "gcc";
+
+    SimOptions opts;
+    opts.warmup_insts = 1000;
+    opts.measure_insts = 10000;
+
+    // 2. Run it alone on the base processor.
+    opts.mode = SimMode::Base;
+    const RunResult base = runSimulation({workload}, opts);
+    std::printf("base:  %-8s IPC %.3f (%llu insts, %llu cycles)\n",
+                workload.c_str(), base.threads[0].ipc,
+                static_cast<unsigned long long>(base.threads[0].committed),
+                static_cast<unsigned long long>(base.threads[0].cycles));
+
+    // 3. Run it under SRT: two redundant copies, LVQ + LPQ + store
+    //    comparator, fault detection on every cacheable store.
+    opts.mode = SimMode::Srt;
+    const RunResult srt = runSimulation({workload}, opts);
+    std::printf("SRT:   %-8s IPC %.3f, %llu store pairs compared, "
+                "%llu mismatches\n",
+                workload.c_str(), srt.threads[0].ipc,
+                static_cast<unsigned long long>(srt.store_comparisons),
+                static_cast<unsigned long long>(srt.store_mismatches));
+
+    std::printf("SRT slowdown vs base: %.1f%%\n",
+                100.0 * (1.0 - srt.threads[0].ipc / base.threads[0].ipc));
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "cmp/chip.hh"
+
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+Chip::Chip(const ChipParams &params)
+    : _params(params), mem(params.mem), dev(params.device)
+{
+    if (params.num_cores == 0 || params.num_cores > 2)
+        fatal("Chip supports one or two cores");
+    for (unsigned c = 0; c < params.num_cores; ++c) {
+        SmtParams cpu_params = params.cpu;
+        cpu_params.name = "cpu" + std::to_string(c);
+        cores.push_back(std::make_unique<SmtCpu>(
+            cpu_params, mem, static_cast<CoreId>(c)));
+        cores.back()->setDevice(&dev);
+    }
+}
+
+void
+Chip::setFaultInjector(FaultInjector *injector)
+{
+    for (auto &core : cores)
+        core->setFaultInjector(injector);
+}
+
+void
+Chip::tick()
+{
+    for (auto &core : cores)
+        core->tick();
+
+    // Fault recovery (if configured on a pair): flush both redundant
+    // threads, roll memory back to the active checkpoint, restart.
+    for (std::size_t i = 0; i < rmgr.numPairs(); ++i) {
+        RedundantPair &pair = rmgr.pair(i);
+        if (!pair.faultDetected() || !pair.recovery || !pair.memory)
+            continue;
+        if (!pair.recovery->canRecover())
+            continue;   // exhausted: detect-only from here on
+        const auto &p = pair.params();
+        const RecoveryCheckpoint ckpt = pair.recovery->active();
+        const std::uint64_t committed_now =
+            cpu(p.leading.core).committed(p.leading.tid);
+        pair.recovery->rollback(*pair.memory, committed_now);
+        cpu(p.leading.core).recoverThread(p.leading.tid, ckpt);
+        cpu(p.trailing.core).recoverThread(p.trailing.tid, ckpt);
+        pair.resetForRecovery(ckpt);
+    }
+}
+
+Cycle
+Chip::run(Cycle max_cycles)
+{
+    Cycle n = 0;
+    while (n < max_cycles && !allDone()) {
+        tick();
+        ++n;
+    }
+    // Drain: forwarded outputs (store verifications, uncached device
+    // writes) may still be in flight when the last thread finishes.
+    if (allDone()) {
+        for (Cycle d = 0; d < drainCycles && n < max_cycles; ++d, ++n)
+            tick();
+    }
+    return n;
+}
+
+bool
+Chip::allDone() const
+{
+    for (const auto &core : cores) {
+        if (!core->allThreadsDone())
+            return false;
+    }
+    return true;
+}
+
+} // namespace rmt

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A single-chip device: one or two SMT cores sharing an L2 / memory
+ * system (paper Sections 1, 5, 6).  The chip also owns the redundancy
+ * manager so SRT pairs (one core) and CRT pairs (cross-core) share one
+ * registry, and ticks all cores in lock phase.
+ */
+
+#ifndef RMTSIM_CMP_CHIP_HH
+#define RMTSIM_CMP_CHIP_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/smt_cpu.hh"
+#include "mem/device.hh"
+#include "mem/mem_system.hh"
+#include "rmt/redundancy.hh"
+
+namespace rmt
+{
+
+struct ChipParams
+{
+    unsigned num_cores = 1;
+    SmtParams cpu{};
+    MemSystemParams mem{};
+    DeviceParams device{};
+};
+
+class Chip
+{
+  public:
+    explicit Chip(const ChipParams &params);
+
+    SmtCpu &cpu(CoreId core) { return *cores.at(core); }
+    unsigned numCores() const { return static_cast<unsigned>(cores.size()); }
+    MemSystem &memSystem() { return mem; }
+    RedundancyManager &redundancy() { return rmgr; }
+    Device &device() { return dev; }
+
+    void setFaultInjector(FaultInjector *injector);
+
+    /** Advance every core one cycle. */
+    void tick();
+
+    /**
+     * Run until every thread on every core is done (hit its target or
+     * halted), or @p max_cycles elapse.
+     * @return cycles simulated by this call
+     */
+    Cycle run(Cycle max_cycles);
+
+    bool allDone() const;
+    Cycle cycle() const { return cores.front()->cycle(); }
+
+    /** Post-completion drain window (in-flight verifications land). */
+    static constexpr Cycle drainCycles = 128;
+
+  private:
+    ChipParams _params;
+    MemSystem mem;
+    Device dev{DeviceParams{}};
+    RedundancyManager rmgr;
+    std::vector<std::unique_ptr<SmtCpu>> cores;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_CMP_CHIP_HH

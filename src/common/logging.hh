@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic distinction:
+ * panic() for internal simulator bugs (aborts), fatal() for user/config
+ * errors (clean exit), warn()/inform() for status.
+ */
+
+#ifndef RMTSIM_COMMON_LOGGING_HH
+#define RMTSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rmt
+{
+
+/** Report an internal simulator bug and abort (never returns). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+} // namespace rmt
+
+#endif // RMTSIM_COMMON_LOGGING_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic, seedable pseudo-random number generator.
+ *
+ * Every stochastic component (workload data initialisation, fault
+ * injection schedules) owns its own Random instance so simulations are
+ * bit-reproducible regardless of module evaluation order. xoshiro256**.
+ */
+
+#ifndef RMTSIM_COMMON_RANDOM_HH
+#define RMTSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace rmt
+{
+
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 seeding so nearby seeds give independent streams.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    range(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_COMMON_RANDOM_HH

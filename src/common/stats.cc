@@ -1,0 +1,86 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace rmt
+{
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.stats.push_back(this);
+}
+
+void
+Counter::print(std::ostream &os) const
+{
+    os << _value;
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << mean() << " (" << _count << " samples)";
+}
+
+Histogram::Histogram(StatGroup &group, std::string name, std::string desc,
+                     unsigned num_buckets, double bucket_width)
+    : StatBase(group, std::move(name), std::move(desc)),
+      buckets(num_buckets, 0), width(bucket_width)
+{
+}
+
+void
+Histogram::sample(double v)
+{
+    sum += v;
+    ++count;
+    auto idx = static_cast<std::uint64_t>(v / width);
+    if (idx < buckets.size())
+        ++buckets[idx];
+    else
+        ++overflow;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << "mean=" << mean() << " n=" << count;
+    os << " [";
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << buckets[i];
+    }
+    os << " | " << overflow << "]";
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    overflow = 0;
+    count = 0;
+    sum = 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto *stat : stats) {
+        os << std::left << std::setw(40) << (_name + "." + stat->name())
+           << ' ';
+        stat->print(os);
+        os << "  # " << stat->desc() << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *stat : stats)
+        stat->reset();
+}
+
+} // namespace rmt

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages, and
+ * histograms grouped per component, dumpable as aligned text.
+ *
+ * Components own a StatGroup; stats register themselves on construction
+ * so a dump walks every live group deterministically (registration
+ * order).
+ */
+
+#ifndef RMTSIM_COMMON_STATS_HH
+#define RMTSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rmt
+{
+
+class StatGroup;
+
+/** Base class for a single named statistic. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Print "value-part" (no name) into @p os. */
+    virtual void print(std::ostream &os) const = 0;
+    /** Zero the statistic. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonic (or at least scalar) counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t v) { _value += v; return *this; }
+    void set(std::uint64_t v) { _value = v; }
+    std::uint64_t value() const { return _value; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** Running mean (sample count + sum). */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    std::uint64_t samples() const { return _count; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { _sum = 0; _count = 0; }
+
+  private:
+    double _sum = 0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-bucket histogram over [0, max) with an overflow bucket. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup &group, std::string name, std::string desc,
+              unsigned num_buckets, double bucket_width);
+
+    void sample(double v);
+    std::uint64_t bucketCount(unsigned i) const { return buckets.at(i); }
+    std::uint64_t overflowCount() const { return overflow; }
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? sum / count : 0.0; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0;
+    double width;
+};
+
+/**
+ * A named collection of statistics belonging to one component instance.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** Dump "group.stat value # desc" lines. */
+    void dump(std::ostream &os) const;
+    /** Reset every stat in the group. */
+    void resetAll();
+
+  private:
+    friend class StatBase;
+    std::string _name;
+    std::vector<StatBase *> stats;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_COMMON_STATS_HH

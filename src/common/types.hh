@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every rmtsim module.
+ */
+
+#ifndef RMTSIM_COMMON_TYPES_HH
+#define RMTSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace rmt
+{
+
+/** A byte address in a thread's (flat, per-logical-thread) address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Hardware thread context id within one core (0..3). */
+using ThreadId = std::uint8_t;
+
+/** Logical thread (application program) id within one simulation. */
+using LogicalId = std::uint8_t;
+
+/** Core index within a chip. */
+using CoreId = std::uint8_t;
+
+/** Per-thread dynamic instruction sequence number (program order). */
+using InstSeq = std::uint64_t;
+
+/** Architectural register index (0..63: 0-31 int, 32-63 fp). */
+using RegIndex = std::uint8_t;
+
+/** Physical register index into the unified 512-entry file. */
+using PhysRegIndex = std::uint16_t;
+
+/** Sentinel for "no physical register". */
+constexpr PhysRegIndex invalidPhysReg =
+    std::numeric_limits<PhysRegIndex>::max();
+
+/** Sentinel for "no thread". */
+constexpr ThreadId invalidThread = std::numeric_limits<ThreadId>::max();
+
+/** Number of architectural integer registers per thread. */
+constexpr unsigned numIntArchRegs = 32;
+/** Number of architectural floating-point registers per thread. */
+constexpr unsigned numFpArchRegs = 32;
+/** Total architectural registers per thread (paper: 64 per thread). */
+constexpr unsigned numArchRegs = numIntArchRegs + numFpArchRegs;
+
+/** Instructions per fetch chunk (paper: 8-instruction chunks). */
+constexpr unsigned chunkSize = 8;
+
+/** Bytes per instruction in the rmtsim ISA. */
+constexpr unsigned instBytes = 4;
+
+} // namespace rmt
+
+#endif // RMTSIM_COMMON_TYPES_HH

@@ -1,0 +1,3 @@
+// DynInst is a plain aggregate; this file anchors the component in the
+// build.
+#include "cpu/dyn_inst.hh"

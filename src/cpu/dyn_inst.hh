@@ -1,0 +1,87 @@
+/**
+ * @file
+ * An in-flight dynamic instruction, carried by pointer through the
+ * pipeline from fetch to retirement (or squash).
+ */
+
+#ifndef RMTSIM_CPU_DYN_INST_HH
+#define RMTSIM_CPU_DYN_INST_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "isa/isa.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/ras.hh"
+
+namespace rmt
+{
+
+struct DynInst;
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+struct DynInst
+{
+    // ------------------------------------------------------- identity
+    StaticInst si;
+    Addr pc = 0;
+    ThreadId tid = 0;
+    InstSeq seq = 0;            ///< per-thread fetch order
+    Addr fetchChunkAddr = 0;    ///< start of the fetch chunk (line pred)
+
+    // ----------------------------------------------------- front end
+    bool predTaken = false;
+    Addr predNextPc = 0;        ///< pc fetch continued at
+    BranchPredictor::HistorySnapshot histSnap = 0;
+    ReturnAddressStack::Snapshot rasSnap{};
+    std::uint64_t pairInstIdx = 0;  ///< per-pair commit-order index (RMT)
+
+    // --------------------------------------------------------- rename
+    PhysRegIndex pdst = invalidPhysReg;
+    PhysRegIndex prevDst = invalidPhysReg;  ///< old mapping of si.rd
+    PhysRegIndex psrc1 = invalidPhysReg;
+    PhysRegIndex psrc2 = invalidPhysReg;
+
+    // --------------------------------------------------------- status
+    bool inIq = false;
+    bool issued = false;
+    bool executed = false;      ///< result produced / store addr+data in SQ
+    bool completed = false;     ///< eligible to retire
+    bool squashed = false;
+    bool retired = false;
+    Cycle fetchCycle = 0;
+    Cycle dispatchCycle = 0;
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+
+    // ---------------------------------------------------------- QBOX
+    std::uint8_t iqHalf = 0;    ///< 0 = upper, 1 = lower (PSR, Fig. 7)
+    std::uint8_t fuIndex = 0;   ///< global functional-unit instance id
+    std::uint8_t dispatchSlot = 0;  ///< position in the map chunk
+    std::uint8_t leadHalf = 0;  ///< trailing: leading copy's IQ half
+    Cycle issuableCycle = 0;    ///< earliest select (QBOX front latency)
+
+    // --------------------------------------------------------- result
+    std::uint64_t result = 0;
+    bool branchTaken = false;
+    Addr branchTarget = 0;
+    bool mispredicted = false;
+
+    // --------------------------------------------------------- memory
+    Addr effAddr = 0;
+    bool addrReady = false;
+    std::uint64_t storeData = 0;
+    bool dataReady = false;
+    InstSeq depStoreSeq = ~InstSeq{0};  ///< store-sets wait target
+    int lqIndex = -1;
+    std::uint64_t storeIdx = 0;     ///< per-thread store order (RMT match)
+    std::uint64_t loadTag = 0;      ///< LVQ correlation tag
+
+    bool isLoad() const { return si.isLoad(); }
+    bool isStore() const { return si.isStore(); }
+    bool isControl() const { return si.isControl(); }
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_CPU_DYN_INST_HH

@@ -1,0 +1,438 @@
+#include "cpu/smt_cpu.hh"
+
+#include <ostream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+SmtCpu::SmtCpu(const SmtParams &params, MemSystem &mem_system,
+               CoreId core_id)
+    : _params(params),
+      memSystem(mem_system),
+      core(core_id),
+      threads(params.num_threads),
+      physRegs(params.phys_regs, 0),
+      readyAt(params.phys_regs, notReady),
+      physInUse(params.num_threads, 0),
+      l1i(params.icache),
+      l1d(params.dcache),
+      mergeBuf(params.merge_buffer),
+      bpred(params.bpred),
+      linePred(params.linepred),
+      indirect(1024),
+      storeSets(params.store_sets),
+      statGroup(params.name),
+      statCycles(statGroup, "cycles", "cycles simulated"),
+      statFetched(statGroup, "fetched", "instructions fetched"),
+      statCommittedTotal(statGroup, "committed",
+                         "instructions committed (all threads)"),
+      statSquashes(statGroup, "squashes", "pipeline squashes"),
+      statBranchMispredicts(statGroup, "branch_mispredicts",
+                            "resolved branch mispredictions"),
+      statLineMispredicts(statGroup, "line_mispredicts",
+                          "line predictions overturned at fetch"),
+      statMemOrderViolations(statGroup, "mem_order_violations",
+                             "load-store order violations"),
+      statSqFullStalls(statGroup, "sq_full_stalls",
+                       "dispatch stalls: store queue full"),
+      statIqFullStalls(statGroup, "iq_full_stalls",
+                       "dispatch stalls: instruction queue full"),
+      statRobFullStalls(statGroup, "rob_full_stalls",
+                        "dispatch stalls: reorder buffer full"),
+      statLqFullStalls(statGroup, "lq_full_stalls",
+                       "dispatch stalls: load queue full"),
+      statDispatched(statGroup, "dispatched",
+                     "instructions renamed and dispatched"),
+      statIssued(statGroup, "issued", "instructions issued to FUs"),
+      statLvqFullStalls(statGroup, "lvq_full_stalls",
+                        "leading retire stalls: LVQ full"),
+      statLpqFullStalls(statGroup, "lpq_full_stalls",
+                        "leading retire stalls: LPQ full"),
+      statIcacheMissStalls(statGroup, "icache_miss_stalls",
+                           "fetch stall cycles from I-cache misses"),
+      statWrongPathInsts(statGroup, "wrong_path_insts",
+                         "squashed (wrong-path) instructions")
+{
+    if (params.num_threads == 0 || params.num_threads > 4)
+        fatal("SmtCpu supports 1-4 hardware threads");
+
+    for (auto &thread : threads) {
+        thread.storeLifetime = std::make_unique<Average>(
+            statGroup, "store_lifetime_t" +
+                std::to_string(&thread - threads.data()),
+            "cycles a store occupies its SQ entry");
+        thread.statCommitted = std::make_unique<Counter>(
+            statGroup, "committed_t" +
+                std::to_string(&thread - threads.data()),
+            "instructions committed by this thread");
+    }
+
+    for (unsigned t = 0; t < params.num_threads; ++t)
+        ras.emplace_back(params.ras_entries);
+
+    // Physical register 0 is the architectural zero: always ready.
+    physRegs[0] = 0;
+    readyAt[0] = 0;
+    for (PhysRegIndex p = static_cast<PhysRegIndex>(params.phys_regs - 1);
+         p >= 1; --p) {
+        freeList.push_back(p);
+    }
+}
+
+void
+SmtCpu::addThread(ThreadId tid, const Program &program, DataMemory &memory,
+                  LogicalId logical, Role role, RedundantPair *pair)
+{
+    if (tid >= threads.size())
+        fatal("addThread: tid %u out of range", tid);
+    ThreadState &t = threads[tid];
+    if (t.active)
+        fatal("addThread: tid %u already active", tid);
+
+    t.active = true;
+    t.program = &program;
+    t.mem = &memory;
+    t.logical = logical;
+    t.role = role;
+    t.pair = pair;
+    t.fetchPc = program.entry();
+    t.nextCommitPc = program.entry();
+    t.startCycle = now;
+
+    if ((role == Role::Leading || role == Role::Trailing) && !pair)
+        fatal("addThread: redundant role without a pair");
+
+    // Map arch registers onto physical registers: int r0 shares the
+    // constant-zero physical register.
+    for (unsigned r = 0; r < numArchRegs; ++r) {
+        if (r == 0) {
+            t.renameMap[r] = 0;
+            continue;
+        }
+        t.renameMap[r] = allocPhysReg();
+        ++physInUse[tid];
+        physRegs[t.renameMap[r]] = 0;
+        readyAt[t.renameMap[r]] = 0;
+    }
+
+    if (_params.cosim) {
+        t.refMem = std::make_unique<DataMemory>(memory.size());
+        std::copy(memory.data(), memory.data() + memory.size(),
+                  t.refMem->data());
+        t.ref = std::make_unique<ArchState>(program, *t.refMem);
+    }
+
+    computeQueueQuotas();
+}
+
+void
+SmtCpu::computeQueueQuotas()
+{
+    // Static partitioning (paper Section 3.4): the LQ is divided among
+    // the threads that use it (trailing threads bypass it, so their
+    // share accrues to the others, Section 4.1).  The SQ is divided
+    // among all active threads unless per-thread store queues are
+    // enabled (Section 4.2).
+    unsigned lq_users = 0;
+    unsigned sq_users = 0;
+    for (const auto &t : threads) {
+        if (!t.active)
+            continue;
+        ++sq_users;
+        if (usesLoadQueue(t))
+            ++lq_users;
+    }
+    for (auto &t : threads) {
+        if (!t.active)
+            continue;
+        if (_params.dynamic_lsq_partition) {
+            // Shared pools: per-thread limits come from the global
+            // occupancy check at dispatch, with small reservations.
+            t.lqQuota = usesLoadQueue(t) ? _params.load_queue_entries : 0;
+            t.sqQuota = _params.store_queue_entries;
+            continue;
+        }
+        t.lqQuota = usesLoadQueue(t) && lq_users
+                        ? _params.load_queue_entries / lq_users
+                        : 0;
+        t.sqQuota = _params.per_thread_store_queues
+                        ? _params.store_queue_entries
+                        : _params.store_queue_entries / sq_users;
+    }
+}
+
+void
+SmtCpu::scheduleInterrupt(ThreadId tid, Cycle when, Addr vector)
+{
+    if (tid >= threads.size() || !threads[tid].active)
+        fatal("scheduleInterrupt: invalid thread %u", tid);
+    if (threads[tid].role == Role::Trailing)
+        fatal("interrupts are inputs: deliver them to the leading copy");
+    threads[tid].pendingInterrupts.push_back({when, vector});
+}
+
+void
+SmtCpu::setTarget(ThreadId tid, std::uint64_t insts, std::uint64_t warmup)
+{
+    threads[tid].target = insts;
+    threads[tid].measureSkip = std::min(warmup, insts);
+}
+
+bool
+SmtCpu::threadDone(ThreadId tid) const
+{
+    const ThreadState &t = threads[tid];
+    if (!t.active)
+        return true;
+    return t.done || t.halted;
+}
+
+bool
+SmtCpu::allThreadsDone() const
+{
+    for (unsigned tid = 0; tid < threads.size(); ++tid) {
+        if (!threadDone(static_cast<ThreadId>(tid)))
+            return false;
+    }
+    return true;
+}
+
+Cycle
+SmtCpu::threadCycles(ThreadId tid) const
+{
+    const ThreadState &t = threads[tid];
+    const Cycle end = (t.done || t.halted) ? t.finishCycle : now;
+    return end > t.startCycle ? end - t.startCycle : 0;
+}
+
+double
+SmtCpu::ipc(ThreadId tid) const
+{
+    const ThreadState &t = threads[tid];
+    const Cycle cycles = threadCycles(tid);
+    std::uint64_t insts =
+        std::min(t.committed, t.target ? t.target : t.committed);
+    insts -= std::min(insts, t.measureSkip);
+    return cycles ? static_cast<double>(insts) / cycles : 0.0;
+}
+
+void
+SmtCpu::tick()
+{
+    ++now;
+    ++statCycles;
+
+    if (faults)
+        faults->tick(*this, now);
+    storeSets.tick(now);
+
+    // Back to front so a value produced this cycle wakes consumers for
+    // next cycle's select, and newly fetched work can't skip stages.
+    commit();
+    processEvents();
+    verifyLeadingStores();
+    verifyUncachedStores();
+    releaseStores();
+    drainMergeBuffer();
+    retryWaitingLoads();
+    issue();
+    renameDispatch();
+    fetch();
+
+    // Idle-flush partial LPQ chunks (deadlock avoidance, Section 4.3/4.4).
+    for (auto &t : threads) {
+        if (t.active && t.role == Role::Leading && t.pair)
+            t.pair->idleFlush(now);
+    }
+
+    checkDeadlock();
+}
+
+void
+SmtCpu::checkDeadlock()
+{
+    bool any_running = false;
+    for (unsigned tid = 0; tid < threads.size(); ++tid) {
+        if (threads[tid].active && !threadDone(static_cast<ThreadId>(tid)))
+            any_running = true;
+    }
+    if (!any_running) {
+        lastCommitCycle = now;
+        return;
+    }
+    if (now - lastCommitCycle > _params.deadlock_cycles) {
+        panic("core %u: no instruction committed for %llu cycles "
+              "(deadlock)", core,
+              static_cast<unsigned long long>(_params.deadlock_cycles));
+    }
+}
+
+void
+SmtCpu::schedule(Cycle when, EvKind kind, const DynInstPtr &inst,
+                 std::uint64_t payload)
+{
+    if (when <= now)
+        when = now + 1;
+    calendar[when].push_back(Event{kind, inst, payload});
+}
+
+std::uint64_t
+SmtCpu::readPhys(PhysRegIndex idx) const
+{
+    if (idx == invalidPhysReg)
+        return 0;
+    return physRegs[idx];
+}
+
+void
+SmtCpu::writePhys(PhysRegIndex idx, std::uint64_t value)
+{
+    if (idx == invalidPhysReg || idx == 0)
+        return;
+    physRegs[idx] = value;
+}
+
+PhysRegIndex
+SmtCpu::allocPhysReg()
+{
+    if (freeList.empty())
+        panic("physical register underflow: caller must check "
+              "physRegsAvailable()");
+    const PhysRegIndex p = freeList.back();
+    freeList.pop_back();
+    readyAt[p] = notReady;
+    return p;
+}
+
+void
+SmtCpu::freePhysReg(PhysRegIndex idx)
+{
+    if (idx == invalidPhysReg || idx == 0)
+        return;
+    readyAt[idx] = notReady;
+    freeList.push_back(idx);
+}
+
+bool
+SmtCpu::physRegsAvailable(ThreadId tid) const
+{
+    // Deadlock avoidance: every other active thread keeps a reserved
+    // slice of the free pool so a stalled consumer cannot starve the
+    // producer it depends on (Section 4.3).
+    unsigned reserve = 0;
+    for (unsigned t = 0; t < threads.size(); ++t) {
+        if (t != tid && threads[t].active)
+            reserve += _params.regs_reserved_per_thread;
+    }
+    return freeList.size() > reserve;
+}
+
+unsigned
+SmtCpu::fuPoolSize(FuClass cls) const
+{
+    switch (cls) {
+      case FuClass::IntAlu: return _params.int_units_per_half;
+      case FuClass::Logic: return _params.logic_units_per_half;
+      case FuClass::Mem: return _params.mem_units_per_half;
+      case FuClass::Fp: return _params.fp_units_per_half;
+      default: return 1;
+    }
+}
+
+void
+SmtCpu::injectRegBitFlip(ThreadId tid, RegIndex reg, unsigned bit)
+{
+    ThreadState &t = threads[tid];
+    if (!t.active || reg == noReg || reg == 0)
+        return;
+    const PhysRegIndex p = t.renameMap[reg];
+    if (p == invalidPhysReg || p == 0)
+        return;
+    physRegs[p] = flipBit(physRegs[p], bit);
+}
+
+void
+SmtCpu::traceCommit(const ThreadState &t, const DynInstPtr &inst)
+{
+    if (traceBudget && traceLines >= traceBudget)
+        return;
+    ++traceLines;
+    const auto tid = static_cast<unsigned>(&t - threads.data());
+    std::ostream &os = *traceOut;
+    os << now << " c" << unsigned(core) << " t" << tid << " 0x"
+       << std::hex << inst->pc << std::dec << " F" << inst->fetchCycle
+       << " D" << inst->dispatchCycle;
+    if (inst->issued)
+        os << " I" << inst->issueCycle;
+    os << " C" << inst->completeCycle << " R" << now << "  "
+       << inst->si.disassemble();
+    if (inst->si.rd != noReg)
+        os << " = 0x" << std::hex << inst->result << std::dec;
+    if (inst->si.isStore()) {
+        os << " [0x" << std::hex << inst->effAddr << "]=0x"
+           << inst->storeData << std::dec;
+    }
+    os << "\n";
+}
+
+void
+SmtCpu::debugDump(std::ostream &os) const
+{
+    os << "=== core " << unsigned(core) << " cycle " << now << " ===\n";
+    os << "iq occ " << iqHalfOcc[0] << "/" << iqHalfOcc[1]
+       << " free-regs " << freeList.size() << " waiting-loads "
+       << waitingLoads.size() << " calendar " << calendar.size() << "\n";
+    for (unsigned tid = 0; tid < threads.size(); ++tid) {
+        const ThreadState &t = threads[tid];
+        if (!t.active)
+            continue;
+        os << " t" << tid << " role " << static_cast<int>(t.role)
+           << " committed " << t.committed << " rob " << t.rob.size()
+           << " rmb " << t.rmb.size() << " lq " << t.lq.size() << "/"
+           << t.lqQuota << " sq " << t.sq.size() << "/" << t.sqQuota
+           << " fetchPc 0x" << std::hex << t.fetchPc << std::dec
+           << " stallUntil " << t.fetchStallUntil
+           << (t.fetchHalted ? " FETCH-HALTED" : "")
+           << (t.halted ? " HALTED" : "") << "\n";
+        if (!t.rob.empty()) {
+            const DynInstPtr &h = t.rob.front();
+            os << "   rob-head seq " << h->seq << " pc 0x" << std::hex
+               << h->pc << std::dec << " " << h->si.disassemble()
+               << (h->inIq ? " inIQ" : "") << (h->issued ? " issued" : "")
+               << (h->executed ? " exec" : "")
+               << (h->completed ? " done" : "")
+               << (h->squashed ? " SQUASHED" : "") << "\n";
+        }
+        if (!t.sq.empty()) {
+            const SqEntry &e = t.sq.front();
+            os << "   sq-head seq " << e.inst->seq
+               << (e.inst->retired ? " retired" : "")
+               << (e.verified ? " verified" : "")
+               << (e.inst->addrReady ? " addr" : "")
+               << (e.inst->dataReady ? " data" : "") << "\n";
+        }
+        if (t.pair) {
+            os << "   pair lpq " << t.pair->lpq.size() << " unread "
+               << t.pair->lpq.unread() << " lvq " << t.pair->lvq.size()
+               << " cmp-pending " << t.pair->comparator.pendingTrailing()
+               << " aggEmpty " << t.pair->aggregationEmpty() << "\n";
+        }
+    }
+}
+
+void
+SmtCpu::dumpStats(std::ostream &os)
+{
+    statGroup.dump(os);
+    l1i.stats().dump(os);
+    l1d.stats().dump(os);
+    mergeBuf.stats().dump(os);
+    bpred.stats().dump(os);
+    linePred.stats().dump(os);
+    storeSets.stats().dump(os);
+}
+
+} // namespace rmt

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * The SMT out-of-order core (paper Section 3, Table 1) with the SRT/CRT
+ * extensions of Sections 4-5.
+ *
+ * One SmtCpu is an 8-wide, 4-context SMT processor: line-prediction
+ * driven fetch (IBOX), register rename (PBOX), a 128-entry two-half
+ * instruction queue with a completion unit (QBOX), register read (RBOX),
+ * the functional-unit pools (EBOX/FBOX), and the memory system frontside
+ * (MBOX: load queue, store queue, merge buffer, L1 caches).
+ *
+ * Stage implementations are split across ibox.cc (fetch), pbox.cc
+ * (rename/dispatch), qbox.cc (issue + retire), ebox.cc (execute /
+ * writeback events), and mbox.cc (loads, stores, queues) in the style of
+ * the paper's box structure.
+ */
+
+#ifndef RMTSIM_CPU_SMT_CPU_HH
+#define RMTSIM_CPU_SMT_CPU_HH
+
+#include <array>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/dyn_inst.hh"
+#include "cpu/smt_params.hh"
+#include "isa/arch_state.hh"
+#include "isa/program.hh"
+#include "mem/device.hh"
+#include "mem/mem_system.hh"
+#include "rmt/fault_injector.hh"
+#include "rmt/redundancy.hh"
+
+namespace rmt
+{
+
+class SmtCpu
+{
+  public:
+    SmtCpu(const SmtParams &params, MemSystem &mem_system, CoreId core_id);
+
+    SmtCpu(const SmtCpu &) = delete;
+    SmtCpu &operator=(const SmtCpu &) = delete;
+
+    // ------------------------------------------------------- configure
+    /**
+     * Bind a program to hardware thread @p tid.
+     *
+     * @param memory the logical thread's data image (shared between the
+     *        leading and trailing copies; IndependentCopy threads get
+     *        their own)
+     */
+    void addThread(ThreadId tid, const Program &program, DataMemory &memory,
+                   LogicalId logical, Role role,
+                   RedundantPair *pair = nullptr);
+
+    /** The core stores a pointer to the program: binding a temporary
+     *  would dangle, so it is forbidden. */
+    void addThread(ThreadId, Program &&, DataMemory &, LogicalId, Role,
+                   RedundantPair * = nullptr) = delete;
+
+    void setFaultInjector(FaultInjector *injector) { faults = injector; }
+
+    /** Attach the chip's memory-mapped device (uncached accesses). */
+    void setDevice(Device *dev) { device = dev; }
+
+    /**
+     * Deliver an asynchronous interrupt to @p tid no earlier than cycle
+     * @p when: at the next instruction boundary the thread redirects to
+     * @p vector with the resume pc captured for Iret.  On a leading
+     * thread the boundary is replicated to the trailing copy
+     * (Section 2.1's deferred interrupt-input replication).
+     */
+    void scheduleInterrupt(ThreadId tid, Cycle when, Addr vector);
+
+    /**
+     * Instruction budget after which a thread's stats freeze, with an
+     * optional warm-up prefix excluded from the measured window
+     * (paper Section 6.2: warm up, then measure).
+     */
+    void setTarget(ThreadId tid, std::uint64_t insts,
+                   std::uint64_t warmup = 0);
+
+    // ------------------------------------------------------------- run
+    /** Advance one cycle. */
+    void tick();
+
+    Cycle cycle() const { return now; }
+    CoreId coreId() const { return core; }
+
+    bool threadDone(ThreadId tid) const;
+    bool allThreadsDone() const;
+    bool threadHalted(ThreadId tid) const { return threads[tid].halted; }
+
+    // ----------------------------------------------------------- stats
+    std::uint64_t committed(ThreadId tid) const
+    {
+        return threads[tid].committed;
+    }
+    Cycle threadCycles(ThreadId tid) const;
+    double ipc(ThreadId tid) const;
+
+    const SmtParams &params() const { return _params; }
+    Cache &icache() { return l1i; }
+    Cache &dcache() { return l1d; }
+    BranchPredictor &branchPredictor() { return bpred; }
+    LinePredictor &linePredictor() { return linePred; }
+    MergeBuffer &mergeBuffer() { return mergeBuf; }
+    StatGroup &stats() { return statGroup; }
+
+    std::uint64_t squashes() const { return statSquashes.value(); }
+    std::uint64_t branchMispredicts() const
+    {
+        return statBranchMispredicts.value();
+    }
+    std::uint64_t lvqFullStalls() const
+    {
+        return statLvqFullStalls.value();
+    }
+    std::uint64_t memOrderViolations() const
+    {
+        return statMemOrderViolations.value();
+    }
+    std::uint64_t lineMispredicts() const
+    {
+        return statLineMispredicts.value();
+    }
+    std::uint64_t sqFullStalls() const { return statSqFullStalls.value(); }
+    double avgStoreLifetime(ThreadId tid) const
+    {
+        return threads[tid].storeLifetime->mean();
+    }
+
+    /** Dump all stat groups owned by this core. */
+    void dumpStats(std::ostream &os);
+
+    /** Human-readable pipeline snapshot for debugging stalls. */
+    void debugDump(std::ostream &os) const;
+
+    /**
+     * Enable a commit trace: one line per retired instruction with its
+     * per-stage timing (fetch/dispatch/issue/complete/retire), pc,
+     * disassembly, and result.  @p max_lines bounds the output
+     * (0 = unbounded).  Pass nullptr to disable.
+     */
+    void
+    setCommitTrace(std::ostream *os, std::uint64_t max_lines = 0)
+    {
+        traceOut = os;
+        traceBudget = max_lines;
+    }
+
+    // ----------------------------------------------------- fault hooks
+    /** Flip bit @p bit of arch register @p reg's current value. */
+    void injectRegBitFlip(ThreadId tid, RegIndex reg, unsigned bit);
+    RedundantPair *pairOf(ThreadId tid) { return threads[tid].pair; }
+
+    // ------------------------------------------------------- recovery
+    /** Flush all in-flight state of @p tid and restart it from the
+     *  checkpoint (fault recovery; incompatible with cosim). */
+    void recoverThread(ThreadId tid, const RecoveryCheckpoint &ckpt);
+
+  private:
+    // ------------------------------------------------- internal types
+    struct SqEntry
+    {
+        DynInstPtr inst;
+        Cycle allocCycle = 0;
+        bool verified = false;      ///< SRT: store comparison done
+        Cycle retireCycle = 0;
+    };
+
+    struct ThreadState
+    {
+        bool active = false;
+        const Program *program = nullptr;
+        DataMemory *mem = nullptr;
+        LogicalId logical = 0;
+        Role role = Role::Single;
+        RedundantPair *pair = nullptr;
+
+        // Fetch.
+        Addr fetchPc = 0;
+        Cycle fetchStallUntil = 0;
+        bool fetchHalted = false;   ///< halt fetched; stop fetching
+        std::deque<DynInstPtr> rmb; ///< rate-matching buffer
+        InstSeq nextSeq = 0;
+
+        // Rename / in-flight.
+        std::array<PhysRegIndex, numArchRegs> renameMap{};
+        std::deque<DynInstPtr> rob;
+        /** Committed architectural register values (checkpointing). */
+        std::array<std::uint64_t, numArchRegs> archRegs{};
+
+        // Memory queues (statically partitioned; see quotas).
+        std::deque<DynInstPtr> lq;
+        std::deque<SqEntry> sq;
+        unsigned lqQuota = 0;
+        unsigned sqQuota = 0;
+
+        // Commit.
+        std::uint64_t committed = 0;
+        std::uint64_t target = 0;
+        std::uint64_t measureSkip = 0;  ///< warm-up instructions
+        Cycle startCycle = 0;
+        Cycle finishCycle = 0;
+        bool done = false;
+        bool halted = false;
+
+        // Trailing-thread committed-stream divergence check.
+        bool haveExpectedPc = false;
+        Addr expectedPc = 0;
+
+        // Interrupts.
+        struct PendingInterrupt
+        {
+            Cycle when;
+            Addr vector;
+        };
+        std::deque<PendingInterrupt> pendingInterrupts;
+        Addr intReturnPc = 0;       ///< captured at interrupt entry
+        Addr nextCommitPc = 0;      ///< resume point at any boundary
+
+        // Reference model (co-simulation).
+        std::unique_ptr<DataMemory> refMem;
+        std::unique_ptr<ArchState> ref;
+
+        // Per-thread stats.
+        std::unique_ptr<Average> storeLifetime;
+        std::unique_ptr<Counter> statCommitted;
+    };
+
+    /** Scheduled pipeline event kinds. */
+    enum class EvKind : std::uint8_t
+    {
+        Compute,        ///< value computed and bypassed (wakeup time)
+        ExecDone,       ///< pipeline completion / control resolution
+        MemAgen,        ///< load/store address generation
+        StoreData,      ///< store data arrives at the store queue
+        LoadDone,       ///< load value available
+    };
+
+    struct Event
+    {
+        EvKind kind;
+        DynInstPtr inst;
+        std::uint64_t payload = 0;  ///< LoadDone: the value
+    };
+
+    // ------------------------------------------------- stage functions
+    void fetch();                           // ibox.cc
+    void fetchLeadingChunks(ThreadId tid);  // ibox.cc
+    void fetchTrailingLpq(ThreadId tid);    // ibox.cc
+    void fetchTrailingBoq(ThreadId tid);    // ibox.cc
+    ThreadId chooseFetchThread();           // ibox.cc
+    bool canFetch(ThreadId tid) const;      // ibox.cc
+    bool trailingSlackGated(const ThreadState &t) const;    // ibox.cc
+
+    void renameDispatch();                  // pbox.cc
+    bool dispatchOne(ThreadId tid, DynInstPtr &inst, unsigned slot);
+    unsigned iqFreeFor(ThreadId tid) const; // pbox.cc
+    bool lsqSpaceFor(ThreadId tid, bool load) const;    // pbox.cc
+    unsigned robFreeFor(ThreadId tid) const;    // pbox.cc
+    bool physRegsAvailable(ThreadId tid) const;
+
+    void issue();                           // qbox.cc
+    bool operandsReady(const DynInstPtr &inst) const;
+    bool memDepSatisfied(const DynInstPtr &inst) const;
+
+    void processEvents();                   // ebox.cc
+    void computeInst(const DynInstPtr &inst);       // ebox.cc
+    void completeInst(const DynInstPtr &inst);      // ebox.cc
+    void resolveControl(const DynInstPtr &inst);    // ebox.cc
+
+    void memAgen(const DynInstPtr &inst);   // mbox.cc
+    void loadAgen(const DynInstPtr &inst);  // mbox.cc
+    void trailingLoadAgen(const DynInstPtr &inst);  // mbox.cc
+    void storeAgen(const DynInstPtr &inst); // mbox.cc
+    void storeDataArrive(const DynInstPtr &inst);   // mbox.cc
+    void finishLoad(const DynInstPtr &inst, std::uint64_t value);
+    void retryWaitingLoads();               // mbox.cc
+    void releaseStores();                   // mbox.cc
+    void verifyLeadingStores();             // mbox.cc
+    void drainMergeBuffer();                // mbox.cc
+    void checkOrderViolation(const DynInstPtr &store);  // mbox.cc
+
+    void commit();                          // qbox.cc
+    bool commitOne(ThreadId tid);           // qbox.cc
+    bool commitUncached(ThreadState &t, const DynInstPtr &inst); // mbox.cc
+    bool maybeTakeInterrupt(ThreadId tid);  // qbox.cc
+    void verifyUncachedStores();            // mbox.cc
+
+    /** @return the oldest squashed control instruction (for predictor
+     *  state recovery), or nullptr. */
+    DynInstPtr squashThread(ThreadId tid, InstSeq last_good_seq,
+                            Addr restart_pc,
+                            const char *reason);  // qbox.cc
+    /** Flush speculative in-flight state.  @p drop_retired_stores also
+     *  discards retired-unverified SQ entries (recovery rollback only:
+     *  an interrupt must let committed stores finish verification). */
+    void flushAllInflight(ThreadId tid,
+                          bool drop_retired_stores = false);  // qbox.cc
+
+    // ------------------------------------------------------- utilities
+    void schedule(Cycle when, EvKind kind, const DynInstPtr &inst,
+                  std::uint64_t payload = 0);
+    std::uint64_t readPhys(PhysRegIndex idx) const;
+    void writePhys(PhysRegIndex idx, std::uint64_t value);
+    PhysRegIndex allocPhysReg();
+    void freePhysReg(PhysRegIndex idx);
+    Addr physMemAddr(const ThreadState &t, Addr vaddr) const
+    {
+        return physAddr(t.logical, vaddr);
+    }
+    bool usesLoadQueue(const ThreadState &t) const
+    {
+        return t.role != Role::Trailing;
+    }
+    void computeQueueQuotas();
+    unsigned fuPoolSize(FuClass cls) const;
+    std::uint8_t pickHalf(const DynInstPtr &inst, unsigned slot);
+    void noteCommitProgress() { lastCommitCycle = now; }
+    void checkDeadlock();
+
+    // ----------------------------------------------------------- state
+    SmtParams _params;
+    MemSystem &memSystem;
+    CoreId core;
+    Cycle now = 0;
+
+    std::vector<ThreadState> threads;
+
+    // Physical register file.
+    std::vector<std::uint64_t> physRegs;
+    std::vector<Cycle> readyAt;             ///< notReady = infinity
+    std::vector<PhysRegIndex> freeList;
+    std::vector<unsigned> physInUse;        ///< per-thread allocation count
+    static constexpr Cycle notReady = ~Cycle{0};
+
+    // Instruction queue: age-ordered, two logical halves.
+    std::vector<DynInstPtr> iq;
+    std::array<unsigned, 2> iqHalfOcc{};
+    std::array<unsigned, 4> iqOccByThread{};
+    unsigned robOccupancy = 0;              ///< shared completion unit
+
+    // Event calendar.
+    std::map<Cycle, std::vector<Event>> calendar;
+
+    // Loads waiting on SQ/LVQ conditions; retried each cycle.
+    std::vector<DynInstPtr> waitingLoads;
+
+    // Structures.
+    Cache l1i;
+    Cache l1d;
+    MergeBuffer mergeBuf;
+    BranchPredictor bpred;
+    LinePredictor linePred;
+    IndirectPredictor indirect;
+    StoreSets storeSets;
+    std::vector<ReturnAddressStack> ras;
+
+    FaultInjector *faults = nullptr;
+    Device *device = nullptr;
+
+    // Round-robin pointers.
+    unsigned mapRr = 0;
+    unsigned commitRr = 0;
+    unsigned fetchRr = 0;
+
+    // Watchdog.
+    Cycle lastCommitCycle = 0;
+
+    // Commit tracing.
+    std::ostream *traceOut = nullptr;
+    std::uint64_t traceBudget = 0;      ///< 0 = unbounded
+    std::uint64_t traceLines = 0;
+    void traceCommit(const ThreadState &t, const DynInstPtr &inst);
+
+    // Per-cycle issue accounting (reset in issue()).
+    std::array<unsigned, 2> issuedThisCycle{};
+    std::array<std::array<std::uint8_t, 4>, 2> fuBusy{};  ///< [half][class]
+
+    // Stats.
+    StatGroup statGroup;
+    Counter statCycles;
+    Counter statFetched;
+    Counter statCommittedTotal;
+    Counter statSquashes;
+    Counter statBranchMispredicts;
+    Counter statLineMispredicts;
+    Counter statMemOrderViolations;
+    Counter statSqFullStalls;
+    Counter statIqFullStalls;
+    Counter statRobFullStalls;
+    Counter statLqFullStalls;
+    Counter statDispatched;
+    Counter statIssued;
+    Counter statLvqFullStalls;
+    Counter statLpqFullStalls;
+    Counter statIcacheMissStalls;
+    Counter statWrongPathInsts;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_CPU_SMT_CPU_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Configuration of one SMT core (paper Table 1) plus the RMT options
+ * layered on top of it (paper Sections 4-6).
+ */
+
+#ifndef RMTSIM_CPU_SMT_PARAMS_HH
+#define RMTSIM_CPU_SMT_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/merge_buffer.hh"
+#include "predictor/branch_predictor.hh"
+#include "predictor/line_predictor.hh"
+#include "predictor/store_sets.hh"
+
+namespace rmt
+{
+
+/** How the trailing thread's front end is driven (Section 4.4 + abl.). */
+enum class TrailingFetchMode : std::uint8_t
+{
+    LinePredictionQueue,    ///< the paper's LPQ: perfect chunk stream
+    BranchOutcomeQueue,     ///< original SRT BOQ: perfect branch outcomes,
+                            ///< line predictor still misfetches
+    SharedLinePredictor,    ///< trailing reuses the leading thread's line
+                            ///< predictor entries (Section 4.4 strawman)
+};
+
+struct SmtParams
+{
+    std::string name = "cpu";
+    unsigned num_threads = 4;       ///< hardware thread contexts
+
+    // ------------------------------------------------------------ IBOX
+    unsigned fetch_chunks_per_cycle = 2;    ///< 2 x 8-instruction chunks
+    unsigned ibox_latency = 4;
+    unsigned rmb_chunks = 4;                ///< rate-matching buffer depth
+    unsigned line_mispredict_penalty = 3;   ///< address-driver restart
+    unsigned branch_mispredict_extra = 0;   ///< added to natural refill
+
+    // ------------------------------------------------------------ PBOX
+    unsigned map_width = 8;                 ///< one chunk per cycle
+    unsigned pbox_latency = 2;
+
+    // ------------------------------------------------------------ QBOX
+    unsigned iq_entries = 128;              ///< two 64-entry halves
+    unsigned issue_width = 8;               ///< 4 per half
+    unsigned issue_per_half = 4;
+    unsigned qbox_front_latency = 2;        ///< dispatch -> issuable
+    unsigned qbox_back_latency = 2;         ///< issue -> regread
+    unsigned iq_reserved_per_thread = 8;    ///< deadlock avoidance (4.3)
+    unsigned rob_entries = 256;             ///< completion-unit window,
+                                            ///< shared by all contexts
+    unsigned rob_reserved_per_thread = 16;  ///< deadlock avoidance (4.3)
+
+    // ------------------------------------------------------------ RBOX
+    unsigned rbox_latency = 4;
+    unsigned phys_regs = 512;
+    unsigned regs_reserved_per_thread = 12; ///< deadlock avoidance (4.3)
+
+    // ------------------------------------------- EBOX / FBOX (per half)
+    unsigned int_units_per_half = 4;        ///< 8 integer units total
+    unsigned logic_units_per_half = 4;      ///< 8 logic units total
+    unsigned mem_units_per_half = 2;        ///< 4 memory units total
+    unsigned fp_units_per_half = 2;         ///< 4 fp units total
+
+    // ------------------------------------------------------------ MBOX
+    unsigned load_queue_entries = 64;
+    unsigned store_queue_entries = 64;
+    bool per_thread_store_queues = false;   ///< Section 4.2 optimisation
+    /** The paper partitions the LQ/SQ statically among threads
+     *  (Section 3.4).  Dynamic partitioning shares each pool with only
+     *  a small per-thread reservation — an ablation for how much of
+     *  the multithreaded results the static split is responsible for. */
+    bool dynamic_lsq_partition = false;
+    unsigned lsq_reserved_per_thread = 4;
+    unsigned mbox_latency = 2;              ///< D-cache hit access time
+    unsigned max_loads_per_cycle = 3;
+    unsigned max_stores_per_cycle = 2;
+    unsigned store_data_delay = 2;          ///< data trails address (3.4)
+    unsigned store_checker_penalty = 0;     ///< lockstep: store release path
+
+    CacheParams icache{"l1i", 64 * 1024, 2, 64};
+    CacheParams dcache{"l1d", 64 * 1024, 2, 64};
+    MergeBufferParams merge_buffer{};
+
+    // ------------------------------------------------------- predictors
+    BranchPredictorParams bpred{};
+    LinePredictorParams linepred{};
+    StoreSetsParams store_sets{};
+    unsigned ras_entries = 16;
+
+    // ------------------------------------------------------------- SRT
+    unsigned lvq_entries = 64;              ///< sized like the SQ (4.1)
+    unsigned lpq_entries = 32;              ///< chunk-granular
+    unsigned lpq_forward_latency = 4;       ///< QBOX -> IBOX (6.3)
+    unsigned lvq_forward_latency = 2;       ///< QBOX -> MBOX (6.3)
+    unsigned cross_core_latency = 4;        ///< CRT extra forwarding (6.3)
+    bool preferential_space_redundancy = true;  ///< Section 4.5
+    bool lvq_ecc = true;                    ///< LVQ protected by ECC (2.1)
+    unsigned slack_fetch = 0;               ///< 0 = disabled (subsumed by
+                                            ///< the LPQ, Section 4.4)
+    bool srt_store_comparison = true;       ///< false = "SRT + nosc"
+                                            ///< ablation (Fig. 6): leading
+                                            ///< stores release unverified
+    TrailingFetchMode trailing_fetch = TrailingFetchMode::LinePredictionQueue;
+
+    // ------------------------------------------------------------ misc
+    bool cosim = false;             ///< architectural co-simulation check
+    std::uint64_t deadlock_cycles = 50000;  ///< watchdog: no-commit window
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_CPU_SMT_PARAMS_HH

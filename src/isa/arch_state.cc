@@ -1,0 +1,101 @@
+#include "isa/arch_state.hh"
+
+namespace rmt
+{
+
+ArchState::ArchState(const Program &program, DataMemory &memory)
+    : _program(program), _memory(memory), _pc(program.entry())
+{
+}
+
+StepResult
+ArchState::step()
+{
+    StepResult res;
+    res.pc = _pc;
+    if (_halted) {
+        res.next_pc = _pc;
+        res.halted = true;
+        return res;
+    }
+
+    const StaticInst &si = _program.fetch(_pc);
+
+    if (si.isHalt()) {
+        _halted = true;
+        res.halted = true;
+        res.next_pc = _pc;
+        ++_insts;
+        return res;
+    }
+
+    Addr next_pc = _pc + instBytes;
+
+    if (si.isUncached()) {
+        // Reference semantics for uncached ops: act on the data image
+        // (a pseudo-device).  The real device is volatile, so the
+        // co-simulating core reconciles the actual value afterwards.
+        const Addr ea = effectiveAddr(si, readReg(si.ra));
+        if (si.isUncachedLoad()) {
+            const std::uint64_t v = _memory.read(ea, 8);
+            writeReg(si.rd, v);
+            res.rd = si.rd;
+            res.value = v;
+        } else {
+            const std::uint64_t v = readReg(si.rb);
+            _memory.write(ea, 8, v);
+            res.is_store = true;
+            res.store_addr = ea;
+            res.store_data = v;
+            res.store_size = 8;
+        }
+    } else if (si.isLoad()) {
+        const Addr ea = effectiveAddr(si, readReg(si.ra));
+        const std::uint64_t v = _memory.read(ea, si.memSize());
+        writeReg(si.rd, v);
+        res.rd = si.rd;
+        res.value = v;
+    } else if (si.isStore()) {
+        const Addr ea = effectiveAddr(si, readReg(si.ra));
+        const unsigned size = si.memSize();
+        // Report the bytes actually stored (sub-quadword stores
+        // truncate), so downstream comparisons are well-defined.
+        const std::uint64_t v =
+            size >= 8 ? readReg(si.rb)
+                      : readReg(si.rb) &
+                            ((std::uint64_t{1} << (8 * size)) - 1);
+        _memory.write(ea, size, v);
+        res.is_store = true;
+        res.store_addr = ea;
+        res.store_data = v;
+        res.store_size = size;
+    } else {
+        const AluResult alu =
+            evalOp(si, _pc, readReg(si.ra), readReg(si.rb));
+        if (si.rd != noReg) {
+            writeReg(si.rd, alu.value);
+            res.rd = si.rd;
+            res.value = alu.value;
+        }
+        if (alu.taken)
+            next_pc = alu.target;
+    }
+
+    _pc = next_pc;
+    res.next_pc = next_pc;
+    ++_insts;
+    return res;
+}
+
+std::uint64_t
+ArchState::run(std::uint64_t max_insts)
+{
+    std::uint64_t n = 0;
+    while (n < max_insts && !_halted) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace rmt

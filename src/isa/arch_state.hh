@@ -1,0 +1,81 @@
+/**
+ * @file
+ * In-order architectural reference model.
+ *
+ * Executes one instruction per step() against a Program and DataMemory.
+ * Used three ways: as the golden model in unit tests, as the co-simulation
+ * checker behind the out-of-order core's commit stage, and to fast-forward
+ * workloads past their initialisation phase.
+ */
+
+#ifndef RMTSIM_ISA_ARCH_STATE_HH
+#define RMTSIM_ISA_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace rmt
+{
+
+/** What one architectural step did (for cosim comparison). */
+struct StepResult
+{
+    Addr pc = 0;                ///< pc of the executed instruction
+    Addr next_pc = 0;           ///< pc after the instruction
+    RegIndex rd = noReg;        ///< destination register, if any
+    std::uint64_t value = 0;    ///< value written to rd
+    bool is_store = false;
+    Addr store_addr = 0;
+    std::uint64_t store_data = 0;
+    unsigned store_size = 0;
+    bool halted = false;
+};
+
+class ArchState
+{
+  public:
+    ArchState(const Program &program, DataMemory &memory);
+
+    /** Execute one instruction; no-op once halted. */
+    StepResult step();
+
+    /** Run at most @p max_insts instructions or until halt;
+     *  @return instructions actually executed. */
+    std::uint64_t run(std::uint64_t max_insts);
+
+    bool halted() const { return _halted; }
+    Addr pc() const { return _pc; }
+    void setPc(Addr pc) { _pc = pc; }
+
+    std::uint64_t
+    readReg(RegIndex r) const
+    {
+        return r == noReg || r == 0 ? 0 : regs[r];
+    }
+
+    void
+    writeReg(RegIndex r, std::uint64_t v)
+    {
+        if (r != noReg && r != 0)
+            regs[r] = v;
+    }
+
+    std::uint64_t instsExecuted() const { return _insts; }
+
+    const Program &program() const { return _program; }
+    DataMemory &memory() { return _memory; }
+
+  private:
+    const Program &_program;
+    DataMemory &_memory;
+    std::array<std::uint64_t, numArchRegs> regs{};
+    Addr _pc;
+    bool _halted = false;
+    std::uint64_t _insts = 0;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_ISA_ARCH_STATE_HH

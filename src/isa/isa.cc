@@ -1,0 +1,275 @@
+#include "isa/isa.hh"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+namespace
+{
+
+double
+asDouble(std::uint64_t v)
+{
+    return std::bit_cast<double>(v);
+}
+
+std::uint64_t
+asBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+unsigned
+StaticInst::memSize() const
+{
+    switch (op) {
+      case Op::Ldb: case Op::Stb: return 1;
+      case Op::Ldh: case Op::Sth: return 2;
+      case Op::Ldw: case Op::Stw: return 4;
+      case Op::Ldq: case Op::Stq: case Op::Fld: case Op::Fst:
+      case Op::LdUnc: case Op::StUnc: return 8;
+      default: return 0;
+    }
+}
+
+FuClass
+StaticInst::fuClass() const
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Halt:
+      case Op::Iret:
+        return FuClass::None;
+      case Op::And: case Op::Or: case Op::Xor:
+      case Op::AndI: case Op::OrI: case Op::XorI:
+      case Op::Sll: case Op::Srl: case Op::Sra:
+      case Op::SllI: case Op::SrlI:
+        return FuClass::Logic;
+      case Op::Fadd: case Op::Fsub: case Op::Fmul: case Op::Fdiv:
+      case Op::Fsqrt: case Op::Fneg: case Op::Fcmplt: case Op::Fcmpeq:
+      case Op::CvtIF: case Op::CvtFI:
+        return FuClass::Fp;
+      default:
+        if (isMemRef() || isMemBar() || isUncached())
+            return FuClass::Mem;
+        return FuClass::IntAlu;
+    }
+}
+
+unsigned
+StaticInst::latency() const
+{
+    switch (op) {
+      case Op::Mul: case Op::MulI: return 7;
+      case Op::Div: return 12;
+      case Op::Fadd: case Op::Fsub: case Op::Fneg:
+      case Op::Fcmplt: case Op::Fcmpeq:
+      case Op::CvtIF: case Op::CvtFI: return 4;
+      case Op::Fmul: return 4;
+      case Op::Fdiv: return 12;
+      case Op::Fsqrt: return 16;
+      default: return 1;
+    }
+}
+
+AluResult
+evalOp(const StaticInst &si, Addr pc, std::uint64_t a, std::uint64_t b)
+{
+    AluResult r;
+    const auto sa = static_cast<std::int64_t>(a);
+    const auto sb = static_cast<std::int64_t>(b);
+    const auto imm = si.imm;
+    const Addr next_pc = pc + instBytes;
+
+    switch (si.op) {
+      case Op::Nop:
+      case Op::Halt:
+      case Op::MemBar:
+      case Op::Iret:      // redirect handled at the commit stage
+        break;
+
+      case Op::Add:   r.value = a + b; break;
+      case Op::Sub:   r.value = a - b; break;
+      case Op::Mul:   r.value = a * b; break;
+      case Op::Div:   r.value = sb ? static_cast<std::uint64_t>(sa / sb)
+                                   : ~std::uint64_t{0}; break;
+      case Op::AddI:  r.value = a + static_cast<std::uint64_t>(imm); break;
+      case Op::MulI:  r.value = a * static_cast<std::uint64_t>(imm); break;
+      case Op::Slt:   r.value = sa < sb; break;
+      case Op::Sltu:  r.value = a < b; break;
+      case Op::SltI:  r.value = sa < imm; break;
+      case Op::Cmpeq: r.value = a == b; break;
+
+      case Op::And:   r.value = a & b; break;
+      case Op::Or:    r.value = a | b; break;
+      case Op::Xor:   r.value = a ^ b; break;
+      case Op::AndI:  r.value = a & static_cast<std::uint64_t>(imm); break;
+      case Op::OrI:   r.value = a | static_cast<std::uint64_t>(imm); break;
+      case Op::XorI:  r.value = a ^ static_cast<std::uint64_t>(imm); break;
+      case Op::Sll:   r.value = a << (b & 63); break;
+      case Op::Srl:   r.value = a >> (b & 63); break;
+      case Op::Sra:   r.value = static_cast<std::uint64_t>(sa >> (b & 63));
+                      break;
+      case Op::SllI:  r.value = a << (imm & 63); break;
+      case Op::SrlI:  r.value = a >> (imm & 63); break;
+
+      case Op::Beq:
+        r.taken = (a == b);
+        r.target = next_pc + static_cast<std::uint64_t>(imm);
+        break;
+      case Op::Bne:
+        r.taken = (a != b);
+        r.target = next_pc + static_cast<std::uint64_t>(imm);
+        break;
+      case Op::Blt:
+        r.taken = (sa < sb);
+        r.target = next_pc + static_cast<std::uint64_t>(imm);
+        break;
+      case Op::Bge:
+        r.taken = (sa >= sb);
+        r.target = next_pc + static_cast<std::uint64_t>(imm);
+        break;
+      case Op::Br:
+        r.taken = true;
+        r.target = next_pc + static_cast<std::uint64_t>(imm);
+        break;
+      case Op::Jmp:
+      case Op::Ret:
+        r.taken = true;
+        r.target = a & ~Addr{3};
+        break;
+      case Op::Call:
+        r.taken = true;
+        r.target = next_pc + static_cast<std::uint64_t>(imm);
+        r.value = next_pc;
+        break;
+      case Op::CallR:
+        r.taken = true;
+        r.target = a & ~Addr{3};
+        r.value = next_pc;
+        break;
+
+      case Op::Fadd:  r.value = asBits(asDouble(a) + asDouble(b)); break;
+      case Op::Fsub:  r.value = asBits(asDouble(a) - asDouble(b)); break;
+      case Op::Fmul:  r.value = asBits(asDouble(a) * asDouble(b)); break;
+      case Op::Fdiv:  r.value = asBits(asDouble(a) / asDouble(b)); break;
+      case Op::Fsqrt: r.value = asBits(std::sqrt(std::fabs(asDouble(a))));
+                      break;
+      case Op::Fneg:  r.value = asBits(-asDouble(a)); break;
+      case Op::Fcmplt: r.value = asDouble(a) < asDouble(b); break;
+      case Op::Fcmpeq: r.value = asDouble(a) == asDouble(b); break;
+      case Op::CvtIF: r.value = asBits(static_cast<double>(sa)); break;
+      case Op::CvtFI:
+        r.value = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(asDouble(a)));
+        break;
+
+      case Op::Ldb: case Op::Ldh: case Op::Ldw: case Op::Ldq:
+      case Op::Stb: case Op::Sth: case Op::Stw: case Op::Stq:
+      case Op::Fld: case Op::Fst:
+        panic("evalOp called on memory instruction %s",
+              opName(si.op));
+
+      default:
+        panic("evalOp: unknown opcode %d", static_cast<int>(si.op));
+    }
+    return r;
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Halt: return "halt";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::AddI: return "addi";
+      case Op::MulI: return "muli";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::SltI: return "slti";
+      case Op::Cmpeq: return "cmpeq";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::AndI: return "andi";
+      case Op::OrI: return "ori";
+      case Op::XorI: return "xori";
+      case Op::Sll: return "sll";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::SllI: return "slli";
+      case Op::SrlI: return "srli";
+      case Op::Ldb: return "ldb";
+      case Op::Ldh: return "ldh";
+      case Op::Ldw: return "ldw";
+      case Op::Ldq: return "ldq";
+      case Op::Stb: return "stb";
+      case Op::Sth: return "sth";
+      case Op::Stw: return "stw";
+      case Op::Stq: return "stq";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Br: return "br";
+      case Op::Jmp: return "jmp";
+      case Op::Call: return "call";
+      case Op::CallR: return "callr";
+      case Op::Ret: return "ret";
+      case Op::MemBar: return "membar";
+      case Op::LdUnc: return "ldunc";
+      case Op::StUnc: return "stunc";
+      case Op::Iret: return "iret";
+      case Op::Fadd: return "fadd";
+      case Op::Fsub: return "fsub";
+      case Op::Fmul: return "fmul";
+      case Op::Fdiv: return "fdiv";
+      case Op::Fsqrt: return "fsqrt";
+      case Op::Fneg: return "fneg";
+      case Op::Fcmplt: return "fcmplt";
+      case Op::Fcmpeq: return "fcmpeq";
+      case Op::CvtIF: return "cvtif";
+      case Op::CvtFI: return "cvtfi";
+      case Op::Fld: return "fld";
+      case Op::Fst: return "fst";
+      default: return "???";
+    }
+}
+
+std::string
+StaticInst::disassemble() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    auto reg_name = [](RegIndex r) -> std::string {
+        if (r == noReg)
+            return "-";
+        if (r < numIntArchRegs)
+            return "r" + std::to_string(r);
+        return "f" + std::to_string(r - numIntArchRegs);
+    };
+    if (rd != noReg)
+        os << ' ' << reg_name(rd);
+    if (ra != noReg)
+        os << ' ' << reg_name(ra);
+    if (rb != noReg)
+        os << ' ' << reg_name(rb);
+    if (imm != 0 || isMemRef() || isCondBranch() || op == Op::Br ||
+        op == Op::Call) {
+        os << " #" << imm;
+    }
+    return os.str();
+}
+
+} // namespace rmt

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The rmtsim instruction set.
+ *
+ * A compact 64-bit RISC ISA standing in for the paper's Alpha: 32 integer
+ * + 32 floating-point architectural registers per thread, 4-byte
+ * instructions, loads/stores of 1/2/4/8 bytes, conditional branches,
+ * direct and indirect jumps, call/ret, and a memory barrier.  Integer
+ * register 0 is hardwired to zero.
+ *
+ * Functional semantics live in evalOp()/effectiveAddr() so the in-order
+ * reference model (ArchState) and the out-of-order core share one
+ * implementation.
+ */
+
+#ifndef RMTSIM_ISA_ISA_HH
+#define RMTSIM_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace rmt
+{
+
+/** Opcodes. */
+enum class Op : std::uint8_t
+{
+    Nop,
+    Halt,
+
+    // Integer arithmetic (register-register unless suffixed I).
+    Add, Sub, Mul, Div, AddI, MulI,
+    Slt, Sltu, SltI, Cmpeq,
+
+    // Logic and shifts.
+    And, Or, Xor, AndI, OrI, XorI, Sll, Srl, Sra, SllI, SrlI,
+
+    // Loads and stores (sign = unsigned; sizes 1/2/4/8 bytes).
+    Ldb, Ldh, Ldw, Ldq,
+    Stb, Sth, Stw, Stq,
+
+    // Control flow.
+    Beq, Bne, Blt, Bge,     // conditional, pc-relative
+    Br,                     // unconditional, pc-relative
+    Jmp,                    // indirect through ra
+    Call,                   // pc-relative, writes return address to rd
+    CallR,                  // indirect call through ra, link in rd
+    Ret,                    // indirect through ra (return-address-stack hint)
+
+    // Memory barrier: retires only once the store queue has drained.
+    MemBar,
+
+    // Uncached (device) accesses: non-speculative, performed in order
+    // at the head of the machine; 8 bytes.  The paper defers their
+    // replication/comparison mechanisms; we implement them (Sec. 2.1-2.2).
+    LdUnc, StUnc,
+
+    // Return from interrupt: serializing; redirects fetch to the
+    // interrupt return pc captured at interrupt entry.
+    Iret,
+
+    // Floating point (operands are IEEE-754 doubles in fp registers).
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fneg,
+    Fcmplt, Fcmpeq,         // fp compare, integer 0/1 result in rd
+    CvtIF, CvtFI,           // int<->fp conversion
+    Fld, Fst,               // 8-byte fp load/store
+
+    NumOps
+};
+
+/** Functional-unit classes (paper Table 1: 8 int, 8 logic, 4 mem, 4 fp). */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,     // integer add/sub/mul/div/compare/branch
+    Logic,      // and/or/xor/shift
+    Mem,        // loads, stores, memory barriers
+    Fp,         // floating point
+    None        // nop/halt consume no functional unit
+};
+
+/** Register-name helpers.  Integer regs are 0..31, fp regs 32..63. */
+constexpr RegIndex noReg = 255;
+constexpr RegIndex
+intReg(unsigned n)
+{
+    return static_cast<RegIndex>(n);
+}
+constexpr RegIndex
+fpReg(unsigned n)
+{
+    return static_cast<RegIndex>(numIntArchRegs + n);
+}
+/** Conventional link register (integer r31). */
+constexpr RegIndex linkReg = intReg(31);
+/** Conventional stack pointer (integer r30). */
+constexpr RegIndex spReg = intReg(30);
+
+/**
+ * A decoded static instruction.  Programs are stored pre-decoded; the
+ * "encoding" is this struct, and instruction memory is addressed at
+ * 4-byte granularity.
+ */
+struct StaticInst
+{
+    Op op = Op::Nop;
+    RegIndex rd = noReg;    ///< destination register (noReg if none)
+    RegIndex ra = noReg;    ///< first source
+    RegIndex rb = noReg;    ///< second source (stores: data register)
+    std::int64_t imm = 0;   ///< immediate / byte displacement
+
+    bool isNop() const { return op == Op::Nop; }
+    bool isHalt() const { return op == Op::Halt; }
+
+    bool
+    isLoad() const
+    {
+        return op == Op::Ldb || op == Op::Ldh || op == Op::Ldw ||
+               op == Op::Ldq || op == Op::Fld;
+    }
+
+    bool
+    isStore() const
+    {
+        return op == Op::Stb || op == Op::Sth || op == Op::Stw ||
+               op == Op::Stq || op == Op::Fst;
+    }
+
+    bool isMemBar() const { return op == Op::MemBar; }
+    bool isMemRef() const { return isLoad() || isStore(); }
+
+    /** Uncached (device) access: bypasses caches and the LSQ, performs
+     *  non-speculatively at the head of the machine. */
+    bool isUncached() const { return op == Op::LdUnc || op == Op::StUnc; }
+    bool isUncachedLoad() const { return op == Op::LdUnc; }
+    bool isUncachedStore() const { return op == Op::StUnc; }
+    bool isIret() const { return op == Op::Iret; }
+
+    bool
+    isCondBranch() const
+    {
+        return op == Op::Beq || op == Op::Bne || op == Op::Blt ||
+               op == Op::Bge;
+    }
+
+    bool isCall() const { return op == Op::Call || op == Op::CallR; }
+    bool isRet() const { return op == Op::Ret; }
+
+    bool
+    isIndirect() const
+    {
+        return op == Op::Jmp || op == Op::CallR || op == Op::Ret;
+    }
+
+    bool
+    isControl() const
+    {
+        return isCondBranch() || op == Op::Br || isIndirect() || isCall();
+    }
+
+    /** Bytes moved by a memory reference (0 for non-memory ops). */
+    unsigned memSize() const;
+
+    /** Functional-unit class this instruction issues to. */
+    FuClass fuClass() const;
+
+    /** Execution latency in cycles once issued (memory ops excluded). */
+    unsigned latency() const;
+
+    /** Human-readable disassembly. */
+    std::string disassemble() const;
+};
+
+/** Result of evaluating a non-memory instruction. */
+struct AluResult
+{
+    std::uint64_t value = 0;    ///< value written to rd (if any)
+    bool taken = false;         ///< control flow: branch taken?
+    Addr target = 0;            ///< control flow: target when taken
+};
+
+/**
+ * Evaluate the functional semantics of a non-memory instruction.
+ *
+ * @param si the instruction
+ * @param pc its address
+ * @param a  value of source ra (0 if unused)
+ * @param b  value of source rb (0 if unused)
+ */
+AluResult evalOp(const StaticInst &si, Addr pc, std::uint64_t a,
+                 std::uint64_t b);
+
+/** Effective address of a memory reference: ra + imm. */
+constexpr Addr
+effectiveAddr(const StaticInst &si, std::uint64_t a)
+{
+    return static_cast<Addr>(a + static_cast<std::uint64_t>(si.imm));
+}
+
+/** Name of an opcode, for disassembly and stats. */
+const char *opName(Op op);
+
+} // namespace rmt
+
+#endif // RMTSIM_ISA_ISA_HH

@@ -1,0 +1,58 @@
+#include "isa/program.hh"
+
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    auto [it, inserted] = labels.emplace(name, insts.size());
+    if (!inserted)
+        fatal("ProgramBuilder(%s): duplicate label '%s'", _name.c_str(),
+              name.c_str());
+    (void)it;
+    return *this;
+}
+
+Addr
+ProgramBuilder::here() const
+{
+    return Program::textBase + insts.size() * instBytes;
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Op op, RegIndex rd, RegIndex ra, RegIndex rb,
+                     std::int64_t imm)
+{
+    insts.push_back(StaticInst{op, rd, ra, rb, imm});
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Op op, RegIndex rd, RegIndex ra, RegIndex rb,
+                           const std::string &lbl)
+{
+    fixups.push_back(Fixup{insts.size(), lbl});
+    return emit(op, rd, ra, rb, 0);
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &fixup : fixups) {
+        auto it = labels.find(fixup.label);
+        if (it == labels.end())
+            fatal("ProgramBuilder(%s): undefined label '%s'", _name.c_str(),
+                  fixup.label.c_str());
+        // Displacement is relative to the instruction after the branch.
+        const auto target = static_cast<std::int64_t>(it->second);
+        const auto after = static_cast<std::int64_t>(fixup.index + 1);
+        insts[fixup.index].imm = (target - after) * instBytes;
+    }
+    fixups.clear();
+    return Program(insts, _name);
+}
+
+} // namespace rmt

@@ -1,0 +1,126 @@
+#include "mem/cache.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+Cache::Cache(const CacheParams &params)
+    : blockBytes(params.block_bytes),
+      assocWays(params.assoc),
+      statGroup(params.name),
+      statHits(statGroup, "hits", "demand hits"),
+      statMisses(statGroup, "misses", "demand misses"),
+      statFills(statGroup, "fills", "blocks installed"),
+      statEvictions(statGroup, "evictions", "valid blocks evicted")
+{
+    if (!isPowerOf2(blockBytes))
+        fatal("cache %s: block size %u not a power of two",
+              params.name.c_str(), blockBytes);
+    if (params.size_bytes % (blockBytes * assocWays) != 0)
+        fatal("cache %s: size not divisible by way size",
+              params.name.c_str());
+    numSets = params.size_bytes / (blockBytes * assocWays);
+    if (numSets == 0)
+        fatal("cache %s: zero sets", params.name.c_str());
+    lines.resize(numSets * assocWays);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    // Modulo indexing: set counts need not be powers of two (the
+    // paper's 3 MB 8-way L2 has 6144 sets).
+    return (addr / blockBytes) % numSets;
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / blockBytes / numSets;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * assocWays;
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assocWays; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++stamp;
+            ++statHits;
+            return true;
+        }
+    }
+    ++statMisses;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t base = setIndex(addr) * assocWays;
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assocWays; ++w) {
+        const Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * assocWays;
+    const Addr tag = tagOf(addr);
+
+    // Already present (e.g. two outstanding misses merged): refresh LRU.
+    for (unsigned w = 0; w < assocWays; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag) {
+            line.lru = ++stamp;
+            return;
+        }
+    }
+
+    Line *victim = &lines[base];
+    for (unsigned w = 0; w < assocWays; ++w) {
+        Line &line = lines[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    if (victim->valid)
+        ++statEvictions;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++stamp;
+    ++statFills;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * assocWays;
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assocWays; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            line.valid = false;
+    }
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &line : lines)
+        line.valid = false;
+}
+
+} // namespace rmt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Set-associative cache tag model with true-LRU replacement.
+ *
+ * Data values never live here: rmtsim moves values through the
+ * per-logical-thread DataMemory functionally, so caches model timing and
+ * occupancy only (tags, LRU state, hit/miss statistics).
+ */
+
+#ifndef RMTSIM_MEM_CACHE_HH
+#define RMTSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t size_bytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned block_bytes = 64;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Address of the block containing @p addr. */
+    Addr blockAlign(Addr addr) const { return addr & ~Addr(blockBytes - 1); }
+
+    unsigned blockSize() const { return blockBytes; }
+
+    /**
+     * Look up @p addr; on a hit update LRU and return true.  Does not
+     * allocate on miss (fills are explicit so the hierarchy can model
+     * miss latency before installing the block).
+     */
+    bool access(Addr addr);
+
+    /** Tag check with no LRU update (used by probes / way prediction). */
+    bool probe(Addr addr) const;
+
+    /** Install the block containing @p addr, evicting LRU if needed. */
+    void fill(Addr addr);
+
+    /** Invalidate the block containing @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** Drop all blocks (used between measurement phases). */
+    void flushAll();
+
+    std::uint64_t hits() const { return statHits.value(); }
+    std::uint64_t misses() const { return statMisses.value(); }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;  ///< last-touched stamp; larger = newer
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    unsigned blockBytes;
+    unsigned assocWays;
+    std::size_t numSets;
+    std::vector<Line> lines;        ///< numSets * assocWays, set-major
+    std::uint64_t stamp = 0;
+
+    StatGroup statGroup;
+    Counter statHits;
+    Counter statMisses;
+    Counter statFills;
+    Counter statEvictions;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_MEM_CACHE_HH

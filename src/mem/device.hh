@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A memory-mapped device for uncached accesses.
+ *
+ * The device lives outside the sphere of replication.  Its registers
+ * are *volatile*: every read returns a fresh value (a deterministic
+ * function of the address and the read count), which is precisely why
+ * uncached loads cannot simply be executed twice by the redundant
+ * threads — the second read would observe a different value and the
+ * output comparison would flag a phantom fault.  Uncached stores have
+ * side effects, so they must be compared *before* being performed, and
+ * performed exactly once.
+ */
+
+#ifndef RMTSIM_MEM_DEVICE_HH
+#define RMTSIM_MEM_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+struct DeviceParams
+{
+    std::string name = "device";
+    unsigned access_latency = 64;   ///< cycles per uncached access
+    std::uint64_t seed = 0xDEC0DE;
+};
+
+class Device
+{
+  public:
+    explicit Device(const DeviceParams &params)
+        : _params(params),
+          statGroup(params.name),
+          statReads(statGroup, "reads", "uncached reads performed"),
+          statWrites(statGroup, "writes", "uncached writes performed")
+    {
+    }
+
+    unsigned accessLatency() const { return _params.access_latency; }
+
+    /**
+     * Read a device register: volatile, non-idempotent.  The value is a
+     * deterministic hash of (address, read ordinal) so simulations stay
+     * reproducible while successive reads differ.
+     */
+    std::uint64_t
+    read(Addr addr)
+    {
+        ++statReads;
+        std::uint64_t x = addr * 0x9E3779B97F4A7C15ull +
+                          statReads.value() * 0xBF58476D1CE4E5B9ull +
+                          _params.seed;
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+        return x ^ (x >> 31);
+    }
+
+    /** Write a device register (side-effecting: logged exactly once). */
+    void
+    write(Addr addr, std::uint64_t data)
+    {
+        ++statWrites;
+        log.push_back(WriteRecord{addr, data});
+    }
+
+    struct WriteRecord
+    {
+        Addr addr;
+        std::uint64_t data;
+    };
+
+    const std::vector<WriteRecord> &writeLog() const { return log; }
+    std::uint64_t reads() const { return statReads.value(); }
+    std::uint64_t writes() const { return statWrites.value(); }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    DeviceParams _params;
+    std::vector<WriteRecord> log;
+
+    StatGroup statGroup;
+    Counter statReads;
+    Counter statWrites;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_MEM_DEVICE_HH

@@ -1,0 +1,33 @@
+#include "mem/main_memory.hh"
+
+namespace rmt
+{
+
+MainMemory::MainMemory(const MainMemoryParams &params)
+    : latency(params.latency),
+      issueInterval(params.issue_interval),
+      channelFree(params.channels, 0),
+      statGroup(params.name),
+      statRequests(statGroup, "requests", "block reads serviced"),
+      statQueueingCycles(statGroup, "queueing_cycles",
+                         "cycles spent waiting for a free channel")
+{
+}
+
+Cycle
+MainMemory::access(Cycle now)
+{
+    // Earliest-free channel.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < channelFree.size(); ++c) {
+        if (channelFree[c] < channelFree[best])
+            best = c;
+    }
+    const Cycle start = std::max(now, channelFree[best]);
+    channelFree[best] = start + issueInterval;
+    ++statRequests;
+    statQueueingCycles += start - now;
+    return start + latency;
+}
+
+} // namespace rmt

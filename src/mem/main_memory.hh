@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Main-memory latency/bandwidth model (paper: 2 Rambus controllers,
+ * 10 channels).  Fixed access latency plus a simple channel-bandwidth
+ * constraint: each channel can begin one block transfer every
+ * issue_interval cycles; requests pick the earliest-free channel.
+ */
+
+#ifndef RMTSIM_MEM_MAIN_MEMORY_HH
+#define RMTSIM_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+struct MainMemoryParams
+{
+    std::string name = "mem";
+    unsigned latency = 120;         ///< cycles from issue to data return
+    unsigned channels = 10;
+    unsigned issue_interval = 4;    ///< min cycles between issues/channel
+};
+
+class MainMemory
+{
+  public:
+    explicit MainMemory(const MainMemoryParams &params);
+
+    /**
+     * Schedule a block read beginning no earlier than @p now.
+     * @return cycle at which the block is available.
+     */
+    Cycle access(Cycle now);
+
+    StatGroup &stats() { return statGroup; }
+    std::uint64_t requests() const { return statRequests.value(); }
+
+  private:
+    unsigned latency;
+    unsigned issueInterval;
+    std::vector<Cycle> channelFree;     ///< next free cycle per channel
+
+    StatGroup statGroup;
+    Counter statRequests;
+    Counter statQueueingCycles;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,64 @@
+#include "mem/mem_system.hh"
+
+namespace rmt
+{
+
+MemSystem::MemSystem(const MemSystemParams &params)
+    : l2Params(params.l2),
+      _l2(params.l2),
+      _mem(params.mem),
+      l2Latency(params.l2_latency),
+      _checkerPenalty(params.checker_penalty)
+{
+}
+
+Cycle
+MemSystem::access(Cache &l1, Addr addr, Cycle now, bool &hit)
+{
+    const Addr block = l1.blockAlign(addr);
+    auto &l1_pending = pending[&l1];
+
+    // A fill to this block may already be in flight (or have completed
+    // without being installed yet: fills are lazy).
+    auto it = l1_pending.find(block);
+    if (it != l1_pending.end()) {
+        if (now >= it->second.ready) {
+            l1.fill(block);
+            l1_pending.erase(it);
+            hit = true;
+            return now;
+        }
+        hit = false;        // merged into in-flight miss
+        return it->second.ready;
+    }
+
+    if (l1.access(block)) {
+        hit = true;
+        return now;
+    }
+
+    hit = false;
+    Cycle ready = serviceMiss(block, now);
+    ready += _checkerPenalty;   // lockstep: miss request crosses checker
+    l1_pending.emplace(block, Pending{ready});
+    return ready;
+}
+
+Cycle
+MemSystem::serviceMiss(Addr block, Cycle now)
+{
+    if (_l2.access(block))
+        return now + l2Latency;
+
+    const Cycle mem_ready = _mem.access(now + l2Latency);
+    _l2.fill(block);
+    return mem_ready;
+}
+
+void
+MemSystem::writeback(Addr addr)
+{
+    _l2.fill(_l2.blockAlign(addr));
+}
+
+} // namespace rmt

@@ -1,0 +1,60 @@
+#include "mem/merge_buffer.hh"
+
+namespace rmt
+{
+
+MergeBuffer::MergeBuffer(const MergeBufferParams &params)
+    : _params(params),
+      statGroup(params.name),
+      statStores(statGroup, "stores", "stores accepted"),
+      statCoalesced(statGroup, "coalesced",
+                    "stores merged into an existing entry"),
+      statDrains(statGroup, "drains", "entries drained to the cache"),
+      statFullRejects(statGroup, "full_rejects",
+                      "store-release attempts refused because full")
+{
+}
+
+bool
+MergeBuffer::canAccept(Addr addr) const
+{
+    const Addr block = blockAlign(addr);
+    for (const auto &e : entries) {
+        if (e.block == block)
+            return true;
+    }
+    return entries.size() < _params.entries;
+}
+
+void
+MergeBuffer::accept(Addr addr, Cycle now)
+{
+    const Addr block = blockAlign(addr);
+    ++statStores;
+    for (auto &e : entries) {
+        if (e.block == block) {
+            ++statCoalesced;
+            return;
+        }
+    }
+    // New entries must age briefly before draining (write combining).
+    entries.push_back(Entry{block, now + _params.drain_interval});
+}
+
+bool
+MergeBuffer::drain(Cycle now, Addr &drained_addr)
+{
+    if (entries.empty())
+        return false;
+    if (now < entries.front().ready ||
+        now < lastDrain + _params.drain_interval) {
+        return false;
+    }
+    drained_addr = entries.front().block;
+    entries.erase(entries.begin());
+    lastDrain = now;
+    ++statDrains;
+    return true;
+}
+
+} // namespace rmt

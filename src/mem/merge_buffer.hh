@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Coalescing merge buffer (paper Table 1: 16 x 64-byte entries).
+ *
+ * Retired (and, under SRT/CRT, verified) stores land here before
+ * updating the data cache.  Stores to the same 64-byte block coalesce
+ * into one entry; entries drain to the data cache at a fixed rate.  A
+ * full merge buffer back-pressures store release from the store queue,
+ * which is one of the levers behind the paper's store-queue-pressure
+ * results.  Timing-only: functional data moves through DataMemory.
+ */
+
+#ifndef RMTSIM_MEM_MERGE_BUFFER_HH
+#define RMTSIM_MEM_MERGE_BUFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+struct MergeBufferParams
+{
+    std::string name = "mergebuf";
+    unsigned entries = 16;
+    unsigned block_bytes = 64;
+    unsigned drain_interval = 2;    ///< cycles between drains to the cache
+};
+
+class MergeBuffer
+{
+  public:
+    explicit MergeBuffer(const MergeBufferParams &params);
+
+    const MergeBufferParams &params() const { return _params; }
+
+    /** Can a store be accepted this cycle? */
+    bool canAccept(Addr addr) const;
+
+    /** Accept a retired store (must have checked canAccept). */
+    void accept(Addr addr, Cycle now);
+
+    /**
+     * Advance one cycle: possibly drain the oldest entry.
+     * @return block address drained, or no value.
+     */
+    bool drain(Cycle now, Addr &drained_addr);
+
+    std::size_t occupancy() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    /** Record that a store release was refused because the buffer is
+     *  full (called by the MBOX for statistics). */
+    void noteFullReject() { ++statFullRejects; }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    Addr blockAlign(Addr a) const
+    {
+        return a & ~Addr(_params.block_bytes - 1);
+    }
+
+    struct Entry
+    {
+        Addr block;
+        Cycle ready;    ///< earliest drain cycle
+    };
+
+    MergeBufferParams _params;
+    std::vector<Entry> entries;     ///< FIFO, front = oldest
+    Cycle lastDrain = 0;
+
+    StatGroup statGroup;
+    Counter statStores;
+    Counter statCoalesced;
+    Counter statDrains;
+    Counter statFullRejects;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_MEM_MERGE_BUFFER_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Hybrid conditional-branch predictor (paper Table 1: 208 Kbit budget).
+ *
+ * A gshare component (64K 2-bit counters, 16-bit per-thread global
+ * history) and a bimodal component (16K 2-bit counters) arbitrated by a
+ * 16K 2-bit chooser: 128 + 32 + 32 = 192 Kbit of state plus history
+ * registers, matching the paper's budget class.
+ *
+ * History is updated speculatively at predict time; in-flight branches
+ * snapshot the prior history so a squash can restore it exactly.
+ */
+
+#ifndef RMTSIM_PREDICTOR_BRANCH_PREDICTOR_HH
+#define RMTSIM_PREDICTOR_BRANCH_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+struct BranchPredictorParams
+{
+    unsigned gshare_entries = 64 * 1024;
+    unsigned bimodal_entries = 16 * 1024;
+    unsigned chooser_entries = 16 * 1024;
+    unsigned history_bits = 16;
+    unsigned max_threads = 4;
+};
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorParams &params);
+
+    /** Opaque history snapshot for squash recovery. */
+    using HistorySnapshot = std::uint64_t;
+
+    /**
+     * Predict the direction of the conditional branch at @p pc and
+     * speculatively shift the prediction into @p tid's history.
+     */
+    bool predict(ThreadId tid, Addr pc);
+
+    /** Current history (snapshot before predict() for recovery). */
+    HistorySnapshot history(ThreadId tid) const { return histories[tid]; }
+
+    /** Restore history after squashing younger branches. */
+    void restoreHistory(ThreadId tid, HistorySnapshot snap)
+    {
+        histories[tid] = snap;
+    }
+
+    /**
+     * Train with the resolved outcome.  @p snap is the history the
+     * branch predicted with (its pre-prediction snapshot), so training
+     * indexes the same table entries prediction used.
+     */
+    void update(ThreadId tid, Addr pc, bool taken, HistorySnapshot snap);
+
+    /** Correct the speculative history bit after a misprediction. */
+    void
+    fixupHistory(ThreadId tid, HistorySnapshot snap, bool taken)
+    {
+        histories[tid] = ((snap << 1) | (taken ? 1 : 0)) & historyMask;
+    }
+
+    StatGroup &stats() { return statGroup; }
+    std::uint64_t lookups() const { return statLookups.value(); }
+    std::uint64_t mispredicts() const { return statMispredicts.value(); }
+
+    /** Record a resolved misprediction (for statistics). */
+    void noteMispredict() { ++statMispredicts; }
+
+  private:
+    std::size_t gshareIndex(ThreadId tid, Addr pc,
+                            HistorySnapshot hist) const;
+    std::size_t bimodalIndex(ThreadId tid, Addr pc) const;
+    std::size_t chooserIndex(ThreadId tid, Addr pc) const;
+
+    static bool taken(std::uint8_t ctr) { return ctr >= 2; }
+    static void
+    train(std::uint8_t &ctr, bool dir)
+    {
+        if (dir && ctr < 3)
+            ++ctr;
+        else if (!dir && ctr > 0)
+            --ctr;
+    }
+
+    std::vector<std::uint8_t> gshare;
+    std::vector<std::uint8_t> bimodal;
+    std::vector<std::uint8_t> chooser;
+    std::vector<HistorySnapshot> histories;
+    std::uint64_t historyMask;
+
+    StatGroup statGroup;
+    Counter statLookups;
+    Counter statMispredicts;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_PREDICTOR_BRANCH_PREDICTOR_HH

@@ -1,0 +1,69 @@
+#include "predictor/line_predictor.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+LinePredictor::LinePredictor(const LinePredictorParams &params)
+    : table(params.entries),
+      statGroup("linepred"),
+      statLookups(statGroup, "lookups", "chunk predictions made"),
+      statMispredicts(statGroup, "mispredicts",
+                      "line predictions overturned")
+{
+    if (params.entries == 0)
+        fatal("line predictor needs at least one entry");
+}
+
+std::size_t
+LinePredictor::index(ThreadId tid, Addr chunk_addr) const
+{
+    // Chunk-granular pc bits xor a thread offset.  Deliberately untagged:
+    // aliasing is part of the modelled behaviour.
+    // Indexed at fetch-start granularity: chunks may begin mid-frame
+    // at branch targets, and those starts must not alias their frame's
+    // start.  Modulo indexing: the paper's 28K-entry table is not a
+    // power of two.  Deliberately untagged beyond that: cross-address
+    // aliasing is part of the model.
+    const std::uint64_t chunk = chunk_addr / instBytes;
+    return (chunk ^ (std::uint64_t{tid} << 12)) % table.size();
+}
+
+Addr
+LinePredictor::predict(ThreadId tid, Addr chunk_addr)
+{
+    ++statLookups;
+    const Entry &e = table[index(tid, chunk_addr)];
+    if (e.valid)
+        return e.target;
+    return chunk_addr + chunkSize * instBytes;
+}
+
+void
+LinePredictor::train(ThreadId tid, Addr chunk_addr, Addr next_chunk)
+{
+    // Hysteresis: a single deviating outcome (e.g. the rare direction
+    // of a biased branch, or wrong-path pollution) does not displace a
+    // trained target; two in a row do.
+    Entry &e = table[index(tid, chunk_addr)];
+    if (!e.valid) {
+        e.target = next_chunk;
+        e.valid = true;
+        e.hysteresis = false;
+        return;
+    }
+    if (e.target == next_chunk) {
+        e.hysteresis = false;
+        return;
+    }
+    if (!e.hysteresis) {
+        e.hysteresis = true;
+        return;
+    }
+    e.target = next_chunk;
+    e.hysteresis = false;
+}
+
+} // namespace rmt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Line predictor (paper Table 1: 28K entries, two chunks per cycle).
+ *
+ * Our base processor's fetch is line-prediction driven, as in the
+ * Alpha 21264/21464: the line predictor maps the current fetch chunk to
+ * the predicted next chunk address, and the slower branch-path
+ * predictors only verify it (retraining + refetch on disagreement).
+ * The table is untagged, so aliasing between threads and between
+ * branches produces the significant (paper: 14-28%) line-misprediction
+ * rates that motivate the SRT line prediction queue.
+ */
+
+#ifndef RMTSIM_PREDICTOR_LINE_PREDICTOR_HH
+#define RMTSIM_PREDICTOR_LINE_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+struct LinePredictorParams
+{
+    unsigned entries = 28 * 1024;
+};
+
+class LinePredictor
+{
+  public:
+    explicit LinePredictor(const LinePredictorParams &params);
+
+    /**
+     * Predict the chunk that follows the chunk at @p chunk_addr.
+     * Untrained entries fall through to the sequential next chunk.
+     */
+    Addr predict(ThreadId tid, Addr chunk_addr);
+
+    /** Train with the observed next-chunk address. */
+    void train(ThreadId tid, Addr chunk_addr, Addr next_chunk);
+
+    StatGroup &stats() { return statGroup; }
+    std::uint64_t lookups() const { return statLookups.value(); }
+    std::uint64_t mispredicts() const { return statMispredicts.value(); }
+    void noteMispredict() { ++statMispredicts; }
+
+  private:
+    struct Entry
+    {
+        Addr target = 0;
+        bool valid = false;
+        bool hysteresis = false;    ///< one wrong outcome tolerated
+    };
+
+    std::size_t index(ThreadId tid, Addr chunk_addr) const;
+
+    std::vector<Entry> table;
+
+    StatGroup statGroup;
+    Counter statLookups;
+    Counter statMispredicts;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_PREDICTOR_LINE_PREDICTOR_HH

@@ -1,0 +1,4 @@
+// Header-only implementations; this translation unit exists so the
+// component owns a home in the build and future non-inline logic has a
+// landing place.
+#include "predictor/ras.hh"

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-thread return address stack with checkpoint/restore, plus a small
+ * tagged indirect-jump target predictor.  Both are consulted in IBOX
+ * stage 4 to verify line predictions (paper Section 3.1).
+ */
+
+#ifndef RMTSIM_PREDICTOR_RAS_HH
+#define RMTSIM_PREDICTOR_RAS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rmt
+{
+
+/** Return address stack for one hardware thread. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16)
+        : stack(depth, 0)
+    {
+    }
+
+    /** Checkpoint: (top-of-stack pointer, value under it). */
+    struct Snapshot
+    {
+        unsigned tos = 0;
+        Addr top_value = 0;
+    };
+
+    Snapshot
+    snapshot() const
+    {
+        return Snapshot{tos, stack[tos % stack.size()]};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        tos = snap.tos;
+        stack[tos % stack.size()] = snap.top_value;
+    }
+
+    void
+    push(Addr ret_addr)
+    {
+        ++tos;
+        stack[tos % stack.size()] = ret_addr;
+    }
+
+    Addr
+    pop()
+    {
+        const Addr top = stack[tos % stack.size()];
+        --tos;
+        return top;
+    }
+
+    Addr peek() const { return stack[tos % stack.size()]; }
+
+  private:
+    std::vector<Addr> stack;
+    unsigned tos = 0;   ///< wraps modulo depth; underflow is benign
+};
+
+/** Tagged, untagged-on-alias indirect target predictor. */
+class IndirectPredictor
+{
+  public:
+    explicit IndirectPredictor(unsigned entries = 1024)
+        : targets(entries, 0)
+    {
+    }
+
+    Addr
+    predict(ThreadId tid, Addr pc) const
+    {
+        return targets[index(tid, pc)];
+    }
+
+    void
+    update(ThreadId tid, Addr pc, Addr target)
+    {
+        targets[index(tid, pc)] = target;
+    }
+
+  private:
+    std::size_t
+    index(ThreadId tid, Addr pc) const
+    {
+        return ((pc >> 2) ^ (std::uint64_t{tid} << 7)) &
+               (targets.size() - 1);
+    }
+
+    std::vector<Addr> targets;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_PREDICTOR_RAS_HH

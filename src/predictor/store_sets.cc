@@ -1,0 +1,105 @@
+#include "predictor/store_sets.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+StoreSets::StoreSets(const StoreSetsParams &params)
+    : ssit(params.ssit_entries, invalidSet),
+      lfst(params.lfst_entries),
+      clearInterval(params.clear_interval),
+      statGroup("storesets"),
+      statViolations(statGroup, "violations",
+                     "memory-order violations recorded"),
+      statDependencesEnforced(statGroup, "dependences",
+                              "load-store waits imposed")
+{
+    if (!isPowerOf2(params.ssit_entries))
+        fatal("store sets: SSIT entries must be a power of two");
+}
+
+std::size_t
+StoreSets::ssitIndex(ThreadId tid, Addr pc) const
+{
+    return ((pc >> 2) ^ (std::uint64_t{tid} << 10)) & (ssit.size() - 1);
+}
+
+InstSeq
+StoreSets::loadDependence(ThreadId tid, Addr load_pc)
+{
+    const std::uint32_t set = ssit[ssitIndex(tid, load_pc)];
+    if (set == invalidSet)
+        return noStore;
+    const LfstEntry &e = lfst[set % lfst.size()];
+    if (e.seq == noStore || e.tid != tid)
+        return noStore;
+    statDependencesEnforced += 1;
+    return e.seq;
+}
+
+void
+StoreSets::storeFetched(ThreadId tid, Addr store_pc, InstSeq seq)
+{
+    const std::uint32_t set = ssit[ssitIndex(tid, store_pc)];
+    if (set == invalidSet)
+        return;
+    LfstEntry &e = lfst[set % lfst.size()];
+    e.seq = seq;
+    e.tid = tid;
+}
+
+void
+StoreSets::storeCompleted(ThreadId tid, Addr store_pc, InstSeq seq)
+{
+    const std::uint32_t set = ssit[ssitIndex(tid, store_pc)];
+    if (set == invalidSet)
+        return;
+    LfstEntry &e = lfst[set % lfst.size()];
+    if (e.tid == tid && e.seq == seq)
+        e.seq = noStore;
+}
+
+void
+StoreSets::recordViolation(ThreadId tid, Addr load_pc, Addr store_pc)
+{
+    ++statViolations;
+    auto &load_set = ssit[ssitIndex(tid, load_pc)];
+    auto &store_set = ssit[ssitIndex(tid, store_pc)];
+
+    if (load_set == invalidSet && store_set == invalidSet) {
+        load_set = store_set = nextSetId++;
+    } else if (load_set == invalidSet) {
+        load_set = store_set;
+    } else if (store_set == invalidSet) {
+        store_set = load_set;
+    } else {
+        // Merge: adopt the smaller id (deterministic convergence).
+        const std::uint32_t winner = std::min(load_set, store_set);
+        load_set = store_set = winner;
+    }
+}
+
+void
+StoreSets::tick(Cycle now)
+{
+    if (!clearInterval || now < lastClear + clearInterval)
+        return;
+    lastClear = now;
+    for (auto &set : ssit)
+        set = invalidSet;
+    for (auto &e : lfst)
+        e.seq = noStore;
+}
+
+void
+StoreSets::squashThread(ThreadId tid)
+{
+    for (auto &e : lfst) {
+        if (e.tid == tid)
+            e.seq = noStore;
+    }
+}
+
+} // namespace rmt

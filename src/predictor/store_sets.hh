@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Store-sets memory dependence predictor (Chrysos & Emer; paper Table 1:
+ * 4K-entry SSIT).
+ *
+ * A load that once violated ordering against a store is placed in that
+ * store's "store set"; subsequently the load waits for the last fetched
+ * store of its set.  The SSIT maps instruction PCs to store-set ids; the
+ * LFST maps a set id to the sequence number of the youngest in-flight
+ * store in the set.
+ */
+
+#ifndef RMTSIM_PREDICTOR_STORE_SETS_HH
+#define RMTSIM_PREDICTOR_STORE_SETS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+struct StoreSetsParams
+{
+    unsigned ssit_entries = 4096;
+    unsigned lfst_entries = 256;
+    /** Cyclic SSIT clearing interval in cycles (Chrysos & Emer): stale
+     *  dependences decay so one rare collision does not serialise a
+     *  load pc against a store pc forever.  0 disables clearing. */
+    Cycle clear_interval = 30000;
+};
+
+class StoreSets
+{
+  public:
+    static constexpr std::uint32_t invalidSet = ~std::uint32_t{0};
+    static constexpr InstSeq noStore = ~InstSeq{0};
+
+    explicit StoreSets(const StoreSetsParams &params);
+
+    /**
+     * At rename, a load asks which in-flight store (by sequence number)
+     * it must wait for.  @return noStore if unconstrained.
+     */
+    InstSeq loadDependence(ThreadId tid, Addr load_pc);
+
+    /** At rename, a store advertises itself as last-fetched of its set. */
+    void storeFetched(ThreadId tid, Addr store_pc, InstSeq seq);
+
+    /** When a store issues/completes, clear it from the LFST. */
+    void storeCompleted(ThreadId tid, Addr store_pc, InstSeq seq);
+
+    /**
+     * On a detected ordering violation, merge the load and store into
+     * one store set (assign both PCs the same set id).
+     */
+    void recordViolation(ThreadId tid, Addr load_pc, Addr store_pc);
+
+    /** Clear a thread's LFST entries (on squash). */
+    void squashThread(ThreadId tid);
+
+    /** Cyclic clearing: call once per cycle. */
+    void tick(Cycle now);
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    std::size_t ssitIndex(ThreadId tid, Addr pc) const;
+
+    struct LfstEntry
+    {
+        InstSeq seq = noStore;
+        ThreadId tid = invalidThread;
+    };
+
+    std::vector<std::uint32_t> ssit;    ///< pc -> store set id
+    std::vector<LfstEntry> lfst;        ///< set id -> youngest store
+    std::uint32_t nextSetId = 0;
+    Cycle clearInterval;
+    Cycle lastClear = 0;
+
+    StatGroup statGroup;
+    Counter statViolations;
+    Counter statDependencesEnforced;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_PREDICTOR_STORE_SETS_HH

@@ -1,0 +1,66 @@
+#include "rmt/fault_injector.hh"
+
+#include "cpu/smt_cpu.hh"
+
+namespace rmt
+{
+
+void
+FaultInjector::tick(SmtCpu &cpu, Cycle now)
+{
+    for (auto &fault : faults) {
+        if (fault.applied || fault.core != cpu.coreId() ||
+            now < fault.when) {
+            continue;
+        }
+        switch (fault.kind) {
+          case FaultRecord::Kind::TransientReg:
+            cpu.injectRegBitFlip(fault.tid, fault.reg, fault.bit);
+            fault.applied = true;
+            ++applied;
+            break;
+          case FaultRecord::Kind::TransientLvq:
+            if (RedundantPair *pair = cpu.pairOf(fault.tid)) {
+                // Strike retries until an entry is resident.
+                if (pair->lvq.injectDataBitFlip(rng)) {
+                    fault.applied = true;
+                    ++applied;
+                }
+            }
+            break;
+          case FaultRecord::Kind::PermanentFu:
+            // Activation only; the effect is applied by
+            // filterFuResult() on every victim-unit execution.
+            fault.applied = true;
+            break;
+        }
+    }
+}
+
+std::uint64_t
+FaultInjector::filterFuResult(CoreId core, unsigned fu_index, Cycle now,
+                              std::uint64_t value) const
+{
+    for (const auto &fault : faults) {
+        if (fault.kind == FaultRecord::Kind::PermanentFu &&
+            fault.core == core && fault.fuIndex == fu_index &&
+            now >= fault.when) {
+            value ^= fault.mask;
+        }
+    }
+    return value;
+}
+
+bool
+FaultInjector::hasPermanentFault(CoreId core) const
+{
+    for (const auto &fault : faults) {
+        if (fault.kind == FaultRecord::Kind::PermanentFu &&
+            fault.core == core) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace rmt

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic fault injection (paper Sections 2, 4.5).
+ *
+ * Models the fault classes the paper's mechanisms are designed to
+ * catch:
+ *
+ *  - transient single-bit flips in architectural register values inside
+ *    the sphere of replication (cosmic-ray strike on a register file or
+ *    latch) — caught by output comparison at the store comparator;
+ *  - transient flips in LVQ data — outside the redundant computation,
+ *    so they must be caught (or corrected) by the LVQ's ECC;
+ *  - permanent stuck-at faults in a functional unit — caught only when
+ *    the redundant copies execute on *different* units, which is what
+ *    preferential space redundancy guarantees.
+ */
+
+#ifndef RMTSIM_RMT_FAULT_INJECTOR_HH
+#define RMTSIM_RMT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace rmt
+{
+
+class SmtCpu;
+class RedundantPair;
+
+struct FaultRecord
+{
+    enum class Kind : std::uint8_t
+    {
+        TransientReg,       ///< flip one bit of one arch register value
+        TransientLvq,       ///< flip one bit of a resident LVQ entry
+        PermanentFu,        ///< stuck-at fault in one functional unit
+    };
+
+    Kind kind;
+    Cycle when = 0;             ///< activation cycle
+    CoreId core = 0;
+    ThreadId tid = 0;           ///< TransientReg: victim thread
+    RegIndex reg = 0;           ///< TransientReg: victim register
+    unsigned bit = 0;           ///< bit position to flip
+    unsigned fuIndex = 0;       ///< PermanentFu: victim unit (global id)
+    std::uint64_t mask = 1;     ///< PermanentFu: result corruption mask
+    LogicalId pairLogical = 0;  ///< TransientLvq: victim pair
+    bool applied = false;
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 1) : rng(seed) {}
+
+    void schedule(const FaultRecord &fault) { faults.push_back(fault); }
+
+    /**
+     * Apply transient faults due at @p now to @p cpu (and its pairs).
+     * Called once per core per cycle.
+     */
+    void tick(SmtCpu &cpu, Cycle now);
+
+    /**
+     * Permanent-fault filter on execution results: returns @p value
+     * XORed with the mask of any active permanent fault on
+     * (@p core, @p fu_index).
+     */
+    std::uint64_t filterFuResult(CoreId core, unsigned fu_index,
+                                 Cycle now, std::uint64_t value) const;
+
+    /** Any permanent FU fault configured for @p core? */
+    bool hasPermanentFault(CoreId core) const;
+
+    unsigned transientsApplied() const { return applied; }
+
+  private:
+    std::vector<FaultRecord> faults;
+    Random rng;
+    unsigned applied = 0;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_RMT_FAULT_INJECTOR_HH

@@ -1,0 +1,71 @@
+#include "rmt/lvq.hh"
+
+#include "common/bits.hh"
+
+namespace rmt
+{
+
+Lvq::Lvq(unsigned capacity, bool ecc_protected, std::string name)
+    : capacity(capacity), eccProtected(ecc_protected),
+      statGroup(std::move(name)),
+      statInserts(statGroup, "inserts", "leading loads forwarded"),
+      statHits(statGroup, "hits", "trailing loads satisfied"),
+      statAddrMismatches(statGroup, "addr_mismatches",
+                         "address mismatches (detected faults)"),
+      statEccCorrected(statGroup, "ecc_corrected",
+                       "bit flips corrected by ECC"),
+      statCorruptions(statGroup, "corruptions",
+                      "bit flips that corrupted data (no ECC)")
+{
+}
+
+bool
+Lvq::insert(std::uint64_t tag, Addr addr, std::uint64_t data,
+            Cycle available_at)
+{
+    if (full())
+        return false;
+    entries.emplace(tag, Entry{addr, data, available_at});
+    ++statInserts;
+    return true;
+}
+
+Lvq::Lookup
+Lvq::lookup(std::uint64_t tag, Addr expected_addr, Cycle now,
+            std::uint64_t &data)
+{
+    auto it = entries.find(tag);
+    if (it == entries.end() || now < it->second.availableAt)
+        return Lookup::NotPresent;
+
+    const bool addr_ok = it->second.addr == expected_addr;
+    data = it->second.data;
+    entries.erase(it);
+    if (!addr_ok) {
+        ++statAddrMismatches;
+        return Lookup::AddrMismatch;
+    }
+    ++statHits;
+    return Lookup::Hit;
+}
+
+bool
+Lvq::injectDataBitFlip(Random &rng)
+{
+    if (entries.empty())
+        return false;
+    // Pick a deterministic "random" resident entry.
+    auto it = entries.begin();
+    std::advance(it, static_cast<long>(rng.range(entries.size())));
+    if (eccProtected) {
+        // SECDED corrects the single-bit flip on read; data unchanged.
+        ++statEccCorrected;
+        return true;
+    }
+    it->second.data = flipBit(it->second.data,
+                              static_cast<unsigned>(rng.range(64)));
+    ++statCorruptions;
+    return true;
+}
+
+} // namespace rmt

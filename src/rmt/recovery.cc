@@ -1,0 +1,115 @@
+#include "rmt/recovery.hh"
+
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+RecoveryManager::RecoveryManager(const RecoveryParams &params,
+                                 Addr entry_pc, std::string name)
+    : _params(params),
+      statGroup(std::move(name)),
+      statCheckpoints(statGroup, "checkpoints",
+                      "checkpoint candidates taken"),
+      statPromotions(statGroup, "promotions",
+                     "candidates that became restorable"),
+      statRecoveries(statGroup, "recoveries", "rollbacks performed"),
+      statDiscardedInsts(statGroup, "discarded_insts",
+                         "committed work re-executed after rollback")
+{
+    // The initial state is trivially verified: checkpoint zero.
+    activeCkpt.next_pc = entry_pc;
+}
+
+void
+RecoveryManager::preStore(const DataMemory &mem, Addr addr, unsigned size)
+{
+    for (unsigned i = 0; i < size; ++i) {
+        if (mem.inBounds(addr + i, 1)) {
+            undoLog.push_back(
+                UndoEntry{addr + i,
+                          static_cast<std::uint8_t>(mem.read(addr + i, 1))});
+        }
+    }
+}
+
+void
+RecoveryManager::noteCommit(
+    const std::array<std::uint64_t, numArchRegs> &regs, Addr next_pc,
+    std::uint64_t committed, std::uint64_t load_tag,
+    std::uint64_t store_idx)
+{
+    if (committed < lastCheckpointAt + _params.interval_insts)
+        return;
+    lastCheckpointAt = committed;
+    RecoveryCheckpoint ckpt;
+    ckpt.regs = regs;
+    ckpt.next_pc = next_pc;
+    ckpt.committed = committed;
+    ckpt.load_tag = load_tag;
+    ckpt.store_idx = store_idx;
+    ckpt.undo_offset = undoLog.size();
+    candidates.push_back(ckpt);
+    ++statCheckpoints;
+    promoteCandidates();
+}
+
+void
+RecoveryManager::noteVerified(std::uint64_t store_idx)
+{
+    verifiedStores = store_idx + 1;
+    promoteCandidates();
+}
+
+void
+RecoveryManager::promoteCandidates()
+{
+    // A candidate is restorable once all stores older than it are
+    // verified: detection of any fault younger than the candidate can
+    // then always rewind to it.
+    while (!candidates.empty() &&
+           verifiedStores >= candidates.front().store_idx) {
+        // The promoted checkpoint supersedes the old one; its undo-log
+        // prefix is no longer needed.
+        RecoveryCheckpoint ckpt = candidates.front();
+        candidates.pop_front();
+        const std::size_t drop = ckpt.undo_offset;
+        undoLog.erase(undoLog.begin(),
+                      undoLog.begin() + static_cast<long>(drop));
+        ckpt.undo_offset = 0;
+        for (auto &cand : candidates)
+            cand.undo_offset -= drop;
+        activeCkpt = ckpt;
+        ++statPromotions;
+    }
+}
+
+bool
+RecoveryManager::canRecover() const
+{
+    return statRecoveries.value() < _params.max_recoveries;
+}
+
+std::uint64_t
+RecoveryManager::rollback(DataMemory &mem, std::uint64_t committed_now)
+{
+    if (!canRecover())
+        panic("rollback called on an exhausted RecoveryManager");
+
+    // Undo every store since the active checkpoint, newest first.
+    for (auto it = undoLog.rbegin(); it != undoLog.rend(); ++it)
+        mem.write(it->addr, 1, it->byte);
+    undoLog.clear();
+    candidates.clear();
+
+    ++statRecoveries;
+    const std::uint64_t discarded =
+        committed_now > activeCkpt.committed
+            ? committed_now - activeCkpt.committed
+            : 0;
+    statDiscardedInsts += discarded;
+    lastCheckpointAt = activeCkpt.committed;
+    return discarded;
+}
+
+} // namespace rmt

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Checkpoint-based fault recovery.
+ *
+ * The paper's checker "flags an error and initiates a hardware or
+ * software recovery sequence" (Section 1) but does not design one; this
+ * module supplies it.  The scheme is *verified checkpointing*:
+ *
+ *  - every @c interval committed leading instructions, a checkpoint
+ *    candidate captures the committed architectural registers, the next
+ *    pc, the commit/store/load counters, and a cut point in the memory
+ *    undo log;
+ *  - a candidate only becomes the *active* (restorable) checkpoint once
+ *    every store older than it has passed output comparison — a
+ *    checkpoint taken over unverified stores could preserve corrupted
+ *    memory;
+ *  - every committed store logs its memory pre-image (byte-granular
+ *    undo log);
+ *  - on fault detection, both redundant threads are flushed, memory is
+ *    rolled back through the undo log to the active checkpoint, the
+ *    registers/pc/counters are restored, and execution re-runs.
+ *
+ * Transient faults disappear on re-execution; a permanent fault
+ * re-triggers detection, so recovery attempts are capped (after which
+ * the pair is declared unrecoverable — a real system would fail over).
+ *
+ * External-input caveats (the classic recovery-vs-I/O tension, out of
+ * scope for the paper and simplified here): uncached device writes are
+ * never *corrupted* (they are compared before being performed), but a
+ * rollback re-executes the window, so device reads observe fresh
+ * volatile values and device writes may be re-issued; interrupts
+ * consumed before the rollback are not replayed.  A production design
+ * would hold I/O past the next verified checkpoint.
+ */
+
+#ifndef RMTSIM_RMT_RECOVERY_HH
+#define RMTSIM_RMT_RECOVERY_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace rmt
+{
+
+struct RecoveryParams
+{
+    std::uint64_t interval_insts = 2000;    ///< checkpoint cadence
+    unsigned max_recoveries = 8;            ///< permanent-fault backstop
+};
+
+/** A restorable architectural snapshot. */
+struct RecoveryCheckpoint
+{
+    std::array<std::uint64_t, numArchRegs> regs{};
+    Addr next_pc = 0;
+    std::uint64_t committed = 0;        ///< leading committed count
+    std::uint64_t load_tag = 0;         ///< load correlation counter
+    std::uint64_t store_idx = 0;        ///< store index counter
+    std::size_t undo_offset = 0;        ///< undo-log cut point
+};
+
+class RecoveryManager
+{
+  public:
+    RecoveryManager(const RecoveryParams &params, Addr entry_pc,
+                    std::string name);
+
+    // ------------------------------------------------- commit-side hooks
+    /** Capture a store's memory pre-image before it is written. */
+    void preStore(const DataMemory &mem, Addr addr, unsigned size);
+
+    /**
+     * A leading instruction committed.  @p regs is the committed
+     * architectural file, @p next_pc where execution continues.
+     * Called after counters were advanced.
+     */
+    void noteCommit(const std::array<std::uint64_t, numArchRegs> &regs,
+                    Addr next_pc, std::uint64_t committed,
+                    std::uint64_t load_tag, std::uint64_t store_idx);
+
+    /** Output comparison verified leading store @p store_idx. */
+    void noteVerified(std::uint64_t store_idx);
+
+    // ---------------------------------------------------- recovery side
+    /** Is a restorable checkpoint available and attempts left? */
+    bool canRecover() const;
+
+    /** The checkpoint recovery will restore. */
+    const RecoveryCheckpoint &active() const { return activeCkpt; }
+
+    /**
+     * Roll @p mem back to the active checkpoint (applies the undo log
+     * in reverse) and discard newer checkpoint candidates.
+     * @return instructions of committed work discarded
+     */
+    std::uint64_t rollback(DataMemory &mem, std::uint64_t committed_now);
+
+    unsigned recoveries() const
+    {
+        return static_cast<unsigned>(statRecoveries.value());
+    }
+    bool exhausted() const
+    {
+        return statRecoveries.value() >= _params.max_recoveries;
+    }
+
+    std::uint64_t discardedInsts() const
+    {
+        return statDiscardedInsts.value();
+    }
+    std::size_t undoLogBytes() const { return undoLog.size(); }
+    std::size_t pendingCandidates() const { return candidates.size(); }
+
+    StatGroup &stats() { return statGroup; }
+
+  private:
+    void promoteCandidates();
+
+    struct UndoEntry
+    {
+        Addr addr;
+        std::uint8_t byte;
+    };
+
+    RecoveryParams _params;
+    std::vector<UndoEntry> undoLog;     ///< append-only since active ckpt
+    RecoveryCheckpoint activeCkpt;      ///< always restorable
+    std::deque<RecoveryCheckpoint> candidates;  ///< awaiting verification
+    std::uint64_t verifiedStores = 0;
+    std::uint64_t lastCheckpointAt = 0;
+
+    StatGroup statGroup;
+    Counter statCheckpoints;
+    Counter statPromotions;
+    Counter statRecoveries;
+    Counter statDiscardedInsts;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_RMT_RECOVERY_HH

@@ -1,0 +1,50 @@
+#include "rmt/store_comparator.hh"
+
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+StoreComparator::StoreComparator(std::string name)
+    : statGroup(std::move(name)),
+      statComparisons(statGroup, "comparisons", "store pairs compared"),
+      statMismatches(statGroup, "mismatches",
+                     "store mismatches (detected faults)")
+{
+}
+
+void
+StoreComparator::pushTrailing(std::uint64_t store_idx, Addr addr,
+                              std::uint64_t data, unsigned size,
+                              Cycle available_at)
+{
+    const auto [it, inserted] = trailing.emplace(
+        store_idx, Record{store_idx, addr, data, size, available_at});
+    (void)it;
+    if (!inserted)
+        panic("store comparator: duplicate trailing store index %llu",
+              static_cast<unsigned long long>(store_idx));
+}
+
+bool
+StoreComparator::tryVerify(std::uint64_t store_idx, Addr addr,
+                           std::uint64_t data, unsigned size, Cycle now,
+                           bool &mismatch)
+{
+    // Associative search on the store index, mirroring the paper's CAM
+    // search of the store queue: trailing stores execute (and deliver
+    // their data) out of order, so arrival order carries no meaning.
+    mismatch = false;
+    auto it = trailing.find(store_idx);
+    if (it == trailing.end() || now < it->second.availableAt)
+        return false;
+    const Record &rec = it->second;
+    mismatch = rec.addr != addr || rec.data != data || rec.size != size;
+    ++statComparisons;
+    if (mismatch)
+        ++statMismatches;
+    trailing.erase(it);
+    return true;
+}
+
+} // namespace rmt

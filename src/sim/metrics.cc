@@ -1,0 +1,51 @@
+#include "sim/metrics.hh"
+
+namespace rmt
+{
+
+double
+smtEfficiency(double mode_ipc, double single_thread_ipc)
+{
+    return single_thread_ipc > 0 ? mode_ipc / single_thread_ipc : 0.0;
+}
+
+double
+meanEfficiency(const std::vector<double> &efficiencies)
+{
+    if (efficiencies.empty())
+        return 0.0;
+    double sum = 0;
+    for (double e : efficiencies)
+        sum += e;
+    return sum / static_cast<double>(efficiencies.size());
+}
+
+double
+BaselineCache::ipc(const std::string &workload)
+{
+    for (const auto &[name, value] : cache) {
+        if (name == workload)
+            return value;
+    }
+    const double value = singleThreadIpc(workload, opts);
+    cache.emplace_back(workload, value);
+    return value;
+}
+
+std::vector<double>
+BaselineCache::efficiencies(const RunResult &result)
+{
+    std::vector<double> effs;
+    effs.reserve(result.threads.size());
+    for (const auto &t : result.threads)
+        effs.push_back(smtEfficiency(t.ipc, ipc(t.workload)));
+    return effs;
+}
+
+double
+BaselineCache::efficiency(const RunResult &result)
+{
+    return meanEfficiency(efficiencies(result));
+}
+
+} // namespace rmt

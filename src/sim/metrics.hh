@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SMT-Efficiency (paper Section 6.4): per-thread IPC in the evaluated
+ * mode divided by the thread's single-thread IPC on the same machine,
+ * averaged arithmetically across threads (Snavely & Tullsen's weighted
+ * speedup).
+ */
+
+#ifndef RMTSIM_SIM_METRICS_HH
+#define RMTSIM_SIM_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace rmt
+{
+
+/** SMT-Efficiency of one logical thread. */
+double smtEfficiency(double mode_ipc, double single_thread_ipc);
+
+/** Arithmetic mean of per-thread efficiencies (weighted speedup). */
+double meanEfficiency(const std::vector<double> &efficiencies);
+
+/**
+ * Cache of single-thread IPCs so sweeps do not re-simulate the
+ * baseline for every configuration.
+ */
+class BaselineCache
+{
+  public:
+    explicit BaselineCache(const SimOptions &options) : opts(options) {}
+
+    /** Single-thread IPC of @p workload (simulated once, then cached). */
+    double ipc(const std::string &workload);
+
+    /** Mean SMT-Efficiency of @p result against the cached baselines. */
+    double efficiency(const RunResult &result);
+
+    /** Per-thread efficiencies of @p result. */
+    std::vector<double> efficiencies(const RunResult &result);
+
+  private:
+    SimOptions opts;
+    std::vector<std::pair<std::string, double>> cache;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_SIM_METRICS_HH

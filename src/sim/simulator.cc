@@ -1,0 +1,316 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace rmt
+{
+
+namespace
+{
+
+SmtParams
+coreParams(const SimOptions &opts)
+{
+    SmtParams p = opts.cpu;
+    p.per_thread_store_queues = opts.per_thread_store_queues;
+    p.srt_store_comparison = opts.store_comparison;
+    p.preferential_space_redundancy = opts.preferential_space_redundancy;
+    p.trailing_fetch = opts.trailing_fetch;
+    p.slack_fetch = opts.slack_fetch;
+    p.lvq_ecc = opts.lvq_ecc;
+    p.cosim = opts.cosim;
+    return p;
+}
+
+} // namespace
+
+Simulation::Simulation(const std::vector<std::string> &workload_names,
+                       const SimOptions &options)
+    : opts(options)
+{
+    if (workload_names.empty())
+        fatal("Simulation needs at least one workload");
+
+    for (const auto &name : workload_names) {
+        workloads.push_back(buildWorkload(name));
+        memories.push_back(workloads.back().makeMemory());
+    }
+    placements.resize(workloads.size());
+
+    switch (opts.mode) {
+      case SimMode::Base:
+        buildBase(false);
+        break;
+      case SimMode::Base2:
+        buildBase(true);
+        break;
+      case SimMode::Lockstep:
+        // Lockstep timing equals the base processor with the checker
+        // penalty applied to every off-core signal: L1-miss service and
+        // the store-release path (Section 6.3; Lock0 == Base exactly).
+        buildBase(false);
+        break;
+      case SimMode::Srt:
+        buildSrt();
+        break;
+      case SimMode::Crt:
+        buildCrt();
+        break;
+    }
+}
+
+void
+Simulation::buildBase(bool base2)
+{
+    const unsigned copies = base2 ? 2 : 1;
+    const unsigned hw_threads =
+        static_cast<unsigned>(workloads.size()) * copies;
+    if (hw_threads > 4)
+        fatal("base mode: at most 4 hardware threads");
+
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu = coreParams(opts);
+    cp.cpu.num_threads = hw_threads;
+    cp.mem = opts.mem;
+    if (opts.mode == SimMode::Lockstep) {
+        cp.mem.checker_penalty = opts.checker_penalty;
+        cp.cpu.store_checker_penalty = opts.checker_penalty;
+    }
+    _chip = std::make_unique<Chip>(cp);
+    _chip->setFaultInjector(&injector);
+
+    ThreadId tid = 0;
+    for (unsigned i = 0; i < workloads.size(); ++i) {
+        placements[i].lead_core = 0;
+        placements[i].lead_tid = tid;
+        placements[i].trail_core = 0;
+        placements[i].trail_tid = tid;
+        _chip->cpu(0).addThread(tid, workloads[i].program, *memories[i],
+                                static_cast<LogicalId>(i), Role::Single);
+        _chip->cpu(0).setTarget(tid, opts.warmup_insts + opts.measure_insts,
+                                opts.warmup_insts);
+        ++tid;
+        if (base2) {
+            // Second uncoupled copy: same program, same logical address
+            // space (so it shares cache lines like a redundant copy),
+            // but its own functional data image.
+            copyMemories.push_back(workloads[i].makeMemory());
+            _chip->cpu(0).addThread(tid, workloads[i].program,
+                                    *copyMemories.back(),
+                                    static_cast<LogicalId>(i),
+                                    Role::IndependentCopy);
+            _chip->cpu(0).setTarget(tid,
+                                    opts.warmup_insts + opts.measure_insts,
+                                    opts.warmup_insts);
+            ++tid;
+        }
+    }
+}
+
+void
+Simulation::buildSrt()
+{
+    const unsigned hw_threads =
+        static_cast<unsigned>(workloads.size()) * 2;
+    if (hw_threads > 4)
+        fatal("SRT mode: at most 2 logical threads (4 contexts)");
+
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu = coreParams(opts);
+    cp.cpu.num_threads = hw_threads;
+    cp.mem = opts.mem;
+    _chip = std::make_unique<Chip>(cp);
+    _chip->setFaultInjector(&injector);
+
+    for (unsigned i = 0; i < workloads.size(); ++i) {
+        const auto lead_tid = static_cast<ThreadId>(2 * i);
+        const auto trail_tid = static_cast<ThreadId>(2 * i + 1);
+
+        RedundantPairParams pp;
+        pp.logical = static_cast<LogicalId>(i);
+        pp.leading = HwThread{0, lead_tid};
+        pp.trailing = HwThread{0, trail_tid};
+        pp.lvq_entries = cp.cpu.lvq_entries;
+        pp.lpq_entries = cp.cpu.lpq_entries;
+        pp.lvq_ecc = cp.cpu.lvq_ecc;
+        pp.forward_latency_lpq = cp.cpu.lpq_forward_latency;
+        pp.forward_latency_lvq = cp.cpu.lvq_forward_latency;
+        pp.cross_core_latency = 0;
+        RedundantPair &pair = _chip->redundancy().addPair(pp);
+        pair.memory = memories[i].get();
+        if (opts.recovery) {
+            if (opts.cosim)
+                fatal("recovery is incompatible with cosim");
+            pair.recovery = std::make_unique<RecoveryManager>(
+                opts.recovery_params, workloads[i].program.entry(),
+                "pair" + std::to_string(i) + ".recovery");
+        }
+
+        SmtCpu &cpu = _chip->cpu(0);
+        cpu.addThread(lead_tid, workloads[i].program, *memories[i],
+                      static_cast<LogicalId>(i), Role::Leading, &pair);
+        cpu.addThread(trail_tid, workloads[i].program, *memories[i],
+                      static_cast<LogicalId>(i), Role::Trailing, &pair);
+        const std::uint64_t total =
+            opts.warmup_insts + opts.measure_insts;
+        cpu.setTarget(lead_tid, total, opts.warmup_insts);
+        cpu.setTarget(trail_tid, total, opts.warmup_insts);
+
+        placements[i] = Placement{0, lead_tid, 0, trail_tid, true};
+    }
+}
+
+void
+Simulation::buildCrt()
+{
+    const unsigned n = static_cast<unsigned>(workloads.size());
+    if (n > 4)
+        fatal("CRT mode: at most 4 logical threads");
+
+    ChipParams cp;
+    cp.num_cores = 2;
+    cp.cpu = coreParams(opts);
+    // Each core runs ceil(n/2) leading + floor-or-so trailing contexts.
+    cp.cpu.num_threads = std::max(2u, ((n + 1) / 2) * 2);
+    cp.mem = opts.mem;
+    _chip = std::make_unique<Chip>(cp);
+    _chip->setFaultInjector(&injector);
+
+    // Cross-coupling (Figure 5): program i leads on core i%2 and trails
+    // on the other core, so each core pairs the resource-light trailing
+    // thread of one program with the leading thread of another.
+    std::array<ThreadId, 2> next_lead{0, 0};
+    std::array<ThreadId, 2> next_trail{0, 0};
+    // Leading contexts occupy the low tids on each core.
+    const unsigned leads_per_core = (n + 1) / 2;
+
+    for (unsigned i = 0; i < n; ++i) {
+        const CoreId lead_core = static_cast<CoreId>(i % 2);
+        const CoreId trail_core = static_cast<CoreId>(1 - i % 2);
+        const ThreadId lead_tid = next_lead[lead_core]++;
+        const ThreadId trail_tid = static_cast<ThreadId>(
+            leads_per_core + next_trail[trail_core]++);
+
+        RedundantPairParams pp;
+        pp.logical = static_cast<LogicalId>(i);
+        pp.leading = HwThread{lead_core, lead_tid};
+        pp.trailing = HwThread{trail_core, trail_tid};
+        pp.lvq_entries = cp.cpu.lvq_entries;
+        pp.lpq_entries = cp.cpu.lpq_entries;
+        pp.lvq_ecc = cp.cpu.lvq_ecc;
+        pp.forward_latency_lpq = cp.cpu.lpq_forward_latency;
+        pp.forward_latency_lvq = cp.cpu.lvq_forward_latency;
+        pp.cross_core_latency = cp.cpu.cross_core_latency;
+        RedundantPair &pair = _chip->redundancy().addPair(pp);
+        pair.memory = memories[i].get();
+        if (opts.recovery) {
+            if (opts.cosim)
+                fatal("recovery is incompatible with cosim");
+            pair.recovery = std::make_unique<RecoveryManager>(
+                opts.recovery_params, workloads[i].program.entry(),
+                "pair" + std::to_string(i) + ".recovery");
+        }
+
+        const std::uint64_t total =
+            opts.warmup_insts + opts.measure_insts;
+        _chip->cpu(lead_core).addThread(lead_tid, workloads[i].program,
+                                        *memories[i],
+                                        static_cast<LogicalId>(i),
+                                        Role::Leading, &pair);
+        _chip->cpu(lead_core).setTarget(lead_tid, total, opts.warmup_insts);
+        _chip->cpu(trail_core).addThread(trail_tid, workloads[i].program,
+                                         *memories[i],
+                                         static_cast<LogicalId>(i),
+                                         Role::Trailing, &pair);
+        _chip->cpu(trail_core).setTarget(trail_tid, total,
+                                         opts.warmup_insts);
+
+        placements[i] =
+            Placement{lead_core, lead_tid, trail_core, trail_tid, true};
+    }
+}
+
+RunResult
+Simulation::run()
+{
+    const std::uint64_t per_thread =
+        opts.warmup_insts + opts.measure_insts;
+    // Generous safety cap: no sane configuration exceeds ~100 CPI.
+    const Cycle cap =
+        100 * per_thread * std::max<std::uint64_t>(workloads.size(), 1) +
+        1'000'000;
+    _chip->run(cap);
+
+    RunResult result;
+    result.total_cycles = _chip->cycle();
+    result.completed = _chip->allDone();
+
+    for (unsigned i = 0; i < workloads.size(); ++i) {
+        const Placement &pl = placements[i];
+        SmtCpu &lead_cpu = _chip->cpu(pl.lead_core);
+        ThreadResult tr;
+        tr.workload = workloads[i].name;
+        tr.ipc = lead_cpu.ipc(pl.lead_tid);
+        tr.committed = lead_cpu.committed(pl.lead_tid);
+        tr.cycles = lead_cpu.threadCycles(pl.lead_tid);
+        result.threads.push_back(tr);
+
+        if (pl.redundant) {
+            RedundantPair *pair =
+                _chip->redundancy().pairFor(pl.lead_core, pl.lead_tid);
+            result.detections += pair->detectionCount();
+            if (pair->recovery)
+                result.recoveries += pair->recovery->recoveries();
+            result.fu_pairs += pair->fuPairsCompared();
+            result.fu_same_unit += pair->fuPairsSameUnit();
+            result.store_comparisons += pair->comparator.comparisons();
+            result.store_mismatches += pair->comparator.mismatches();
+        }
+    }
+
+    double lifetime_sum = 0;
+    unsigned lifetime_n = 0;
+    for (unsigned c = 0; c < _chip->numCores(); ++c) {
+        SmtCpu &cpu = _chip->cpu(c);
+        result.sq_full_stalls += cpu.sqFullStalls();
+        result.lvq_full_stalls += cpu.lvqFullStalls();
+        result.branch_mispredicts += cpu.branchMispredicts();
+        result.line_mispredicts += cpu.lineMispredicts();
+        for (unsigned i = 0; i < workloads.size(); ++i) {
+            const Placement &pl = placements[i];
+            if (pl.lead_core == c) {
+                const double m = cpu.avgStoreLifetime(pl.lead_tid);
+                if (m > 0) {
+                    lifetime_sum += m;
+                    ++lifetime_n;
+                }
+            }
+        }
+    }
+    if (lifetime_n)
+        result.avg_leading_store_lifetime = lifetime_sum / lifetime_n;
+    return result;
+}
+
+RunResult
+runSimulation(const std::vector<std::string> &workloads,
+              const SimOptions &options)
+{
+    Simulation sim(workloads, options);
+    return sim.run();
+}
+
+double
+singleThreadIpc(const std::string &workload, const SimOptions &options)
+{
+    SimOptions single = options;
+    single.mode = SimMode::Base;
+    single.checker_penalty = 0;
+    Simulation sim({workload}, single);
+    const RunResult r = sim.run();
+    return r.threads.at(0).ipc;
+}
+
+} // namespace rmt

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Configuration builders and run drivers for the paper's four target
+ * architectures (Section 6.3): the base SMT processor, SRT (with the
+ * per-thread-store-queue and no-store-comparison variants), lockstepped
+ * dual cores (Lock0/Lock8), and CRT.
+ *
+ * This is the public entry point most users want: pick workloads, pick
+ * a mode, run, read per-logical-thread IPCs and the RMT statistics.
+ */
+
+#ifndef RMTSIM_SIM_SIMULATOR_HH
+#define RMTSIM_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmp/chip.hh"
+#include "workloads/workloads.hh"
+
+namespace rmt
+{
+
+/** How to arrange the logical threads on the chip. */
+enum class SimMode
+{
+    Base,       ///< one hardware thread per logical thread, one core
+    Base2,      ///< one program as two uncoupled redundant copies
+    Srt,        ///< leading+trailing per logical thread, one core
+    Lockstep,   ///< base timing + checker penalty on off-core signals
+    Crt,        ///< leading+trailing cross-coupled over two cores
+};
+
+struct SimOptions
+{
+    SimMode mode = SimMode::Base;
+    std::uint64_t warmup_insts = 2000;      ///< per logical thread
+    std::uint64_t measure_insts = 30000;    ///< per logical thread
+    unsigned checker_penalty = 8;           ///< Lockstep mode only
+    bool per_thread_store_queues = false;   ///< "SRT + ptsq"
+    bool store_comparison = true;           ///< false = "SRT + nosc"
+    bool preferential_space_redundancy = true;
+    TrailingFetchMode trailing_fetch =
+        TrailingFetchMode::LinePredictionQueue;
+    unsigned slack_fetch = 0;
+    bool lvq_ecc = true;
+    bool cosim = false;                     ///< architectural checking
+    bool recovery = false;                  ///< checkpoint fault recovery
+    RecoveryParams recovery_params{};       ///< when recovery is on
+    SmtParams cpu{};                        ///< base core parameters
+    MemSystemParams mem{};
+};
+
+/** Outcome of one logical thread. */
+struct ThreadResult
+{
+    std::string workload;
+    double ipc = 0;
+    std::uint64_t committed = 0;
+    Cycle cycles = 0;
+};
+
+struct RunResult
+{
+    std::vector<ThreadResult> threads;
+    Cycle total_cycles = 0;
+    bool completed = false;         ///< all threads reached their target
+
+    // RMT aggregates (Srt/Crt modes).
+    std::uint64_t detections = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t fu_pairs = 0;
+    std::uint64_t fu_same_unit = 0;
+    std::uint64_t store_comparisons = 0;
+    std::uint64_t store_mismatches = 0;
+
+    // Core-side aggregates.
+    std::uint64_t sq_full_stalls = 0;
+    std::uint64_t lvq_full_stalls = 0;
+    std::uint64_t branch_mispredicts = 0;
+    std::uint64_t line_mispredicts = 0;
+    double avg_leading_store_lifetime = 0;
+
+    double fuSameFraction() const
+    {
+        return fu_pairs ? static_cast<double>(fu_same_unit) / fu_pairs : 0;
+    }
+};
+
+/**
+ * A fully wired simulation: chip, workload instances, and thread
+ * placement, ready to run.  Exposed (rather than hidden inside run())
+ * so examples, tests, and the fault-injection experiments can reach
+ * into the chip mid-run.
+ */
+class Simulation
+{
+  public:
+    Simulation(const std::vector<std::string> &workload_names,
+               const SimOptions &options);
+
+    Chip &chip() { return *_chip; }
+    FaultInjector &faultInjector() { return injector; }
+    const SimOptions &options() const { return opts; }
+    unsigned numLogical() const
+    {
+        return static_cast<unsigned>(workloads.size());
+    }
+
+    /** Run to completion (or the safety cap); gather results. */
+    RunResult run();
+
+    /** Where each logical thread's copies live. */
+    struct Placement
+    {
+        CoreId lead_core = 0;
+        ThreadId lead_tid = 0;
+        CoreId trail_core = 0;      ///< == lead when not redundant
+        ThreadId trail_tid = 0;
+        bool redundant = false;
+    };
+    const Placement &placement(unsigned logical) const
+    {
+        return placements.at(logical);
+    }
+
+    /** The data image of logical thread @p logical (for output
+     *  comparison in fault-coverage experiments). */
+    DataMemory &memory(unsigned logical) { return *memories.at(logical); }
+
+  private:
+    void buildBase(bool base2);
+    void buildSrt();
+    void buildCrt();
+
+    SimOptions opts;
+    std::vector<Workload> workloads;
+    std::vector<std::unique_ptr<DataMemory>> memories;
+    std::vector<std::unique_ptr<DataMemory>> copyMemories;  ///< Base2
+    std::unique_ptr<Chip> _chip;
+    FaultInjector injector;
+    std::vector<Placement> placements;
+};
+
+/** Convenience: build + run in one call. */
+RunResult runSimulation(const std::vector<std::string> &workloads,
+                        const SimOptions &options);
+
+/**
+ * IPC of @p workload running alone on the base processor with the same
+ * instruction budget — the denominator of SMT-Efficiency (Section 6.4).
+ */
+double singleThreadIpc(const std::string &workload,
+                       const SimOptions &options);
+
+} // namespace rmt
+
+#endif // RMTSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,714 @@
+#include "workloads/workloads.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace rmt
+{
+
+namespace
+{
+
+// Register conventions used by the kernels below.
+constexpr RegIndex r0 = intReg(0);
+constexpr RegIndex r1 = intReg(1);
+constexpr RegIndex r2 = intReg(2);
+constexpr RegIndex r3 = intReg(3);
+constexpr RegIndex r4 = intReg(4);
+constexpr RegIndex r5 = intReg(5);
+constexpr RegIndex r6 = intReg(6);
+constexpr RegIndex r7 = intReg(7);
+constexpr RegIndex r8 = intReg(8);
+constexpr RegIndex r9 = intReg(9);
+constexpr RegIndex r10 = intReg(10);
+constexpr RegIndex r11 = intReg(11);
+constexpr RegIndex r12 = intReg(12);
+constexpr RegIndex r13 = intReg(13);
+constexpr RegIndex r14 = intReg(14);
+constexpr RegIndex f0 = fpReg(0);
+constexpr RegIndex f1 = fpReg(1);
+constexpr RegIndex f2 = fpReg(2);
+constexpr RegIndex f3 = fpReg(3);
+constexpr RegIndex f4 = fpReg(4);
+constexpr RegIndex f5 = fpReg(5);
+constexpr RegIndex f6 = fpReg(6);
+constexpr RegIndex f7 = fpReg(7);
+
+void
+fillRandomBytes(DataMemory &mem, Addr base, std::size_t len,
+                std::uint64_t seed)
+{
+    Random rng(seed);
+    for (std::size_t i = 0; i < len; i += 8)
+        mem.write(base + i, 8, rng.next());
+}
+
+void
+fillRandomDoubles(DataMemory &mem, Addr base, std::size_t count,
+                  std::uint64_t seed)
+{
+    Random rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double v = rng.real() * 2.0 - 1.0;
+        mem.write(base + i * 8, 8, std::bit_cast<std::uint64_t>(v));
+    }
+}
+
+/** Random permutation cycle of quadword indices in [0, count):
+ *  mem[base + 8*i] holds the byte offset of the next element, forming
+ *  one big pointer-chasing cycle. */
+void
+fillPointerChain(DataMemory &mem, Addr base, std::size_t count,
+                 std::uint64_t seed)
+{
+    Random rng(seed);
+    std::vector<std::uint64_t> perm(count);
+    for (std::size_t i = 0; i < count; ++i)
+        perm[i] = i;
+    for (std::size_t i = count - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.range(i + 1)]);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t from = perm[i];
+        const std::uint64_t to = perm[(i + 1) % count];
+        mem.write(base + from * 8, 8, base + to * 8);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer benchmarks
+// ---------------------------------------------------------------------
+
+/** gcc: pointer chasing through an L2-resident node graph with a hash
+ *  probe and data-dependent branches per node. */
+Workload
+makeGcc()
+{
+    constexpr Addr chain = 0x10000;
+    constexpr std::size_t nodes = 512;              // 4 KB chain
+    constexpr Addr table = 0x200000;
+    constexpr std::size_t table_bytes = 8 * 1024;
+
+    ProgramBuilder b("gcc");
+    b.li(r1, chain);                 // chase stream A
+    b.li(r9, chain + 8 * (nodes / 2));   // chase stream B
+    b.li(r10, table);
+    b.li(r11, 0);                    // accumulator A
+    b.li(r14, 0);                    // accumulator B
+    b.label("loop");
+    b.ldq(r1, r1, 0);                // chase A
+    b.ldq(r9, r9, 0);                // chase B (independent)
+    b.andi(r2, r1, table_bytes - 8); // hash probe A
+    b.add(r3, r10, r2);
+    b.ldq(r4, r3, 0);
+    b.xor_(r11, r11, r4);
+    b.andi(r13, r9, table_bytes - 8);
+    b.add(r13, r10, r13);
+    b.ldq(r12, r13, 0);
+    b.xor_(r14, r14, r12);
+    b.andi(r5, r4, 7);               // data-dependent branch (1/8)
+    b.bne(r5, r0, "skip");
+    b.addi(r11, r11, 3);
+    b.label("skip");
+    b.stq(r11, r3, 0);               // symbol-table update
+    b.andi(r6, r14, 15);
+    b.beq(r6, r0, "rare");           // biased 1/16
+    b.br("loop");
+    b.label("rare");
+    b.stq(r14, r10, 8);
+    b.br("loop");
+
+    Workload w;
+    w.name = "gcc";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        fillPointerChain(mem, chain, nodes, 0xA11CE);
+        fillRandomBytes(mem, table, table_bytes, 0xB0B);
+    };
+    return w;
+}
+
+/** go: board scans with near-random branch outcomes (the paper's most
+ *  misprediction-bound benchmark). */
+Workload
+makeGo()
+{
+    constexpr Addr board = 0x10000;
+    constexpr std::size_t cells = 2 * 1024;     // 16 KB of "positions"
+
+    ProgramBuilder b("go");
+    b.li(r1, board);
+    b.li(r2, 0);            // index stream A
+    b.li(r3, cells / 2);    // index stream B
+    b.li(r11, 0);           // score A
+    b.li(r12, 0);           // score B
+    b.label("loop");
+    // Stream A.
+    b.slli(r4, r2, 3);
+    b.add(r4, r1, r4);
+    b.ldq(r5, r4, 0);
+    b.andi(r6, r5, 1);      // ~50/50 decision
+    b.beq(r6, r0, "a1");
+    b.addi(r11, r11, 1);
+    b.br("a2");
+    b.label("a1");
+    b.xori(r11, r11, 0x55);
+    b.label("a2");
+    b.andi(r7, r5, 7);
+    b.beq(r7, r0, "a3");    // biased 1/8: occasional store
+    b.br("a4");
+    b.label("a3");
+    b.stq(r11, r4, 0);
+    b.label("a4");
+    b.srli(r2, r5, 13);
+    b.xor_(r2, r2, r13);            // fold in a counter: no short cycles
+    b.addi(r13, r13, 1);
+    b.andi(r2, r2, cells - 1);
+    // Stream B (independent work).
+    b.slli(r8, r3, 3);
+    b.add(r8, r1, r8);
+    b.ldq(r9, r8, 0);
+    b.andi(r10, r9, 1);
+    b.beq(r10, r0, "b1x");
+    b.addi(r12, r12, 2);
+    b.br("b2x");
+    b.label("b1x");
+    b.xori(r12, r12, 0x3C);
+    b.label("b2x");
+    b.stq(r12, r8, 0);      // board update (go is ~8% stores)
+    b.srli(r3, r9, 29);
+    b.xor_(r3, r3, r13);
+    b.andi(r3, r3, cells - 1);
+    b.br("loop");
+
+    Workload w;
+    w.name = "go";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        fillRandomBytes(mem, board, cells * 8, 0x60);
+    };
+    return w;
+}
+
+/** compress: byte-stream hashing with dense stores (LZW-flavoured). */
+Workload
+makeCompress()
+{
+    constexpr Addr input = 0x10000;
+    constexpr std::size_t input_len = 32 * 1024;
+    constexpr Addr htab = 0x80000;
+    constexpr std::size_t htab_bytes = 16 * 1024;
+    constexpr Addr output = 0x100000;
+
+    ProgramBuilder b("compress");
+    b.li(r1, input);
+    b.li(r2, 0);                    // input index
+    b.li(r3, htab);
+    b.li(r4, output);
+    b.li(r5, 0);                    // output index
+    b.li(r11, 0);                   // running code
+    b.label("loop");
+    b.add(r6, r1, r2);
+    b.ldb(r7, r6, 0);               // next byte
+    b.slli(r8, r11, 5);
+    b.xor_(r8, r8, r7);             // hash = code<<5 ^ byte
+    b.andi(r8, r8, htab_bytes - 8);
+    b.add(r9, r3, r8);
+    b.ldq(r10, r9, 0);              // probe
+    b.cmpeq(r12, r10, r11);
+    b.bne(r12, r0, "hit");
+    b.stq(r11, r9, 0);              // install new code (store)
+    b.add(r13, r4, r5);
+    b.stb(r7, r13, 0);              // emit literal (store)
+    b.addi(r5, r5, 1);
+    b.andi(r5, r5, 0xFFFF);
+    b.label("hit");
+    b.add(r11, r8, r7);
+    b.addi(r2, r2, 1);
+    b.andi(r2, r2, input_len - 1);
+    b.br("loop");
+
+    Workload w;
+    w.name = "compress";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        fillRandomBytes(mem, input, input_len, 0xC0);
+    };
+    return w;
+}
+
+/** ijpeg: 8x8 integer transform blocks — regular, multiply-rich, very
+ *  predictable branches. */
+Workload
+makeIjpeg()
+{
+    constexpr Addr image = 0x10000;
+    constexpr std::size_t image_bytes = 8 * 1024;
+
+    ProgramBuilder b("ijpeg");
+    b.li(r1, image);
+    b.li(r2, 0);                    // block offset
+    b.label("block");
+    b.li(r3, 0);                    // i
+    b.label("row");
+    b.add(r4, r1, r2);
+    b.slli(r5, r3, 3);
+    b.add(r4, r4, r5);
+    b.ldq(r6, r4, 0);
+    b.ldq(r7, r4, 8);
+    b.ldq(r8, r4, 16);
+    b.ldq(r9, r4, 24);
+    b.muli(r6, r6, 181);            // butterfly-ish integer math
+    b.muli(r7, r7, 59);
+    b.add(r10, r6, r7);
+    b.sub(r11, r8, r9);
+    b.muli(r11, r11, 49);
+    b.add(r12, r10, r11);
+    b.srli(r12, r12, 8);
+    b.stq(r12, r4, 0);
+    b.addi(r3, r3, 1);
+    b.slti(r13, r3, 8);
+    b.bne(r13, r0, "row");
+    b.addi(r2, r2, 64);
+    b.andi(r2, r2, image_bytes - 64);
+    b.br("block");
+
+    Workload w;
+    w.name = "ijpeg";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        fillRandomBytes(mem, image, image_bytes, 0x1C);
+    };
+    return w;
+}
+
+/** li: cons-cell list interpreter — short pointer chains, call/ret. */
+Workload
+makeLi()
+{
+    constexpr Addr heap = 0x10000;
+    constexpr std::size_t cells = 2 * 1024;     // 16-byte cons cells
+
+    ProgramBuilder b("li");
+    b.li(spReg, 0x8000);            // small stack for call/ret
+    b.li(r1, heap);
+    b.li(r2, 0);                    // cell index
+    b.li(r11, 0);
+    b.label("loop");
+    b.slli(r3, r2, 4);
+    b.add(r3, r1, r3);              // &cell
+    b.call("sumlist");
+    b.add(r11, r11, r4);
+    b.stq(r11, r3, 8);              // update cdr-side value
+    b.addi(r2, r2, 7);              // stride through the heap
+    b.andi(r2, r2, cells - 1);
+    b.br("loop");
+
+    // sumlist(r3=cell) -> r4: walk up to 8 cars.
+    b.label("sumlist");
+    b.li(r4, 0);
+    b.li(r5, 8);
+    b.mov(r6, r3);
+    b.label("walk");
+    b.ldq(r7, r6, 0);               // car: next pointer
+    b.ldq(r8, r6, 8);               // value
+    b.add(r4, r4, r8);
+    b.mov(r6, r7);
+    b.addi(r5, r5, -1);
+    b.bne(r5, r0, "walk");
+    b.ret();
+
+    Workload w;
+    w.name = "li";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        Random rng(0x11);
+        for (std::size_t i = 0; i < cells; ++i) {
+            const Addr cell = heap + i * 16;
+            const std::uint64_t next = heap + rng.range(cells) * 16;
+            mem.write(cell, 8, next);
+            mem.write(cell + 8, 8, rng.next() & 0xFFFF);
+        }
+    };
+    return w;
+}
+
+/** m88ksim: CPU-simulator dispatch loop — fetch "guest instructions",
+ *  decode via a branch tree, update a guest register file. */
+Workload
+makeM88ksim()
+{
+    constexpr Addr gmem = 0x10000;
+    constexpr std::size_t ginsts = 4 * 1024;
+    constexpr Addr gregs = 0x90000;     // 32 guest registers
+
+    ProgramBuilder b("m88ksim");
+    b.li(r1, gmem);
+    b.li(r2, 0);                    // guest pc
+    b.li(r3, gregs);
+    b.label("loop");
+    b.slli(r4, r2, 3);
+    b.add(r4, r1, r4);
+    b.ldq(r5, r4, 0);               // guest instruction word
+    b.andi(r6, r5, 3);              // "opcode"
+    b.srli(r7, r5, 2);
+    b.andi(r7, r7, 31 * 8);         // dest reg offset
+    b.add(r7, r3, r7);
+    b.slti(r8, r6, 2);
+    b.bne(r8, r0, "alu");
+    b.slti(r9, r6, 3);
+    b.bne(r9, r0, "ldst");
+    // branch-type: redirect guest pc
+    b.srli(r2, r5, 7);
+    b.andi(r2, r2, ginsts - 1);
+    b.br("loop");
+    b.label("ldst");
+    b.ldq(r10, r7, 0);
+    b.xori(r10, r10, 0x3C);
+    b.stq(r10, r7, 0);
+    b.br("next");
+    b.label("alu");
+    b.ldq(r10, r7, 0);
+    b.srli(r11, r5, 12);
+    b.add(r10, r10, r11);
+    b.stq(r10, r7, 0);
+    b.label("next");
+    b.addi(r2, r2, 1);
+    b.andi(r2, r2, ginsts - 1);
+    b.br("loop");
+
+    Workload w;
+    w.name = "m88ksim";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        fillRandomBytes(mem, gmem, ginsts * 8, 0x88);
+        fillRandomBytes(mem, gregs, 32 * 8, 0x89);
+    };
+    return w;
+}
+
+/** perl: string hashing over variable-length tokens with an
+ *  associative-array update. */
+Workload
+makePerl()
+{
+    constexpr Addr text = 0x10000;
+    constexpr std::size_t text_len = 32 * 1024;
+    constexpr Addr assoc = 0x60000;
+    constexpr std::size_t assoc_bytes = 16 * 1024;
+
+    ProgramBuilder b("perl");
+    b.li(r1, text);
+    b.li(r2, 0);                    // cursor
+    b.li(r3, assoc);
+    b.label("token");
+    b.li(r4, 5381);                 // djb2 seed
+    b.li(r5, 0);                    // token length
+    b.label("hashloop");
+    b.add(r6, r1, r2);
+    b.ldb(r7, r6, 0);
+    b.muli(r4, r4, 33);
+    b.add(r4, r4, r7);
+    b.addi(r2, r2, 1);
+    b.andi(r2, r2, text_len - 1);
+    b.addi(r5, r5, 1);
+    b.andi(r8, r7, 7);              // "whitespace" ends token, ~1/8
+    b.bne(r8, r0, "hashloop");
+    b.andi(r9, r4, assoc_bytes - 8);
+    b.add(r9, r3, r9);
+    b.ldq(r10, r9, 0);
+    b.add(r10, r10, r5);
+    b.stq(r10, r9, 0);
+    b.br("token");
+
+    Workload w;
+    w.name = "perl";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        fillRandomBytes(mem, text, text_len, 0x9E);
+    };
+    return w;
+}
+
+/** vortex: record store — lookup a record, then copy a burst of
+ *  fields (store-dense, like the paper's store-pressure cases). */
+Workload
+makeVortex()
+{
+    constexpr Addr db = 0x100000;
+    constexpr std::size_t records = 1024;       // 64-byte records
+    constexpr Addr out = 0x300000;
+
+    ProgramBuilder b("vortex");
+    b.li(r1, db);
+    b.li(r2, out);
+    b.li(r13, 99991);
+    b.label("loop");
+    b.muli(r13, r13, 2862933555777941757);
+    b.addi(r13, r13, 3037000493);
+    b.srli(r3, r13, 40);
+    b.andi(r3, r3, records - 1);
+    b.slli(r3, r3, 6);
+    b.add(r4, r1, r3);              // record
+    b.add(r5, r2, r3);              // destination slot
+    b.ldq(r6, r4, 0);
+    b.ldq(r7, r4, 8);
+    b.ldq(r8, r4, 16);
+    b.ldq(r9, r4, 24);
+    b.addi(r6, r6, 1);
+    b.stq(r6, r5, 0);               // field-copy burst: 4 stores
+    b.stq(r7, r5, 8);
+    b.stq(r8, r5, 16);
+    b.stq(r9, r5, 24);
+    b.stq(r6, r4, 0);               // write-back updated field
+    b.br("loop");
+
+    Workload w;
+    w.name = "vortex";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        fillRandomBytes(mem, db, records * 64, 0xDB);
+    };
+    return w;
+}
+
+// ---------------------------------------------------------------------
+// Floating-point benchmarks
+// ---------------------------------------------------------------------
+
+/** Common shape for FP loop nests: walk arrays of doubles applying a
+ *  stencil/chain, parameterised by working-set size, chain depth, and
+ *  stride, which is what differentiates the CFP95 codes for our
+ *  purposes. */
+Workload
+makeFpStream(const std::string &name, std::size_t array_doubles,
+             unsigned stride_doubles, unsigned chain_ops,
+             bool with_divsqrt, std::uint64_t seed)
+{
+    constexpr Addr a_base = 0x100000;
+    const Addr b_base = a_base + array_doubles * 8;
+
+    ProgramBuilder b(name);
+    b.li(r1, a_base);
+    b.li(r2, static_cast<std::int64_t>(b_base));
+    b.li(r3, 0);                        // element index
+    b.li(r4, static_cast<std::int64_t>(array_doubles));
+    b.label("loop");
+    b.slli(r5, r3, 3);
+    b.add(r6, r1, r5);
+    b.add(r7, r2, r5);
+    // Four-way unrolled stencil: independent lanes expose the ILP a
+    // compiled CFP95 loop nest would (software-pipelined on Alpha).
+    constexpr unsigned lanes = 4;
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        const auto off =
+            static_cast<std::int64_t>(lane * stride_doubles * 8);
+        const RegIndex a0 = fpReg(lane * 4 + 0);
+        const RegIndex a1 = fpReg(lane * 4 + 1);
+        const RegIndex b0 = fpReg(lane * 4 + 2);
+        const RegIndex acc = fpReg(lane * 4 + 3);
+        b.fld(a0, r6, off);
+        b.fld(a1, r6, off + 8);
+        b.fld(b0, r7, off);
+        b.fadd(acc, a0, a1);
+        b.fmul(acc, acc, b0);
+        b.fst(acc, r7, off);
+    }
+    const RegIndex chain = fpReg(16);
+    const RegIndex tmp1 = fpReg(17);
+    const RegIndex tmp2 = fpReg(18);
+    if (chain_ops)
+        b.fadd(chain, f3, f0);      // seed: no loop-carried dependence
+    for (unsigned i = 0; i < chain_ops; ++i) {
+        // Dependent FP chain: fpppp-style latency-bound stretches.
+        b.fmul(chain, chain, f3);
+        b.fadd(chain, chain, f0);
+    }
+    if (with_divsqrt) {
+        b.fdiv(tmp1, chain, f3);
+        b.fsqrt(tmp2, tmp1);
+        b.fadd(chain, chain, tmp2);
+    }
+    b.addi(r3, r3, lanes * stride_doubles);
+    b.blt(r3, r4, "loop");
+    b.li(r3, 0);
+    b.br("loop");
+
+    Workload w;
+    w.name = name;
+    w.program = b.build();
+    w.mem_size = b_base + array_doubles * 8 + 4096;
+    w.init_memory = [=](DataMemory &mem) {
+        fillRandomDoubles(mem, a_base, array_doubles + 1, seed);
+        fillRandomDoubles(mem, b_base, array_doubles + 1, seed ^ 0xF00);
+    };
+    return w;
+}
+
+/** wave5: particle push — indexed gather/scatter plus FP update. */
+Workload
+makeWave5()
+{
+    constexpr Addr idx = 0x100000;
+    constexpr std::size_t particles = 4 * 1024;
+    constexpr Addr field = 0x300000;
+    constexpr std::size_t field_doubles = 8 * 1024;     // 64 KB
+
+    ProgramBuilder b("wave5");
+    b.li(r1, idx);
+    b.li(r2, field);
+    b.li(r3, 0);
+    b.label("loop");
+    b.slli(r4, r3, 3);
+    b.add(r5, r1, r4);
+    b.ldq(r6, r5, 0);               // particle cell index
+    b.slli(r6, r6, 3);
+    b.add(r7, r2, r6);
+    b.fld(f0, r7, 0);               // gather
+    b.fld(f1, r7, 8);
+    b.fsub(f2, f1, f0);
+    b.fmul(f3, f2, f2);
+    b.fadd(f4, f0, f3);
+    b.add(r9, r5, 0x40000);         // particle output slot
+    b.fst(f4, r9, 0);               // scatter to particle state
+    b.addi(r3, r3, 1);
+    b.slti(r8, r3, particles);
+    b.bne(r8, r0, "loop");
+    b.li(r3, 0);
+    b.br("loop");
+
+    Workload w;
+    w.name = "wave5";
+    w.program = b.build();
+    w.init_memory = [](DataMemory &mem) {
+        Random rng(0x5A7E);
+        for (std::size_t i = 0; i < particles; ++i)
+            mem.write(idx + i * 8, 8, rng.range(field_doubles - 2));
+        fillRandomDoubles(mem, field, field_doubles, 0x57);
+    };
+    return w;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+spec95Names()
+{
+    static const std::vector<std::string> names = {
+        "applu", "apsi", "compress", "fpppp", "gcc", "go", "hydro2d",
+        "ijpeg", "li", "m88ksim", "mgrid", "perl", "su2cor", "swim",
+        "tomcatv", "turb3d", "vortex", "wave5",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+twoThreadMixBase()
+{
+    static const std::vector<std::string> names = {"gcc", "go", "fpppp",
+                                                   "swim"};
+    return names;
+}
+
+const std::vector<std::string> &
+fourThreadMixBase()
+{
+    static const std::vector<std::string> names = {"gcc", "go", "ijpeg",
+                                                   "fpppp", "swim"};
+    return names;
+}
+
+Workload
+buildWorkload(const std::string &name)
+{
+    // Integer codes.
+    if (name == "gcc")
+        return makeGcc();
+    if (name == "go")
+        return makeGo();
+    if (name == "compress")
+        return makeCompress();
+    if (name == "ijpeg")
+        return makeIjpeg();
+    if (name == "li")
+        return makeLi();
+    if (name == "m88ksim")
+        return makeM88ksim();
+    if (name == "perl")
+        return makePerl();
+    if (name == "vortex")
+        return makeVortex();
+
+    // FP codes, differentiated by working set / chain depth / stride:
+    //   fpppp  — cache-resident, deep dependent chains, div/sqrt
+    //   swim   — 4 MB streaming (beyond L2 per-thread pressure)
+    //   tomcatv— 2 MB streaming
+    //   applu  — 512 KB, moderate chains
+    //   apsi   — 256 KB with div/sqrt
+    //   hydro2d— 1 MB stencil-ish stride 2
+    //   mgrid  — 2 MB strided (stride 8: multigrid coarsening)
+    //   su2cor — 512 KB stride 4
+    //   turb3d — 1 MB power-of-two stride 16 (FFT-like)
+    if (name == "fpppp")
+        return makeFpStream("fpppp", 2 * 1024, 1, 4, true, 0xF9);
+    if (name == "swim")
+        return makeFpStream("swim", 6 * 1024, 1, 0, false, 0x51);
+    if (name == "tomcatv")
+        return makeFpStream("tomcatv", 4 * 1024, 1, 0, false, 0x70);
+    if (name == "applu")
+        return makeFpStream("applu", 2 * 1024, 1, 0, false, 0xAA);
+    if (name == "apsi")
+        return makeFpStream("apsi", 2 * 1024, 1, 1, true, 0xA5);
+    if (name == "hydro2d")
+        return makeFpStream("hydro2d", 4 * 1024, 2, 0, false, 0x42);
+    if (name == "mgrid")
+        return makeFpStream("mgrid", 4 * 1024, 8, 0, false, 0x36);
+    if (name == "su2cor")
+        return makeFpStream("su2cor", 2 * 1024, 4, 1, false, 0x52);
+    if (name == "turb3d")
+        return makeFpStream("turb3d", 4 * 1024, 16, 0, false, 0x3D);
+    if (name == "wave5")
+        return makeWave5();
+
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::vector<std::string>>
+twoProgramMixes()
+{
+    const auto &base = twoThreadMixBase();
+    std::vector<std::vector<std::string>> mixes;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        for (std::size_t j = i + 1; j < base.size(); ++j)
+            mixes.push_back({base[i], base[j]});
+    }
+    return mixes;   // C(4,2) = 6, as in the paper
+}
+
+std::vector<std::vector<std::string>>
+fourProgramMixes()
+{
+    // The paper reports 15 four-program combinations drawn from
+    // {gcc, go, ijpeg, fpppp, swim}.  We use the 5 all-distinct
+    // 4-subsets plus the 10 pair-of-pairs multisets {a,a,b,b} —
+    // 15 mixes total.
+    const auto &base = fourThreadMixBase();
+    std::vector<std::vector<std::string>> mixes;
+    for (std::size_t skip = 0; skip < base.size(); ++skip) {
+        std::vector<std::string> mix;
+        for (std::size_t i = 0; i < base.size(); ++i) {
+            if (i != skip)
+                mix.push_back(base[i]);
+        }
+        mixes.push_back(mix);
+    }
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        for (std::size_t j = i + 1; j < base.size(); ++j)
+            mixes.push_back({base[i], base[i], base[j], base[j]});
+    }
+    return mixes;
+}
+
+} // namespace rmt

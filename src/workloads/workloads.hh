@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SPEC CPU95-like workload kernels (paper Section 6.2).
+ *
+ * The paper evaluates on the 18 SPEC CPU95 benchmarks.  Those binaries
+ * (and an Alpha toolchain) are not available here, so each benchmark is
+ * substituted by a hand-written kernel in the rmtsim ISA that lands in
+ * the same behavioural regime as its namesake: branch-misprediction
+ * rate, working-set size (L1-resident / L2-resident / streaming),
+ * integer-vs-FP mix, store density, and pointer-chasing vs streaming
+ * access patterns.  DESIGN.md Section 2 documents the substitution.
+ *
+ * All kernels loop forever; simulations run to a committed-instruction
+ * budget.  Kernel memory images are deterministic (seeded per kernel).
+ */
+
+#ifndef RMTSIM_WORKLOADS_WORKLOADS_HH
+#define RMTSIM_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace rmt
+{
+
+/** A ready-to-run benchmark: program text plus data-image initialiser. */
+struct Workload
+{
+    std::string name;
+    Program program;
+    std::size_t mem_size = 8 * 1024 * 1024;
+    std::function<void(DataMemory &)> init_memory;
+
+    /** Allocate and initialise this workload's data image. */
+    std::unique_ptr<DataMemory>
+    makeMemory() const
+    {
+        auto mem = std::make_unique<DataMemory>(mem_size);
+        if (init_memory)
+            init_memory(*mem);
+        return mem;
+    }
+};
+
+/** All 18 SPEC CPU95 benchmark names, paper order (Figure 6). */
+const std::vector<std::string> &spec95Names();
+
+/** The multiprogrammed-mix bases (Section 6.2). */
+const std::vector<std::string> &twoThreadMixBase();   // gcc go fpppp swim
+const std::vector<std::string> &fourThreadMixBase();  // + ijpeg
+
+/** Build one benchmark by name (fatal on unknown name). */
+Workload buildWorkload(const std::string &name);
+
+/** All 6 unordered pairs of twoThreadMixBase(). */
+std::vector<std::vector<std::string>> twoProgramMixes();
+
+/** All 15 4-of-5 multisets... the paper's 15 four-program combinations
+ *  (5 choose 4 = 5 distinct sets plus repetition mixes; we use the 15
+ *  combinations with repetition of 4 distinct-or-repeated programs
+ *  drawn from the 5-benchmark base, matching the paper's count). */
+std::vector<std::vector<std::string>> fourProgramMixes();
+
+} // namespace rmt
+
+#endif // RMTSIM_WORKLOADS_WORKLOADS_HH

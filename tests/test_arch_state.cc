@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "isa/arch_state.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+constexpr RegIndex r1 = intReg(1);
+constexpr RegIndex r2 = intReg(2);
+constexpr RegIndex r3 = intReg(3);
+constexpr RegIndex f0 = fpReg(0);
+constexpr RegIndex f1 = fpReg(1);
+
+} // namespace
+
+TEST(ArchState, StraightLineArithmetic)
+{
+    ProgramBuilder b("t");
+    b.li(r1, 6).li(r2, 7).mul(r3, r1, r2).halt();
+    Program p = b.build();
+    DataMemory mem(64);
+    ArchState st(p, mem);
+    st.run(100);
+    EXPECT_TRUE(st.halted());
+    EXPECT_EQ(st.readReg(r3), 42u);
+    EXPECT_EQ(st.instsExecuted(), 4u);
+}
+
+TEST(ArchState, RegisterZeroIsHardwired)
+{
+    ProgramBuilder b("t");
+    b.li(intReg(0), 99).mov(r1, intReg(0)).halt();
+    Program p = b.build();
+    DataMemory mem(64);
+    ArchState st(p, mem);
+    st.run(100);
+    EXPECT_EQ(st.readReg(intReg(0)), 0u);
+    EXPECT_EQ(st.readReg(r1), 0u);
+}
+
+TEST(ArchState, LoopWithBranch)
+{
+    // Sum 1..10.
+    ProgramBuilder b("t");
+    b.li(r1, 10);       // counter
+    b.li(r2, 0);        // sum
+    b.label("loop");
+    b.add(r2, r2, r1);
+    b.addi(r1, r1, -1);
+    b.bne(r1, intReg(0), "loop");
+    b.halt();
+    Program p = b.build();
+    DataMemory mem(64);
+    ArchState st(p, mem);
+    st.run(1000);
+    EXPECT_TRUE(st.halted());
+    EXPECT_EQ(st.readReg(r2), 55u);
+}
+
+TEST(ArchState, LoadsAndStores)
+{
+    ProgramBuilder b("t");
+    b.li(r1, 0x100);
+    b.li(r2, 0xABCD);
+    b.stq(r2, r1, 0);
+    b.ldq(r3, r1, 0);
+    b.sth(r2, r1, 8);
+    b.ldh(r2, r1, 8);
+    b.halt();
+    Program p = b.build();
+    DataMemory mem(4096);
+    ArchState st(p, mem);
+    st.run(100);
+    EXPECT_EQ(st.readReg(r3), 0xABCDu);
+    EXPECT_EQ(mem.read(0x100, 8), 0xABCDu);
+    EXPECT_EQ(st.readReg(r2), 0xABCDu);
+}
+
+TEST(ArchState, CallAndReturn)
+{
+    ProgramBuilder b("t");
+    b.li(r1, 5);
+    b.call("double_it");
+    b.mov(r3, r2);
+    b.halt();
+    b.label("double_it");
+    b.add(r2, r1, r1);
+    b.ret();
+    Program p = b.build();
+    DataMemory mem(64);
+    ArchState st(p, mem);
+    st.run(100);
+    EXPECT_TRUE(st.halted());
+    EXPECT_EQ(st.readReg(r3), 10u);
+}
+
+TEST(ArchState, FloatingPointChain)
+{
+    ProgramBuilder b("t");
+    b.li(r1, 0x100);
+    b.li(r2, 9);
+    b.cvtif(f0, r2);
+    b.fsqrt(f1, f0);
+    b.fst(f1, r1, 0);
+    b.cvtfi(r3, f1);
+    b.halt();
+    Program p = b.build();
+    DataMemory mem(4096);
+    ArchState st(p, mem);
+    st.run(100);
+    EXPECT_EQ(st.readReg(r3), 3u);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(mem.read(0x100, 8)), 3.0);
+}
+
+TEST(ArchState, StepResultReportsStores)
+{
+    ProgramBuilder b("t");
+    b.li(r1, 0x40).li(r2, 7).stw(r2, r1, 4).halt();
+    Program p = b.build();
+    DataMemory mem(256);
+    ArchState st(p, mem);
+    st.step();
+    st.step();
+    const StepResult r = st.step();
+    EXPECT_TRUE(r.is_store);
+    EXPECT_EQ(r.store_addr, 0x44u);
+    EXPECT_EQ(r.store_data, 7u);
+    EXPECT_EQ(r.store_size, 4u);
+}
+
+TEST(ArchState, HaltIsSticky)
+{
+    ProgramBuilder b("t");
+    b.halt();
+    Program p = b.build();
+    DataMemory mem(64);
+    ArchState st(p, mem);
+    EXPECT_EQ(st.run(10), 1u);
+    const Addr pc = st.pc();
+    st.step();
+    EXPECT_EQ(st.pc(), pc);
+    EXPECT_TRUE(st.halted());
+}
+
+TEST(ArchState, RunRespectsBudget)
+{
+    ProgramBuilder b("t");
+    b.label("spin").br("spin");
+    Program p = b.build();
+    DataMemory mem(64);
+    ArchState st(p, mem);
+    EXPECT_EQ(st.run(123), 123u);
+    EXPECT_FALSE(st.halted());
+}

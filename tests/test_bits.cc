@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+using namespace rmt;
+
+TEST(Bits, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(Bits, Extract)
+{
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCu);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+    EXPECT_EQ(bits(0xF0, 4, 4), 0xFu);
+}
+
+TEST(Bits, FlipBit)
+{
+    EXPECT_EQ(flipBit(0, 0), 1u);
+    EXPECT_EQ(flipBit(1, 0), 0u);
+    EXPECT_EQ(flipBit(0, 63), 1ull << 63);
+    // Double flip restores the value.
+    for (unsigned b = 0; b < 64; ++b)
+        EXPECT_EQ(flipBit(flipBit(0x123456789ABCDEFull, b), b),
+                  0x123456789ABCDEFull);
+}
+
+TEST(Bits, Parity64)
+{
+    EXPECT_EQ(parity64(0), 0u);
+    EXPECT_EQ(parity64(1), 1u);
+    EXPECT_EQ(parity64(3), 0u);
+    EXPECT_EQ(parity64(7), 1u);
+    EXPECT_EQ(parity64(~0ull), 0u);
+    // Flipping any single bit flips parity (the ECC premise).
+    const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    for (unsigned b = 0; b < 64; ++b)
+        EXPECT_NE(parity64(v), parity64(flipBit(v, b)));
+}

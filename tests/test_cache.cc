@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    return CacheParams{"c", 512, 2, 64};
+}
+
+} // namespace
+
+TEST(Cache, MissThenFillThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000));
+    c.fill(0x1000);
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x103F));      // same block
+    EXPECT_FALSE(c.access(0x1040));     // next block
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallCache());
+    // Three blocks mapping to the same set (stride = sets*block = 256).
+    c.fill(0x0000);
+    c.fill(0x0100);
+    EXPECT_TRUE(c.access(0x0000));      // touch: 0x0000 is now MRU
+    c.fill(0x0200);                     // evicts LRU = 0x0100
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0100));
+    EXPECT_TRUE(c.probe(0x0200));
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    Cache c(smallCache());
+    c.fill(0x0000);
+    c.fill(0x0100);
+    // Probe (not access) 0x0000, so it stays LRU.
+    EXPECT_TRUE(c.probe(0x0000));
+    c.fill(0x0200);
+    EXPECT_FALSE(c.probe(0x0000));
+    EXPECT_TRUE(c.probe(0x0100));
+}
+
+TEST(Cache, Invalidate)
+{
+    Cache c(smallCache());
+    c.fill(0x1000);
+    c.invalidate(0x1000);
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Cache, FlushAll)
+{
+    Cache c(smallCache());
+    c.fill(0x0);
+    c.fill(0x40);
+    c.flushAll();
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, DoubleFillRefreshes)
+{
+    Cache c(smallCache());
+    c.fill(0x0000);
+    c.fill(0x0100);
+    c.fill(0x0000);                     // refresh, no duplicate
+    c.fill(0x0200);                     // evicts 0x0100
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0100));
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    Cache c(smallCache());
+    c.fill(0x000);
+    c.fill(0x040);
+    c.fill(0x080);
+    c.fill(0x0C0);
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_TRUE(c.probe(0x040));
+    EXPECT_TRUE(c.probe(0x080));
+    EXPECT_TRUE(c.probe(0x0C0));
+}
+
+TEST(Cache, BlockAlign)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.blockAlign(0x1234), 0x1200u);
+    EXPECT_EQ(c.blockAlign(0x1240), 0x1240u);
+}
+
+TEST(Cache, PaperGeometries)
+{
+    // Table 1 geometries construct cleanly.
+    Cache l1i(CacheParams{"l1i", 64 * 1024, 2, 64});
+    Cache l1d(CacheParams{"l1d", 64 * 1024, 2, 64});
+    Cache l2(CacheParams{"l2", 3 * 1024 * 1024, 8, 64});
+    l2.fill(0xABCDE0);
+    EXPECT_TRUE(l2.probe(0xABCDE0));
+}

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "cmp/chip.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+constexpr RegIndex r1 = intReg(1);
+constexpr RegIndex r2 = intReg(2);
+constexpr RegIndex r3 = intReg(3);
+
+Program
+counting(int iters)
+{
+    ProgramBuilder b("count");
+    b.li(r1, iters);
+    b.li(r2, 0);
+    b.label("loop");
+    b.addi(r2, r2, 3);
+    b.stq(r2, intReg(0), 0x100);    // repeated store to one slot
+    b.addi(r1, r1, -1);
+    b.bne(r1, intReg(0), "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+TEST(Chip, RejectsBadCoreCounts)
+{
+    ChipParams cp;
+    cp.num_cores = 0;
+    EXPECT_EXIT({ Chip chip(cp); }, ::testing::ExitedWithCode(1),
+                "one or two");
+    cp.num_cores = 3;
+    EXPECT_EXIT({ Chip chip(cp); }, ::testing::ExitedWithCode(1),
+                "one or two");
+}
+
+TEST(Chip, CoresShareTheL2)
+{
+    // Core 0 touches a block; core 1's first L1 miss on it then hits
+    // the shared L2 instead of memory.
+    ChipParams cp;
+    cp.num_cores = 2;
+    cp.cpu.num_threads = 1;
+    Chip chip(cp);
+    const Program prog = counting(200);
+    DataMemory m0(4096), m1(4096);
+    chip.cpu(0).addThread(0, prog, m0, 0, Role::Single);
+    chip.cpu(1).addThread(0, prog, m1, 0, Role::Single);
+    chip.run(200000);
+    ASSERT_TRUE(chip.allDone());
+    // Both programs use logical id 0 -> same physical space: the L2
+    // absorbed the second core's compulsory misses.
+    EXPECT_GT(chip.memSystem().l2().hits(), 0u);
+}
+
+TEST(Chip, DistinctLogicalSpacesDoNotAlias)
+{
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 2;
+    Chip chip(cp);
+    const Program prog = counting(300);
+    DataMemory m0(4096), m1(4096);
+    chip.cpu(0).addThread(0, prog, m0, 0, Role::Single);
+    chip.cpu(0).addThread(1, prog, m1, 1, Role::Single);
+    chip.run(200000);
+    ASSERT_TRUE(chip.allDone());
+    // Functionally isolated: each image got its own final value.
+    EXPECT_EQ(m0.read(0x100, 8), 900u);
+    EXPECT_EQ(m1.read(0x100, 8), 900u);
+}
+
+TEST(Chip, RunStopsAtTheCycleCap)
+{
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 1;
+    Chip chip(cp);
+    ProgramBuilder b("spin");
+    b.label("spin");
+    b.addi(r3, r3, 1);
+    b.br("spin");
+    const Program prog = b.build();
+    DataMemory mem(4096);
+    chip.cpu(0).addThread(0, prog, mem, 0, Role::Single);
+    const Cycle ran = chip.run(5000);
+    EXPECT_EQ(ran, 5000u);
+    EXPECT_FALSE(chip.allDone());
+}
+
+TEST(Chip, DrainWindowFollowsCompletion)
+{
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 1;
+    Chip chip(cp);
+    const Program prog = counting(50);
+    DataMemory mem(4096);
+    chip.cpu(0).addThread(0, prog, mem, 0, Role::Single);
+    const Cycle ran = chip.run(1000000);
+    ASSERT_TRUE(chip.allDone());
+    // The run ticks a bounded drain window past completion.
+    EXPECT_LT(ran, 100000u);
+    EXPECT_GE(ran, Chip::drainCycles);
+}
+
+TEST(Chip, DeviceIsSharedChipResource)
+{
+    ChipParams cp;
+    cp.num_cores = 2;
+    cp.cpu.num_threads = 1;
+    Chip chip(cp);
+    ProgramBuilder b("dev");
+    b.li(r1, 0x7000000);
+    b.ldunc(r2, r1, 0);
+    b.ldunc(r3, r1, 0);
+    b.halt();
+    const Program prog = b.build();
+    DataMemory m0(4096), m1(4096);
+    chip.cpu(0).addThread(0, prog, m0, 0, Role::Single);
+    chip.cpu(1).addThread(0, prog, m1, 1, Role::Single);
+    chip.run(100000);
+    ASSERT_TRUE(chip.allDone());
+    // Four volatile reads total hit ONE device instance.
+    EXPECT_EQ(chip.device().reads(), 4u);
+}
+
+TEST(Chip, PerCoreStatsAreIndependent)
+{
+    ChipParams cp;
+    cp.num_cores = 2;
+    cp.cpu.num_threads = 1;
+    Chip chip(cp);
+    const Program prog = counting(500);
+    DataMemory m0(4096), m1(4096);
+    chip.cpu(0).addThread(0, prog, m0, 0, Role::Single);
+    // Core 1 idles: it must not accumulate commit counts.
+    chip.run(300000);
+    ASSERT_TRUE(chip.allDone());
+    EXPECT_GT(chip.cpu(0).committed(0), 0u);
+    EXPECT_EQ(chip.cpu(1).committed(0), 0u);
+}

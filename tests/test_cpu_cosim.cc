@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+/**
+ * Run @p workload in @p mode with architectural co-simulation enabled:
+ * every committed instruction of every hardware thread is checked
+ * against the in-order reference model, so any timing-model bug that
+ * corrupts architectural state aborts the test.
+ */
+void
+cosimRun(const std::string &workload, SimMode mode,
+         std::uint64_t insts = 8000)
+{
+    SimOptions opts;
+    opts.mode = mode;
+    opts.cosim = true;
+    opts.warmup_insts = 0;
+    opts.measure_insts = insts;
+    const RunResult r = runSimulation({workload}, opts);
+    EXPECT_TRUE(r.completed) << workload << " did not finish";
+    EXPECT_EQ(r.detections, 0u)
+        << workload << ": spurious fault detections";
+    EXPECT_EQ(r.store_mismatches, 0u);
+}
+
+class CosimAllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST_P(CosimAllWorkloads, Base)
+{
+    cosimRun(GetParam(), SimMode::Base);
+}
+
+TEST_P(CosimAllWorkloads, Srt)
+{
+    cosimRun(GetParam(), SimMode::Srt);
+}
+
+TEST_P(CosimAllWorkloads, Crt)
+{
+    cosimRun(GetParam(), SimMode::Crt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec95, CosimAllWorkloads,
+                         ::testing::ValuesIn(spec95Names()),
+                         [](const auto &info) { return info.param; });
+
+TEST(CosimModes, Base2RunsBothCopies)
+{
+    SimOptions opts;
+    opts.mode = SimMode::Base2;
+    opts.cosim = true;
+    opts.warmup_insts = 0;
+    opts.measure_insts = 5000;
+    Simulation sim({"compress"}, opts);
+    const RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    // Both hardware threads committed their budget.
+    EXPECT_GE(sim.chip().cpu(0).committed(0), 5000u);
+    EXPECT_GE(sim.chip().cpu(0).committed(1), 5000u);
+}
+
+TEST(CosimModes, LockstepMatchesArchitecture)
+{
+    SimOptions opts;
+    opts.mode = SimMode::Lockstep;
+    opts.checker_penalty = 8;
+    opts.cosim = true;
+    opts.warmup_insts = 0;
+    opts.measure_insts = 5000;
+    const RunResult r = runSimulation({"m88ksim", "li"}, opts);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(CosimModes, SrtTwoLogicalThreads)
+{
+    SimOptions opts;
+    opts.mode = SimMode::Srt;
+    opts.cosim = true;
+    opts.warmup_insts = 0;
+    opts.measure_insts = 5000;
+    const RunResult r = runSimulation({"gcc", "swim"}, opts);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.detections, 0u);
+}
+
+TEST(CosimModes, CrtFourLogicalThreads)
+{
+    SimOptions opts;
+    opts.mode = SimMode::Crt;
+    opts.cosim = true;
+    opts.warmup_insts = 0;
+    opts.measure_insts = 4000;
+    const RunResult r =
+        runSimulation({"gcc", "go", "fpppp", "swim"}, opts);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.detections, 0u);
+}

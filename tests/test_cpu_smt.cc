@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cpu/smt_cpu.hh"
+#include "mem/mem_system.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+constexpr RegIndex r1 = intReg(1);
+constexpr RegIndex r2 = intReg(2);
+constexpr RegIndex r3 = intReg(3);
+
+Program
+makeCounterLoop(std::int64_t iters, Addr result_addr)
+{
+    ProgramBuilder b("loop");
+    b.li(r1, iters);
+    b.li(r2, 0);
+    b.label("loop");
+    b.addi(r2, r2, 2);
+    b.addi(r1, r1, -1);
+    b.bne(r1, intReg(0), "loop");
+    b.li(r3, static_cast<std::int64_t>(result_addr));
+    b.stq(r2, r3, 0);
+    b.halt();
+    return b.build();
+}
+
+struct SmtHarness
+{
+    explicit SmtHarness(unsigned num_threads)
+        : memSys(MemSystemParams{})
+    {
+        SmtParams p;
+        p.num_threads = num_threads;
+        p.cosim = true;
+        cpu = std::make_unique<SmtCpu>(p, memSys, 0);
+    }
+
+    void
+    addThread(ThreadId tid, const Program &prog)
+    {
+        mems.push_back(std::make_unique<DataMemory>(64 * 1024));
+        cpu->addThread(tid, prog, *mems.back(), tid, Role::Single);
+    }
+
+    void
+    runAll(Cycle cap = 500000)
+    {
+        while (!cpu->allThreadsDone() && cpu->cycle() < cap)
+            cpu->tick();
+        ASSERT_TRUE(cpu->allThreadsDone());
+    }
+
+    MemSystem memSys;
+    std::unique_ptr<SmtCpu> cpu;
+    std::vector<std::unique_ptr<DataMemory>> mems;
+    std::vector<Program> progs;
+};
+
+} // namespace
+
+TEST(CpuSmt, TwoThreadsBothComplete)
+{
+    SmtHarness h(2);
+    Program p0 = makeCounterLoop(500, 0x100);
+    Program p1 = makeCounterLoop(300, 0x200);
+    h.addThread(0, p0);
+    h.addThread(1, p1);
+    h.runAll();
+    EXPECT_EQ(h.mems[0]->read(0x100, 8), 1000u);
+    EXPECT_EQ(h.mems[1]->read(0x200, 8), 600u);
+}
+
+TEST(CpuSmt, FourThreadsBothComplete)
+{
+    SmtHarness h(4);
+    std::vector<Program> progs;
+    for (unsigned t = 0; t < 4; ++t)
+        progs.push_back(makeCounterLoop(200 + 50 * t, 0x100));
+    for (unsigned t = 0; t < 4; ++t)
+        h.addThread(static_cast<ThreadId>(t), progs[t]);
+    h.runAll();
+    for (unsigned t = 0; t < 4; ++t) {
+        EXPECT_EQ(h.mems[t]->read(0x100, 8), 2 * (200u + 50 * t))
+            << "thread " << t;
+    }
+}
+
+TEST(CpuSmt, ThreadsMakeConcurrentProgress)
+{
+    // Both threads should finish in far less than 2x the single-thread
+    // time (they share an 8-wide machine running 3-IPC-max loops).
+    SmtHarness solo(1);
+    Program p = makeCounterLoop(2000, 0x100);
+    solo.addThread(0, p);
+    solo.runAll();
+    const Cycle solo_cycles = solo.cpu->cycle();
+
+    SmtHarness duo(2);
+    Program pa = makeCounterLoop(2000, 0x100);
+    Program pb = makeCounterLoop(2000, 0x100);
+    duo.addThread(0, pa);
+    duo.addThread(1, pb);
+    duo.runAll();
+    EXPECT_LT(duo.cpu->cycle(), 2 * solo_cycles);
+    EXPECT_GT(duo.cpu->cycle(), solo_cycles / 2);
+}
+
+TEST(CpuSmt, SmtSlowerThanAlone)
+{
+    // A thread sharing the core cannot be faster than running alone.
+    SmtHarness solo(1);
+    Program p = makeCounterLoop(2000, 0x100);
+    solo.addThread(0, p);
+    solo.runAll();
+
+    SmtHarness duo(2);
+    Program pa = makeCounterLoop(2000, 0x100);
+    Program pb = makeCounterLoop(2000, 0x100);
+    duo.addThread(0, pa);
+    duo.addThread(1, pb);
+    duo.runAll();
+    EXPECT_GE(duo.cpu->cycle() + 2, solo.cpu->cycle());
+}
+
+TEST(CpuSmt, PerThreadIpcAccounting)
+{
+    SmtHarness h(2);
+    Program pa = makeCounterLoop(1000, 0x100);
+    Program pb = makeCounterLoop(1000, 0x100);
+    h.addThread(0, pa);
+    h.addThread(1, pb);
+    h.runAll();
+    EXPECT_GT(h.cpu->ipc(0), 0.0);
+    EXPECT_GT(h.cpu->ipc(1), 0.0);
+    EXPECT_EQ(h.cpu->committed(0), h.cpu->committed(1));
+}

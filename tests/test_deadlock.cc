@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+/**
+ * Deadlock-avoidance stress (paper Section 4.3): shrink every shared
+ * resource to a sliver and verify the per-thread reservations still
+ * guarantee forward progress — the core's watchdog panics on any hang,
+ * so mere completion is the assertion.
+ */
+SimOptions
+tinyMachine(SimMode mode)
+{
+    SimOptions o;
+    o.mode = mode;
+    o.warmup_insts = 0;
+    o.measure_insts = 3000;
+    o.cpu.iq_entries = 32;
+    o.cpu.iq_reserved_per_thread = 4;
+    o.cpu.rob_entries = 48;
+    o.cpu.rob_reserved_per_thread = 6;
+    o.cpu.phys_regs = 320;      // 256 architectural + a small margin
+    o.cpu.regs_reserved_per_thread = 6;
+    o.cpu.load_queue_entries = 8;
+    o.cpu.store_queue_entries = 8;
+    o.cpu.lvq_entries = 8;
+    o.cpu.lpq_entries = 4;
+    o.cpu.merge_buffer.entries = 2;
+    return o;
+}
+
+} // namespace
+
+TEST(Deadlock, TinyMachineBaseCompletes)
+{
+    const RunResult r = runSimulation({"compress"}, tinyMachine(SimMode::Base));
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Deadlock, TinyMachineSrtCompletes)
+{
+    const RunResult r =
+        runSimulation({"compress"}, tinyMachine(SimMode::Srt));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.detections, 0u);
+}
+
+TEST(Deadlock, TinyMachineSrtStoreHeavyCompletes)
+{
+    const RunResult r =
+        runSimulation({"vortex"}, tinyMachine(SimMode::Srt));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.detections, 0u);
+}
+
+TEST(Deadlock, TinyMachineTwoLogicalSrtCompletes)
+{
+    SimOptions o = tinyMachine(SimMode::Srt);
+    o.measure_insts = 2000;
+    const RunResult r = runSimulation({"gcc", "li"}, o);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.detections, 0u);
+}
+
+TEST(Deadlock, TinyMachineCrtCompletes)
+{
+    SimOptions o = tinyMachine(SimMode::Crt);
+    o.measure_insts = 2000;
+    const RunResult r = runSimulation({"gcc", "swim"}, o);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.detections, 0u);
+}
+
+TEST(Deadlock, MembarStormOnTinyMachine)
+{
+    // The paper's membar chunk-termination rule under minimal queues.
+    ProgramBuilder b("membar_storm");
+    b.li(intReg(1), 0x1000);
+    b.li(intReg(2), 0);
+    b.label("loop");
+    b.addi(intReg(2), intReg(2), 1);
+    b.stq(intReg(2), intReg(1), 0);
+    b.membar();
+    b.br("loop");
+    const Program prog = b.build();
+
+    SimOptions o = tinyMachine(SimMode::Srt);
+    MemSystem ms{MemSystemParams{}};
+    SmtParams params = o.cpu;
+    params.num_threads = 2;
+    SmtCpu cpu(params, ms, 0);
+
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{0, 1};
+    pp.lvq_entries = params.lvq_entries;
+    pp.lpq_entries = params.lpq_entries;
+    RedundancyManager rm;
+    RedundantPair &pair = rm.addPair(pp);
+
+    DataMemory mem(64 * 1024);
+    cpu.addThread(0, prog, mem, 0, Role::Leading, &pair);
+    cpu.addThread(1, prog, mem, 0, Role::Trailing, &pair);
+    cpu.setTarget(0, 2000);
+    cpu.setTarget(1, 2000);
+    while (!cpu.allThreadsDone() && cpu.cycle() < 500000)
+        cpu.tick();
+    EXPECT_TRUE(cpu.allThreadsDone());
+}
+
+TEST(Deadlock, SqStarvationBetweenThreads)
+{
+    // Two store-heavy logical threads on shared tiny queues: the
+    // reservations must prevent one pair from wedging the other.
+    SimOptions o = tinyMachine(SimMode::Srt);
+    o.measure_insts = 1500;
+    const RunResult r = runSimulation({"vortex", "compress"}, o);
+    EXPECT_TRUE(r.completed);
+}

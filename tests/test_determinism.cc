@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+/**
+ * Determinism is load-bearing twice over: it makes experiments
+ * reproducible, and it is the premise behind modelling lockstep as one
+ * core (two deterministic cores given identical inputs stay in
+ * lockstep).
+ */
+RunResult
+runOnce(SimMode mode, const std::vector<std::string> &wls)
+{
+    SimOptions o;
+    o.mode = mode;
+    o.warmup_insts = 1000;
+    o.measure_insts = 6000;
+    return runSimulation(wls, o);
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (std::size_t i = 0; i < a.threads.size(); ++i) {
+        EXPECT_EQ(a.threads[i].cycles, b.threads[i].cycles);
+        EXPECT_EQ(a.threads[i].committed, b.threads[i].committed);
+        EXPECT_DOUBLE_EQ(a.threads[i].ipc, b.threads[i].ipc);
+    }
+    EXPECT_EQ(a.store_comparisons, b.store_comparisons);
+    EXPECT_EQ(a.sq_full_stalls, b.sq_full_stalls);
+    EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts);
+}
+
+} // namespace
+
+TEST(Determinism, BaseRunsAreBitIdentical)
+{
+    expectIdentical(runOnce(SimMode::Base, {"gcc"}),
+                    runOnce(SimMode::Base, {"gcc"}));
+}
+
+TEST(Determinism, SmtRunsAreBitIdentical)
+{
+    expectIdentical(runOnce(SimMode::Base, {"gcc", "swim"}),
+                    runOnce(SimMode::Base, {"gcc", "swim"}));
+}
+
+TEST(Determinism, SrtRunsAreBitIdentical)
+{
+    expectIdentical(runOnce(SimMode::Srt, {"compress"}),
+                    runOnce(SimMode::Srt, {"compress"}));
+}
+
+TEST(Determinism, CrtRunsAreBitIdentical)
+{
+    expectIdentical(runOnce(SimMode::Crt, {"gcc", "swim"}),
+                    runOnce(SimMode::Crt, {"gcc", "swim"}));
+}
+
+TEST(Determinism, FaultInjectionIsReproducible)
+{
+    auto one = [] {
+        SimOptions o;
+        o.mode = SimMode::Srt;
+        o.warmup_insts = 0;
+        o.measure_insts = 8000;
+        Simulation sim({"compress"}, o);
+        FaultRecord f;
+        f.kind = FaultRecord::Kind::TransientReg;
+        f.when = 2500;
+        f.core = 0;
+        f.tid = 0;
+        f.reg = intReg(3);
+        f.bit = 7;
+        sim.faultInjector().schedule(f);
+        sim.run();
+        const auto &det = sim.chip().redundancy().pair(0).detections();
+        return det.empty() ? Cycle{0} : det.front().cycle;
+    };
+    const Cycle a = one();
+    const Cycle b = one();
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0u);
+}

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "cmp/chip.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+constexpr RegIndex r1 = intReg(1);
+constexpr RegIndex r2 = intReg(2);
+constexpr RegIndex r3 = intReg(3);
+constexpr RegIndex r4 = intReg(4);
+
+/**
+ * A counting loop with an interrupt handler appended: the handler bumps
+ * a counter at 0x3000 and returns via iret.  The main loop's own result
+ * (sum at 0x2000) must be unperturbed by however many interrupts fire.
+ */
+struct InterruptProgram
+{
+    Program program;
+    Addr handler = 0;
+};
+
+InterruptProgram
+makeProgram(int iters)
+{
+    ProgramBuilder b("intr");
+    b.li(r1, iters);
+    b.li(r2, 0);
+    b.label("loop");
+    b.add(r2, r2, r1);
+    b.addi(r1, r1, -1);
+    b.bne(r1, intReg(0), "loop");
+    b.li(r3, 0x2000);
+    b.stq(r2, r3, 0);
+    b.halt();
+    // ---- interrupt handler ----
+    const Addr handler = b.here();
+    b.label("handler");
+    b.li(r4, 0x3000);
+    b.ldq(r3, r4, 0);
+    b.addi(r3, r3, 1);
+    b.stq(r3, r4, 0);
+    b.iret();
+    return InterruptProgram{b.build(), handler};
+}
+
+std::uint64_t
+expectedSum(int iters)
+{
+    return static_cast<std::uint64_t>(iters) * (iters + 1) / 2;
+}
+
+} // namespace
+
+TEST(Interrupts, SingleThreadPreciseDelivery)
+{
+    const InterruptProgram ip = makeProgram(2000);
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 1;
+    Chip chip(cp);
+    DataMemory mem(64 * 1024);
+    chip.cpu(0).addThread(0, ip.program, mem, 0, Role::Single);
+    chip.cpu(0).scheduleInterrupt(0, 500, ip.handler);
+    chip.cpu(0).scheduleInterrupt(0, 1200, ip.handler);
+    chip.run(500000);
+    ASSERT_TRUE(chip.allDone());
+    // The handler ran exactly twice; the main computation is intact.
+    EXPECT_EQ(mem.read(0x3000, 8), 2u);
+    EXPECT_EQ(mem.read(0x2000, 8), expectedSum(2000));
+}
+
+TEST(Interrupts, NoInterruptNoHandler)
+{
+    const InterruptProgram ip = makeProgram(500);
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 1;
+    cp.cpu.cosim = true;    // handler never runs: cosim stays in sync
+    Chip chip(cp);
+    DataMemory mem(64 * 1024);
+    chip.cpu(0).addThread(0, ip.program, mem, 0, Role::Single);
+    chip.run(500000);
+    ASSERT_TRUE(chip.allDone());
+    EXPECT_EQ(mem.read(0x3000, 8), 0u);
+    EXPECT_EQ(mem.read(0x2000, 8), expectedSum(500));
+}
+
+TEST(Interrupts, ReplicatedToTrailingUnderSrt)
+{
+    // The deferred mechanism of Section 2.1: the interrupt is an input
+    // and must reach both redundant copies at the same instruction
+    // boundary — otherwise their store streams diverge and the
+    // comparator fires.  The handler itself stores, so its redundant
+    // execution is also output-compared.
+    const InterruptProgram ip = makeProgram(3000);
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 2;
+    Chip chip(cp);
+    DataMemory mem(64 * 1024);
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{0, 1};
+    RedundantPair &pair = chip.redundancy().addPair(pp);
+    chip.cpu(0).addThread(0, ip.program, mem, 0, Role::Leading, &pair);
+    chip.cpu(0).addThread(1, ip.program, mem, 0, Role::Trailing, &pair);
+    chip.cpu(0).scheduleInterrupt(0, 800, ip.handler);
+    chip.cpu(0).scheduleInterrupt(0, 2000, ip.handler);
+    chip.run(500000);
+    ASSERT_TRUE(chip.allDone());
+
+    EXPECT_FALSE(pair.faultDetected())
+        << "interrupt replication diverged the redundant streams";
+    EXPECT_EQ(mem.read(0x3000, 8), 2u);
+    EXPECT_EQ(mem.read(0x2000, 8), expectedSum(3000));
+    // Both copies committed the handler: every handler store compared.
+    EXPECT_GT(pair.comparator.comparisons(), 2u);
+}
+
+TEST(Interrupts, ReplicatedAcrossCoresUnderCrt)
+{
+    const InterruptProgram ip = makeProgram(2500);
+    ChipParams cp;
+    cp.num_cores = 2;
+    cp.cpu.num_threads = 2;
+    Chip chip(cp);
+    DataMemory mem(64 * 1024);
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{1, 0};
+    pp.cross_core_latency = 4;
+    RedundantPair &pair = chip.redundancy().addPair(pp);
+    chip.cpu(0).addThread(0, ip.program, mem, 0, Role::Leading, &pair);
+    chip.cpu(1).addThread(0, ip.program, mem, 0, Role::Trailing, &pair);
+    chip.cpu(0).scheduleInterrupt(0, 900, ip.handler);
+    chip.run(500000);
+    ASSERT_TRUE(chip.allDone());
+    EXPECT_FALSE(pair.faultDetected());
+    EXPECT_EQ(mem.read(0x3000, 8), 1u);
+    EXPECT_EQ(mem.read(0x2000, 8), expectedSum(2500));
+}
+
+TEST(Interrupts, StormOfInterrupts)
+{
+    const InterruptProgram ip = makeProgram(4000);
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 2;
+    Chip chip(cp);
+    DataMemory mem(64 * 1024);
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{0, 1};
+    RedundantPair &pair = chip.redundancy().addPair(pp);
+    chip.cpu(0).addThread(0, ip.program, mem, 0, Role::Leading, &pair);
+    chip.cpu(0).addThread(1, ip.program, mem, 0, Role::Trailing, &pair);
+    for (Cycle c = 400; c < 4000; c += 300)
+        chip.cpu(0).scheduleInterrupt(0, c, ip.handler);
+    chip.run(1000000);
+    ASSERT_TRUE(chip.allDone());
+    EXPECT_FALSE(pair.faultDetected());
+    EXPECT_EQ(mem.read(0x3000, 8), 12u);
+    EXPECT_EQ(mem.read(0x2000, 8), expectedSum(4000));
+}
+
+TEST(Interrupts, DeliveryToTrailingIsRejected)
+{
+    const InterruptProgram ip = makeProgram(100);
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 2;
+    Chip chip(cp);
+    DataMemory mem(64 * 1024);
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{0, 1};
+    RedundantPair &pair = chip.redundancy().addPair(pp);
+    chip.cpu(0).addThread(0, ip.program, mem, 0, Role::Leading, &pair);
+    chip.cpu(0).addThread(1, ip.program, mem, 0, Role::Trailing, &pair);
+    EXPECT_EXIT(chip.cpu(0).scheduleInterrupt(1, 100, ip.handler),
+                ::testing::ExitedWithCode(1), "leading copy");
+}

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "isa/isa.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+StaticInst
+rr(Op op, RegIndex d = 1, RegIndex a = 2, RegIndex b = 3,
+   std::int64_t imm = 0)
+{
+    return StaticInst{op, d, a, b, imm};
+}
+
+std::uint64_t
+dbl(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+TEST(Isa, IntegerArithmetic)
+{
+    EXPECT_EQ(evalOp(rr(Op::Add), 0, 5, 7).value, 12u);
+    EXPECT_EQ(evalOp(rr(Op::Sub), 0, 5, 7).value,
+              static_cast<std::uint64_t>(-2));
+    EXPECT_EQ(evalOp(rr(Op::Mul), 0, 6, 7).value, 42u);
+    EXPECT_EQ(evalOp(rr(Op::Div), 0, 42, 6).value, 7u);
+    EXPECT_EQ(evalOp(rr(Op::Div), 0, 42, 0).value, ~0ull);
+    EXPECT_EQ(evalOp(rr(Op::AddI, 1, 2, noReg, -3), 0, 10, 0).value, 7u);
+    EXPECT_EQ(evalOp(rr(Op::MulI, 1, 2, noReg, 5), 0, 4, 0).value, 20u);
+}
+
+TEST(Isa, Comparisons)
+{
+    EXPECT_EQ(evalOp(rr(Op::Slt), 0, static_cast<std::uint64_t>(-1),
+                     1).value, 1u);
+    EXPECT_EQ(evalOp(rr(Op::Sltu), 0, static_cast<std::uint64_t>(-1),
+                     1).value, 0u);
+    EXPECT_EQ(evalOp(rr(Op::SltI, 1, 2, noReg, 5), 0, 4, 0).value, 1u);
+    EXPECT_EQ(evalOp(rr(Op::Cmpeq), 0, 9, 9).value, 1u);
+    EXPECT_EQ(evalOp(rr(Op::Cmpeq), 0, 9, 8).value, 0u);
+}
+
+TEST(Isa, LogicAndShifts)
+{
+    EXPECT_EQ(evalOp(rr(Op::And), 0, 0xF0F0, 0xFF00).value, 0xF000u);
+    EXPECT_EQ(evalOp(rr(Op::Or), 0, 0xF0, 0x0F).value, 0xFFu);
+    EXPECT_EQ(evalOp(rr(Op::Xor), 0, 0xFF, 0x0F).value, 0xF0u);
+    EXPECT_EQ(evalOp(rr(Op::Sll), 0, 1, 8).value, 256u);
+    EXPECT_EQ(evalOp(rr(Op::Srl), 0, 256, 8).value, 1u);
+    EXPECT_EQ(evalOp(rr(Op::Sra), 0, static_cast<std::uint64_t>(-8),
+                     2).value,
+              static_cast<std::uint64_t>(-2));
+    EXPECT_EQ(evalOp(rr(Op::SllI, 1, 2, noReg, 4), 0, 3, 0).value, 48u);
+    EXPECT_EQ(evalOp(rr(Op::SrlI, 1, 2, noReg, 4), 0, 48, 0).value, 3u);
+}
+
+TEST(Isa, Branches)
+{
+    const Addr pc = 0x1000;
+    // beq taken: target = pc + 4 + imm.
+    auto r = evalOp(rr(Op::Beq, noReg, 1, 2, 32), pc, 7, 7);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.target, pc + 4 + 32);
+    r = evalOp(rr(Op::Beq, noReg, 1, 2, 32), pc, 7, 8);
+    EXPECT_FALSE(r.taken);
+    r = evalOp(rr(Op::Bne, noReg, 1, 2, -8), pc, 7, 8);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.target, pc + 4 - 8);
+    r = evalOp(rr(Op::Blt, noReg, 1, 2, 0), pc,
+               static_cast<std::uint64_t>(-5), 3);
+    EXPECT_TRUE(r.taken);
+    r = evalOp(rr(Op::Bge, noReg, 1, 2, 0), pc, 3, 3);
+    EXPECT_TRUE(r.taken);
+}
+
+TEST(Isa, JumpsAndCalls)
+{
+    const Addr pc = 0x2000;
+    auto r = evalOp(rr(Op::Br, noReg, noReg, noReg, 16), pc, 0, 0);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.target, pc + 4 + 16);
+
+    r = evalOp(rr(Op::Call, 31, noReg, noReg, 100), pc, 0, 0);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.target, pc + 4 + 100);
+    EXPECT_EQ(r.value, pc + 4);     // link
+
+    r = evalOp(rr(Op::Jmp, noReg, 1), pc, 0x3004, 0);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.target, 0x3004u);
+
+    // Indirect targets are force-aligned.
+    r = evalOp(rr(Op::Ret, noReg, 1), pc, 0x3007, 0);
+    EXPECT_EQ(r.target, 0x3004u);
+}
+
+TEST(Isa, FloatingPoint)
+{
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(
+                         evalOp(rr(Op::Fadd), 0, dbl(1.5), dbl(2.25))
+                             .value),
+                     3.75);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(
+                         evalOp(rr(Op::Fmul), 0, dbl(3.0), dbl(-2.0))
+                             .value),
+                     -6.0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(
+                         evalOp(rr(Op::Fdiv), 0, dbl(7.0), dbl(2.0))
+                             .value),
+                     3.5);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(
+                         evalOp(rr(Op::Fsqrt, 1, 2), 0, dbl(-9.0), 0)
+                             .value),
+                     3.0);    // |x| then sqrt
+    EXPECT_EQ(evalOp(rr(Op::Fcmplt), 0, dbl(1.0), dbl(2.0)).value, 1u);
+    EXPECT_EQ(evalOp(rr(Op::Fcmpeq), 0, dbl(2.0), dbl(2.0)).value, 1u);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(
+                         evalOp(rr(Op::CvtIF, 1, 2), 0,
+                                static_cast<std::uint64_t>(-3), 0)
+                             .value),
+                     -3.0);
+    EXPECT_EQ(evalOp(rr(Op::CvtFI, 1, 2), 0, dbl(41.9), 0).value, 41u);
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(rr(Op::Ldq).isLoad());
+    EXPECT_TRUE(rr(Op::Fld).isLoad());
+    EXPECT_TRUE(rr(Op::Stb).isStore());
+    EXPECT_TRUE(rr(Op::Fst).isStore());
+    EXPECT_TRUE(rr(Op::Beq).isCondBranch());
+    EXPECT_TRUE(rr(Op::Jmp).isIndirect());
+    EXPECT_TRUE(rr(Op::Ret).isRet());
+    EXPECT_TRUE(rr(Op::Call).isCall());
+    EXPECT_TRUE(rr(Op::MemBar).isMemBar());
+    EXPECT_FALSE(rr(Op::Add).isControl());
+    EXPECT_EQ(rr(Op::Ldb).memSize(), 1u);
+    EXPECT_EQ(rr(Op::Ldh).memSize(), 2u);
+    EXPECT_EQ(rr(Op::Stw).memSize(), 4u);
+    EXPECT_EQ(rr(Op::Fst).memSize(), 8u);
+}
+
+TEST(Isa, FuClasses)
+{
+    EXPECT_EQ(rr(Op::Add).fuClass(), FuClass::IntAlu);
+    EXPECT_EQ(rr(Op::And).fuClass(), FuClass::Logic);
+    EXPECT_EQ(rr(Op::SllI).fuClass(), FuClass::Logic);
+    EXPECT_EQ(rr(Op::Ldq).fuClass(), FuClass::Mem);
+    EXPECT_EQ(rr(Op::MemBar).fuClass(), FuClass::Mem);
+    EXPECT_EQ(rr(Op::Fadd).fuClass(), FuClass::Fp);
+    EXPECT_EQ(rr(Op::Nop).fuClass(), FuClass::None);
+    EXPECT_EQ(rr(Op::Beq).fuClass(), FuClass::IntAlu);
+}
+
+TEST(Isa, Latencies)
+{
+    EXPECT_EQ(rr(Op::Add).latency(), 1u);
+    EXPECT_GT(rr(Op::Mul).latency(), 1u);
+    EXPECT_GT(rr(Op::Fdiv).latency(), rr(Op::Fadd).latency());
+    EXPECT_GT(rr(Op::Fsqrt).latency(), rr(Op::Fdiv).latency());
+}
+
+TEST(Isa, EffectiveAddr)
+{
+    EXPECT_EQ(effectiveAddr(rr(Op::Ldq, 1, 2, noReg, 16), 0x100), 0x110u);
+    EXPECT_EQ(effectiveAddr(rr(Op::Ldq, 1, 2, noReg, -8), 0x100), 0xF8u);
+}
+
+TEST(Isa, Disassemble)
+{
+    EXPECT_EQ(rr(Op::Add, 1, 2, 3).disassemble(), "add r1 r2 r3");
+    const StaticInst ld{Op::Ldq, 4, 5, noReg, 24};
+    EXPECT_EQ(ld.disassemble(), "ldq r4 r5 #24");
+    const StaticInst f{Op::Fadd, fpReg(0), fpReg(1), fpReg(2), 0};
+    EXPECT_EQ(f.disassemble(), "fadd f0 f1 f2");
+}

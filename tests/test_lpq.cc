@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "rmt/lpq.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+LpqChunk
+chunk(Addr start, std::uint8_t count, Cycle avail = 0)
+{
+    LpqChunk c;
+    c.start = start;
+    c.count = count;
+    c.availableAt = avail;
+    return c;
+}
+
+} // namespace
+
+TEST(Lpq, ForwardingLatencyGatesVisibility)
+{
+    Lpq lpq(8, "lpq");
+    lpq.push(chunk(0x1000, 8, 14));
+    EXPECT_FALSE(lpq.available(13));
+    EXPECT_TRUE(lpq.available(14));
+}
+
+TEST(Lpq, AckAdvancesActiveHead)
+{
+    Lpq lpq(8, "lpq");
+    lpq.push(chunk(0x1000, 8));
+    lpq.push(chunk(0x2000, 4));
+    EXPECT_EQ(lpq.activeChunk().start, 0x1000u);
+    lpq.ack();
+    EXPECT_EQ(lpq.activeChunk().start, 0x2000u);
+    EXPECT_EQ(lpq.size(), 2u);          // recovery head unmoved
+    EXPECT_EQ(lpq.unread(), 1u);
+}
+
+TEST(Lpq, CommitFetchAdvancesRecoveryHead)
+{
+    Lpq lpq(8, "lpq");
+    lpq.push(chunk(0x1000, 8));
+    lpq.push(chunk(0x2000, 4));
+    lpq.ack();
+    lpq.commitFetch();
+    EXPECT_EQ(lpq.size(), 1u);
+    EXPECT_EQ(lpq.activeChunk().start, 0x2000u);
+}
+
+TEST(Lpq, RollbackReissuesSequence)
+{
+    // Paper Section 4.4.1: on an I-cache miss the active head rolls
+    // back to the recovery head and predictions reissue.
+    Lpq lpq(8, "lpq");
+    lpq.push(chunk(0x1000, 8));
+    lpq.push(chunk(0x2000, 4));
+    lpq.ack();                          // accept 0x1000
+    lpq.ack();                          // accept 0x2000
+    lpq.rollback();                     // miss: reissue from recovery
+    EXPECT_EQ(lpq.activeChunk().start, 0x1000u);
+    lpq.ack();
+    lpq.commitFetch();
+    EXPECT_EQ(lpq.activeChunk().start, 0x2000u);
+}
+
+TEST(Lpq, MixedAckCommitRollback)
+{
+    Lpq lpq(8, "lpq");
+    lpq.push(chunk(0x1000, 8));
+    lpq.push(chunk(0x2000, 8));
+    lpq.push(chunk(0x3000, 8));
+    lpq.ack();
+    lpq.commitFetch();                  // 0x1000 delivered
+    lpq.ack();                          // 0x2000 accepted
+    lpq.rollback();                     // 0x2000 missed
+    EXPECT_EQ(lpq.activeChunk().start, 0x2000u);
+    lpq.ack();
+    lpq.commitFetch();
+    lpq.ack();
+    lpq.commitFetch();
+    EXPECT_EQ(lpq.size(), 0u);
+}
+
+TEST(Lpq, CapacityTracksRecoveryHead)
+{
+    Lpq lpq(2, "lpq");
+    lpq.push(chunk(0x1000, 8));
+    lpq.push(chunk(0x2000, 8));
+    EXPECT_TRUE(lpq.full());
+    lpq.ack();
+    // Acked but not delivered: still occupies an entry.
+    EXPECT_TRUE(lpq.full());
+    lpq.commitFetch();
+    EXPECT_FALSE(lpq.full());
+}
+
+TEST(LpqDeathTest, BadUseIsCaught)
+{
+    Lpq lpq(2, "lpq");
+    EXPECT_DEATH(lpq.ack(), "LPQ");
+    lpq.push(chunk(0x1000, 8));
+    EXPECT_DEATH(lpq.commitFetch(), "LPQ");
+    LpqChunk bad = chunk(0x1000, 0);
+    EXPECT_DEATH(lpq.push(bad), "LPQ");
+}

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+/**
+ * Property sweeps over the machine configuration: for a wide range of
+ * structure sizes the simulator must stay architecturally exact (cosim
+ * asserts that internally) and performance must respond to resources
+ * in the physically sensible direction.
+ */
+double
+ipcWith(const std::function<void(SmtParams &)> &tweak,
+        const std::string &workload = "compress", SimMode mode = SimMode::Base)
+{
+    SimOptions o;
+    o.mode = mode;
+    o.warmup_insts = 2000;
+    o.measure_insts = 10000;
+    o.cosim = true;
+    tweak(o.cpu);
+    const RunResult r = runSimulation({workload}, o);
+    EXPECT_TRUE(r.completed);
+    return r.threads[0].ipc;
+}
+
+class IqSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+class IssueWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+class CacheSizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST_P(IqSizes, CorrectAtEverySize)
+{
+    const unsigned size = GetParam();
+    const double ipc = ipcWith([&](SmtParams &p) {
+        p.iq_entries = size;
+        p.iq_reserved_per_thread = std::min(4u, size / 4);
+    });
+    EXPECT_GT(ipc, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IqSizes,
+                         ::testing::Values(16u, 32u, 64u, 128u, 256u));
+
+TEST_P(IssueWidths, CorrectAtEveryWidth)
+{
+    const unsigned width = GetParam();
+    const double ipc = ipcWith([&](SmtParams &p) {
+        p.issue_width = width;
+        p.issue_per_half = std::max(1u, width / 2);
+    });
+    EXPECT_GT(ipc, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IssueWidths,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST_P(CacheSizes, CorrectAtEverySize)
+{
+    const unsigned kb = GetParam();
+    const double ipc = ipcWith([&](SmtParams &p) {
+        p.dcache.size_bytes = kb * 1024;
+        p.icache.size_bytes = kb * 1024;
+    });
+    EXPECT_GT(ipc, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CacheSizes,
+                         ::testing::Values(4u, 16u, 64u, 256u));
+
+TEST(MachineSweeps, MoreIssueWidthNeverSlower)
+{
+    const double narrow = ipcWith([](SmtParams &p) {
+        p.issue_width = 2;
+        p.issue_per_half = 1;
+    });
+    const double wide = ipcWith([](SmtParams &p) {
+        p.issue_width = 8;
+        p.issue_per_half = 4;
+    });
+    EXPECT_GE(wide, narrow * 0.98);
+}
+
+TEST(MachineSweeps, BiggerIqNeverSlower)
+{
+    const double small = ipcWith([](SmtParams &p) { p.iq_entries = 16; });
+    const double big = ipcWith([](SmtParams &p) { p.iq_entries = 128; });
+    EXPECT_GE(big, small * 0.98);
+}
+
+TEST(MachineSweeps, BiggerDcacheHelpsCacheBoundCode)
+{
+    // compress reuses a 16 KB hash table: a 4 KB D-cache thrashes it,
+    // the full 64 KB holds it.  (swim would not discriminate: its
+    // streaming arrays miss at any L1 size.)
+    const double tiny = ipcWith(
+        [](SmtParams &p) { p.dcache.size_bytes = 4 * 1024; }, "compress");
+    const double full = ipcWith(
+        [](SmtParams &p) { p.dcache.size_bytes = 64 * 1024; },
+        "compress");
+    EXPECT_GT(full, tiny);
+}
+
+TEST(MachineSweeps, LongerMemoryLatencyHurts)
+{
+    SimOptions fast;
+    fast.warmup_insts = 2000;
+    fast.measure_insts = 10000;
+    fast.mem.mem.latency = 40;
+    SimOptions slow = fast;
+    slow.mem.mem.latency = 400;
+    const RunResult f = runSimulation({"swim"}, fast);
+    const RunResult s = runSimulation({"swim"}, slow);
+    EXPECT_GT(f.threads[0].ipc, s.threads[0].ipc);
+}
+
+TEST(MachineSweeps, SrtCorrectUnderEveryFrontLatency)
+{
+    for (unsigned lat : {0u, 2u, 8u, 24u}) {
+        SimOptions o;
+        o.mode = SimMode::Srt;
+        o.warmup_insts = 1000;
+        o.measure_insts = 6000;
+        o.cosim = true;
+        o.cpu.lpq_forward_latency = lat;
+        o.cpu.lvq_forward_latency = lat;
+        const RunResult r = runSimulation({"li"}, o);
+        EXPECT_TRUE(r.completed) << "latency " << lat;
+        EXPECT_EQ(r.detections, 0u) << "latency " << lat;
+    }
+}
+
+TEST(MachineSweeps, SrtCorrectUnderTinyRmtQueues)
+{
+    for (unsigned entries : {2u, 4u, 16u, 64u}) {
+        SimOptions o;
+        o.mode = SimMode::Srt;
+        o.warmup_insts = 1000;
+        o.measure_insts = 5000;
+        o.cosim = true;
+        o.cpu.lvq_entries = entries;
+        o.cpu.lpq_entries = std::max(2u, entries / 4);
+        const RunResult r = runSimulation({"gcc"}, o);
+        EXPECT_TRUE(r.completed) << "entries " << entries;
+        EXPECT_EQ(r.detections, 0u) << "entries " << entries;
+    }
+}
+
+TEST(MachineSweeps, DynamicLsqPartitioningIsCorrect)
+{
+    // The partitioning-policy ablation must not change architecture,
+    // only timing: cosim-checked across modes.
+    for (const bool dynamic : {false, true}) {
+        SimOptions o;
+        o.warmup_insts = 1000;
+        o.measure_insts = 6000;
+        o.cosim = true;
+        o.cpu.dynamic_lsq_partition = dynamic;
+        o.mode = SimMode::Base;
+        EXPECT_TRUE(runSimulation({"vortex", "compress"}, o).completed)
+            << "dynamic=" << dynamic;
+        o.mode = SimMode::Srt;
+        const RunResult srt = runSimulation({"vortex"}, o);
+        EXPECT_TRUE(srt.completed) << "dynamic=" << dynamic;
+        EXPECT_EQ(srt.detections, 0u) << "dynamic=" << dynamic;
+    }
+}
+
+TEST(MachineSweeps, SmallerLvqSlowsTrailing)
+{
+    SimOptions o;
+    o.mode = SimMode::Srt;
+    o.warmup_insts = 2000;
+    o.measure_insts = 10000;
+    SimOptions tiny = o;
+    tiny.cpu.lvq_entries = 4;
+    const RunResult big = runSimulation({"swim"}, o);
+    const RunResult small = runSimulation({"swim"}, tiny);
+    EXPECT_GE(big.threads[0].ipc, small.threads[0].ipc);
+}

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+MemSystemParams
+fastParams(unsigned checker = 0)
+{
+    MemSystemParams p;
+    p.l2 = CacheParams{"l2", 64 * 1024, 8, 64};
+    p.l2_latency = 12;
+    p.mem.latency = 100;
+    p.checker_penalty = checker;
+    return p;
+}
+
+CacheParams
+l1Params()
+{
+    return CacheParams{"l1", 4 * 1024, 2, 64};
+}
+
+} // namespace
+
+TEST(MemSystem, L1HitIsFree)
+{
+    MemSystem ms(fastParams());
+    Cache l1(l1Params());
+    bool hit = false;
+    // First access: L2 miss -> memory latency.
+    Cycle ready = ms.access(l1, 0x1000, 10, hit);
+    EXPECT_FALSE(hit);
+    EXPECT_GE(ready, 10 + 100u);
+    // After the fill time passes, the block hits in L1.
+    ready = ms.access(l1, 0x1000, ready + 1, hit);
+    EXPECT_TRUE(hit);
+}
+
+TEST(MemSystem, L2HitFasterThanMemory)
+{
+    MemSystem ms(fastParams());
+    Cache l1a(l1Params());
+    Cache l1b(l1Params());
+    bool hit = false;
+    // Core A misses everywhere; fills L2.
+    const Cycle first = ms.access(l1a, 0x2000, 0, hit);
+    EXPECT_GT(first, 100u);
+    // Core B misses L1 but hits L2.
+    const Cycle second = ms.access(l1b, 0x2000, first + 1, hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(second, first + 1 + 12);
+}
+
+TEST(MemSystem, MshrMergesConcurrentMisses)
+{
+    MemSystem ms(fastParams());
+    Cache l1(l1Params());
+    bool hit = false;
+    const Cycle r1 = ms.access(l1, 0x3000, 5, hit);
+    EXPECT_FALSE(hit);
+    // Second access to the same block while the miss is outstanding
+    // merges: same ready cycle, no duplicate memory request.
+    const std::uint64_t reqs = ms.mainMemory().requests();
+    const Cycle r2 = ms.access(l1, 0x3020, 6, hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(ms.mainMemory().requests(), reqs);
+}
+
+TEST(MemSystem, CheckerPenaltyAddsToMissPath)
+{
+    MemSystem ms0(fastParams(0));
+    MemSystem ms8(fastParams(8));
+    Cache a(l1Params()), b(l1Params());
+    bool hit = false;
+    const Cycle r0 = ms0.access(a, 0x4000, 0, hit);
+    const Cycle r8 = ms8.access(b, 0x4000, 0, hit);
+    EXPECT_EQ(r8, r0 + 8);
+}
+
+TEST(MemSystem, CheckerPenaltyDoesNotAffectHits)
+{
+    MemSystem ms8(fastParams(8));
+    Cache l1(l1Params());
+    bool hit = false;
+    Cycle ready = ms8.access(l1, 0x5000, 0, hit);
+    ready = ms8.access(l1, 0x5000, ready + 1, hit);
+    EXPECT_TRUE(hit);
+    bool hit2 = false;
+    const Cycle again = ms8.access(l1, 0x5000, ready + 2, hit2);
+    EXPECT_TRUE(hit2);
+    EXPECT_EQ(again, ready + 2);
+}
+
+TEST(MemSystem, SeparateL1sTrackSeparateState)
+{
+    MemSystem ms(fastParams());
+    Cache a(l1Params()), b(l1Params());
+    bool hit = false;
+    Cycle ready = ms.access(a, 0x6000, 0, hit);
+    ms.access(a, 0x6000, ready + 1, hit);
+    EXPECT_TRUE(hit);
+    // Core B still misses its own L1.
+    ms.access(b, 0x6000, ready + 1, hit);
+    EXPECT_FALSE(hit);
+}
+
+TEST(MainMemory, BandwidthQueueing)
+{
+    MainMemoryParams p;
+    p.latency = 50;
+    p.channels = 1;
+    p.issue_interval = 10;
+    MainMemory mem(p);
+    const Cycle r1 = mem.access(0);
+    const Cycle r2 = mem.access(0);     // queued behind r1's issue slot
+    EXPECT_EQ(r1, 50u);
+    EXPECT_EQ(r2, 60u);
+}
+
+TEST(MainMemory, ChannelsServeInParallel)
+{
+    MainMemoryParams p;
+    p.latency = 50;
+    p.channels = 4;
+    p.issue_interval = 10;
+    MainMemory mem(p);
+    EXPECT_EQ(mem.access(0), 50u);
+    EXPECT_EQ(mem.access(0), 50u);
+    EXPECT_EQ(mem.access(0), 50u);
+    EXPECT_EQ(mem.access(0), 50u);
+    EXPECT_EQ(mem.access(0), 60u);      // fifth request queues
+}

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "mem/merge_buffer.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+MergeBufferParams
+smallBuf()
+{
+    MergeBufferParams p;
+    p.entries = 2;
+    p.block_bytes = 64;
+    p.drain_interval = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(MergeBuffer, AcceptsUntilFull)
+{
+    MergeBuffer mb(smallBuf());
+    EXPECT_TRUE(mb.canAccept(0x000));
+    mb.accept(0x000, 0);
+    mb.accept(0x040, 0);
+    EXPECT_EQ(mb.occupancy(), 2u);
+    EXPECT_FALSE(mb.canAccept(0x080));
+    // ... but still coalesces into existing blocks when full.
+    EXPECT_TRUE(mb.canAccept(0x004));
+}
+
+TEST(MergeBuffer, CoalescesSameBlock)
+{
+    MergeBuffer mb(smallBuf());
+    mb.accept(0x100, 0);
+    mb.accept(0x108, 0);
+    mb.accept(0x13F, 0);
+    EXPECT_EQ(mb.occupancy(), 1u);
+}
+
+TEST(MergeBuffer, DrainsOldestAfterAging)
+{
+    MergeBuffer mb(smallBuf());
+    mb.accept(0x000, 0);
+    mb.accept(0x040, 0);
+    Addr a = 0;
+    EXPECT_FALSE(mb.drain(1, a));       // not aged yet
+    EXPECT_TRUE(mb.drain(2, a));
+    EXPECT_EQ(a, 0x000u);
+    EXPECT_FALSE(mb.drain(3, a));       // drain-interval spacing
+    EXPECT_TRUE(mb.drain(4, a));
+    EXPECT_EQ(a, 0x040u);
+    EXPECT_TRUE(mb.empty());
+}
+
+TEST(MergeBuffer, DrainOnEmptyIsFalse)
+{
+    MergeBuffer mb(smallBuf());
+    Addr a = 0;
+    EXPECT_FALSE(mb.drain(100, a));
+}
+
+TEST(MergeBuffer, FreedSlotAcceptsAgain)
+{
+    MergeBuffer mb(smallBuf());
+    mb.accept(0x000, 0);
+    mb.accept(0x040, 0);
+    Addr a = 0;
+    ASSERT_TRUE(mb.drain(10, a));
+    EXPECT_TRUE(mb.canAccept(0x080));
+    mb.accept(0x080, 10);
+    EXPECT_EQ(mb.occupancy(), 2u);
+}

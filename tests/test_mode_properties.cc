@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+SimOptions
+quick(SimMode mode)
+{
+    SimOptions o;
+    o.mode = mode;
+    o.warmup_insts = 2000;
+    o.measure_insts = 10000;
+    return o;
+}
+
+} // namespace
+
+/**
+ * Cross-mode invariants: relations between the paper's configurations
+ * that must hold for *any* workload, checked on a representative set.
+ */
+class ModeProperties : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModeProperties, RedundancyNeverFasterThanBase)
+{
+    const std::string wl = GetParam();
+    const double base = runSimulation({wl}, quick(SimMode::Base))
+                            .threads[0].ipc;
+    const double srt =
+        runSimulation({wl}, quick(SimMode::Srt)).threads[0].ipc;
+    // The trailing copy can only consume resources (tiny tolerance for
+    // second-order timing noise such as cache-warming side effects).
+    EXPECT_LE(srt, base * 1.02) << wl;
+}
+
+TEST_P(ModeProperties, CrtLeadingNeverSlowerThanSrtLeading)
+{
+    // With one logical thread, CRT gives the leading copy a whole core;
+    // SRT makes it share with its own trailing copy.
+    const std::string wl = GetParam();
+    const double srt =
+        runSimulation({wl}, quick(SimMode::Srt)).threads[0].ipc;
+    const double crt =
+        runSimulation({wl}, quick(SimMode::Crt)).threads[0].ipc;
+    EXPECT_GE(crt, srt * 0.98) << wl;
+}
+
+TEST_P(ModeProperties, Lock8NeverFasterThanLock0)
+{
+    const std::string wl = GetParam();
+    SimOptions l0 = quick(SimMode::Lockstep);
+    l0.checker_penalty = 0;
+    SimOptions l8 = quick(SimMode::Lockstep);
+    l8.checker_penalty = 8;
+    EXPECT_LE(runSimulation({wl}, l8).threads[0].ipc,
+              runSimulation({wl}, l0).threads[0].ipc * 1.001)
+        << wl;
+}
+
+TEST_P(ModeProperties, Base2CopiesProgressTogether)
+{
+    const std::string wl = GetParam();
+    Simulation sim({wl}, quick(SimMode::Base2));
+    const RunResult r = sim.run();
+    EXPECT_TRUE(r.completed) << wl;
+    const auto a = sim.chip().cpu(0).committed(0);
+    const auto b = sim.chip().cpu(0).committed(1);
+    // Uncoupled copies of the same program reach their targets; neither
+    // starves (per-thread reservations).
+    EXPECT_GE(a, 12000u);
+    EXPECT_GE(b, 12000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Representative, ModeProperties,
+                         ::testing::Values("gcc", "compress", "swim",
+                                           "applu", "vortex"),
+                         [](const auto &info) { return info.param; });
+
+TEST(ModeProperties, StatsDumpCoversEveryGroup)
+{
+    Simulation sim({"li"}, quick(SimMode::Srt));
+    sim.run();
+    std::ostringstream os;
+    sim.chip().cpu(0).dumpStats(os);
+    const std::string out = os.str();
+    for (const char *key :
+         {"cpu0.cycles", "cpu0.committed", "l1i.hits", "l1d.misses",
+          "mergebuf.stores", "bpred.lookups", "linepred.lookups",
+          "storesets.violations"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ModeProperties, PairStatsDumpCoversRmtStructures)
+{
+    Simulation sim({"li"}, quick(SimMode::Srt));
+    sim.run();
+    auto &pair = sim.chip().redundancy().pair(0);
+    std::ostringstream os;
+    pair.stats().dump(os);
+    pair.lvq.stats().dump(os);
+    pair.lpq.stats().dump(os);
+    pair.comparator.stats().dump(os);
+    const std::string out = os.str();
+    for (const char *key :
+         {"pair0.pair.chunks", "pair0.lvq.hits", "pair0.lpq.pushes",
+          "pair0.storecmp.comparisons"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(ModeProperties, EfficiencyIsScaleInvariantInBudget)
+{
+    // Doubling the measurement budget must not change steady-state
+    // efficiency much (the workloads are warm by design).
+    SimOptions small = quick(SimMode::Srt);
+    SimOptions big = quick(SimMode::Srt);
+    big.measure_insts = 20000;
+    BaselineCache cache_small(small);
+    BaselineCache cache_big(big);
+    const double e1 =
+        cache_small.efficiency(runSimulation({"compress"}, small));
+    const double e2 =
+        cache_big.efficiency(runSimulation({"compress"}, big));
+    EXPECT_NEAR(e1, e2, 0.08);
+}

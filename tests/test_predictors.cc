@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "predictor/branch_predictor.hh"
+#include "predictor/line_predictor.hh"
+#include "predictor/ras.hh"
+
+using namespace rmt;
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    const Addr pc = 0x1000;
+    for (int i = 0; i < 8; ++i) {
+        const auto snap = bp.history(0);
+        bp.predict(0, pc);
+        bp.update(0, pc, true, snap);
+        bp.fixupHistory(0, snap, true);
+    }
+    const auto snap = bp.history(0);
+    EXPECT_TRUE(bp.predict(0, pc));
+    bp.restoreHistory(0, snap);
+}
+
+TEST(BranchPredictor, LearnsAlternatingViaHistory)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    const Addr pc = 0x2000;
+    bool dir = false;
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto snap = bp.history(0);
+        const bool pred = bp.predict(0, pc);
+        if (pred == dir && i >= 100)
+            ++correct;
+        bp.update(0, pc, dir, snap);
+        bp.fixupHistory(0, snap, dir);
+        dir = !dir;
+    }
+    // gshare should nail a strict alternation once warmed up.
+    EXPECT_GE(correct, 95);
+}
+
+TEST(BranchPredictor, HistoryRestoreRoundTrip)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    bp.restoreHistory(1, 0x5A);     // seed a distinctive history
+    const auto snap = bp.history(1);
+    bp.predict(1, 0x100);
+    bp.predict(1, 0x200);
+    EXPECT_NE(bp.history(1), snap);     // shifted twice
+    bp.restoreHistory(1, snap);
+    EXPECT_EQ(bp.history(1), snap);
+}
+
+TEST(BranchPredictor, FixupHistoryEncodesOutcome)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    bp.fixupHistory(0, 0b101, true);
+    EXPECT_EQ(bp.history(0), 0b1011u);
+    bp.fixupHistory(0, 0b101, false);
+    EXPECT_EQ(bp.history(0), 0b1010u);
+}
+
+TEST(BranchPredictor, ThreadsAreIndependentStreams)
+{
+    BranchPredictor bp(BranchPredictorParams{});
+    const Addr pc = 0x3000;
+    for (int i = 0; i < 8; ++i) {
+        const auto s0 = bp.history(0);
+        bp.predict(0, pc);
+        bp.update(0, pc, true, s0);
+        bp.fixupHistory(0, s0, true);
+        const auto s1 = bp.history(1);
+        bp.predict(1, pc);
+        bp.update(1, pc, false, s1);
+        bp.fixupHistory(1, s1, false);
+    }
+    EXPECT_TRUE(bp.predict(0, pc));
+    EXPECT_FALSE(bp.predict(1, pc));
+}
+
+TEST(LinePredictor, DefaultIsSequential)
+{
+    LinePredictor lp(LinePredictorParams{});
+    EXPECT_EQ(lp.predict(0, 0x1000), 0x1020u);
+}
+
+TEST(LinePredictor, TrainsToTarget)
+{
+    LinePredictor lp(LinePredictorParams{});
+    lp.train(0, 0x1000, 0x4000);
+    EXPECT_EQ(lp.predict(0, 0x1000), 0x4000u);
+}
+
+TEST(LinePredictor, HysteresisAbsorbsOneDeviation)
+{
+    LinePredictor lp(LinePredictorParams{});
+    lp.train(0, 0x1000, 0x4000);
+    // A single deviating outcome does not displace the target...
+    lp.train(0, 0x1000, 0x1020);
+    EXPECT_EQ(lp.predict(0, 0x1000), 0x4000u);
+    // ...a confirming outcome resets the hysteresis...
+    lp.train(0, 0x1000, 0x4000);
+    lp.train(0, 0x1000, 0x1020);
+    EXPECT_EQ(lp.predict(0, 0x1000), 0x4000u);
+    // ...but two deviations in a row retrain the entry.
+    lp.train(0, 0x1000, 0x1020);
+    EXPECT_EQ(lp.predict(0, 0x1000), 0x1020u);
+}
+
+TEST(LinePredictor, MidFrameStartsDoNotAlias)
+{
+    // Chunks may start mid-frame at branch targets; such starts index
+    // their own entry rather than their 32-byte frame's.
+    LinePredictor lp(LinePredictorParams{});
+    lp.train(0, 0x1020, 0x1100);
+    lp.train(0, 0x1030, 0x2200);
+    lp.train(0, 0x1020, 0x1100);
+    lp.train(0, 0x1030, 0x2200);
+    EXPECT_EQ(lp.predict(0, 0x1020), 0x1100u);
+    EXPECT_EQ(lp.predict(0, 0x1030), 0x2200u);
+}
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, SnapshotRestoreRepairsTop)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    const auto snap = ras.snapshot();
+    ras.push(0x200);
+    ras.pop();
+    ras.pop();      // speculative damage
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, OverflowWrapsWithoutCrashing)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 0; a < 10; ++a)
+        ras.push(0x1000 + a * 4);
+    // The newest entries survive.
+    EXPECT_EQ(ras.pop(), 0x1024u);
+    EXPECT_EQ(ras.pop(), 0x1020u);
+}
+
+TEST(IndirectPredictor, RemembersTargets)
+{
+    IndirectPredictor ip(256);
+    EXPECT_EQ(ip.predict(0, 0x500), 0u);
+    ip.update(0, 0x500, 0x9000);
+    EXPECT_EQ(ip.predict(0, 0x500), 0x9000u);
+}

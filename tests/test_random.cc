@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+using namespace rmt;
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Random, RangeBounds)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.range(17), 17u);
+}
+
+TEST(Random, RealBounds)
+{
+    Random r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChanceRoughlyCalibrated)
+{
+    Random r(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (r.chance(0.25))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "rmt/redundancy.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+RedundantPairParams
+smallPair(unsigned lpq_entries = 4)
+{
+    RedundantPairParams p;
+    p.logical = 0;
+    p.leading = HwThread{0, 0};
+    p.trailing = HwThread{0, 1};
+    p.lpq_entries = lpq_entries;
+    p.forward_latency_lpq = 0;
+    p.forward_latency_lvq = 0;
+    return p;
+}
+
+} // namespace
+
+TEST(RedundantPair, AggregatesContiguousIntoChunks)
+{
+    RedundantPair pair(smallPair());
+    // 8 contiguous instructions aligned to a frame -> one chunk.
+    for (unsigned i = 0; i < 8; ++i)
+        ASSERT_TRUE(pair.appendRetired(0x1000 + i * 4, 0, 10));
+    ASSERT_TRUE(pair.lpq.available(10));
+    const LpqChunk &c = pair.lpq.activeChunk();
+    EXPECT_EQ(c.start, 0x1000u);
+    EXPECT_EQ(c.count, 8u);
+}
+
+TEST(RedundantPair, DiscontinuityTerminatesChunk)
+{
+    RedundantPair pair(smallPair());
+    ASSERT_TRUE(pair.appendRetired(0x1000, 0, 1));
+    ASSERT_TRUE(pair.appendRetired(0x1004, 0, 1));
+    // Taken branch: next retired pc is discontinuous.
+    ASSERT_TRUE(pair.appendRetired(0x2000, 0, 2));
+    ASSERT_TRUE(pair.lpq.available(2));
+    EXPECT_EQ(pair.lpq.activeChunk().start, 0x1000u);
+    EXPECT_EQ(pair.lpq.activeChunk().count, 2u);
+}
+
+TEST(RedundantPair, FrameCrossingTerminatesChunk)
+{
+    RedundantPair pair(smallPair());
+    // Start mid-frame: 0x1018, 0x101c are in frame 0x1000; 0x1020 is not.
+    ASSERT_TRUE(pair.appendRetired(0x1018, 0, 1));
+    ASSERT_TRUE(pair.appendRetired(0x101c, 0, 1));
+    ASSERT_TRUE(pair.appendRetired(0x1020, 0, 1));
+    ASSERT_TRUE(pair.lpq.available(1));
+    EXPECT_EQ(pair.lpq.activeChunk().start, 0x1018u);
+    EXPECT_EQ(pair.lpq.activeChunk().count, 2u);
+}
+
+TEST(RedundantPair, HalvesBitsTravelWithChunk)
+{
+    RedundantPair pair(smallPair());
+    for (unsigned i = 0; i < 8; ++i)
+        ASSERT_TRUE(pair.appendRetired(0x1000 + i * 4, i % 2, 1));
+    const LpqChunk &c = pair.lpq.activeChunk();
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(c.leadHalf[i], i % 2);
+}
+
+TEST(RedundantPair, FullLpqStallsAndRetryIsIdempotent)
+{
+    // Regression: a retried appendRetired after an LPQ-full stall must
+    // not duplicate the instruction in the chunk stream (this bug
+    // produced spurious control-divergence detections in CRT mode).
+    RedundantPair pair(smallPair(1));
+    for (unsigned i = 0; i < 8; ++i)
+        ASSERT_TRUE(pair.appendRetired(0x1000 + i * 4, 0, 1));
+    // LPQ (capacity 1) now holds the full chunk; the next chunk cannot
+    // flush, so append of a full aggregation... fill a second chunk:
+    for (unsigned i = 0; i < 8; ++i)
+        ASSERT_TRUE(pair.appendRetired(0x1020 + i * 4, 0, 2));
+    // Aggregation holds chunk 0x1020 (full) and the LPQ is full: the
+    // next append must stall...
+    EXPECT_FALSE(pair.appendRetired(0x1040, 0, 3));
+    EXPECT_FALSE(pair.appendRetired(0x1040, 0, 4));    // retried
+    // Drain the LPQ and retry: exactly one 0x1040 enters.
+    pair.lpq.ack();
+    pair.lpq.commitFetch();
+    EXPECT_TRUE(pair.appendRetired(0x1040, 0, 5));
+    // Stream check: 0x1020 chunk then (after flush) 0x1040.
+    EXPECT_EQ(pair.lpq.activeChunk().start, 0x1020u);
+    EXPECT_EQ(pair.lpq.activeChunk().count, 8u);
+    pair.lpq.ack();
+    pair.lpq.commitFetch();
+    ASSERT_TRUE(pair.flushAggregation(6));
+    EXPECT_EQ(pair.lpq.activeChunk().start, 0x1040u);
+    EXPECT_EQ(pair.lpq.activeChunk().count, 1u);
+}
+
+TEST(RedundantPair, IdleFlushEmitsStaleChunk)
+{
+    RedundantPairParams params = smallPair();
+    params.idle_flush_cycles = 8;
+    RedundantPair pair(params);
+    ASSERT_TRUE(pair.appendRetired(0x1000, 0, 100));
+    EXPECT_FALSE(pair.lpq.available(104));
+    pair.idleFlush(104);    // too early
+    EXPECT_FALSE(pair.lpq.available(104));
+    pair.idleFlush(108);
+    EXPECT_TRUE(pair.lpq.available(108));
+}
+
+TEST(RedundantPair, ForwardLatencyAppliedToChunks)
+{
+    RedundantPairParams params = smallPair();
+    params.forward_latency_lpq = 4;
+    params.cross_core_latency = 4;      // CRT
+    RedundantPair pair(params);
+    for (unsigned i = 0; i < 8; ++i)
+        ASSERT_TRUE(pair.appendRetired(0x1000 + i * 4, 0, 10));
+    EXPECT_FALSE(pair.lpq.available(17));
+    EXPECT_TRUE(pair.lpq.available(18));    // 10 + 4 + 4
+}
+
+TEST(RedundantPair, BranchOutcomeQueue)
+{
+    RedundantPairParams params = smallPair();
+    params.forward_latency_lpq = 2;
+    RedundantPair pair(params);
+    pair.pushBranchOutcome(0x1000, true, 0x2000, 5);
+    EXPECT_FALSE(pair.boqFrontAvailable(6));
+    ASSERT_TRUE(pair.boqFrontAvailable(7));
+    EXPECT_EQ(pair.boqFront().pc, 0x1000u);
+    EXPECT_TRUE(pair.boqFront().taken);
+    EXPECT_EQ(pair.boqFront().target, 0x2000u);
+    pair.boqPop();
+    EXPECT_FALSE(pair.boqFrontAvailable(100));
+}
+
+TEST(RedundantPair, DetectionRecording)
+{
+    RedundantPair pair(smallPair());
+    EXPECT_FALSE(pair.faultDetected());
+    pair.recordDetection(DetectionKind::StoreMismatch, 42);
+    EXPECT_TRUE(pair.faultDetected());
+    ASSERT_EQ(pair.detections().size(), 1u);
+    EXPECT_EQ(pair.detections()[0].kind, DetectionKind::StoreMismatch);
+    EXPECT_EQ(pair.detections()[0].cycle, 42u);
+}
+
+TEST(RedundantPair, FuTraceComparison)
+{
+    RedundantPair pair(smallPair());
+    pair.pushLeadingFu(0, 3);
+    pair.pushLeadingFu(1, 7);
+    pair.compareTrailingFu(0, 3);   // same unit
+    pair.compareTrailingFu(0, 9);   // different
+    EXPECT_EQ(pair.fuPairsCompared(), 2u);
+    EXPECT_EQ(pair.fuPairsSameUnit(), 1u);
+}
+
+TEST(RedundancyManager, RolesAndLookup)
+{
+    RedundancyManager rm;
+    RedundantPairParams p = smallPair();
+    p.leading = HwThread{0, 0};
+    p.trailing = HwThread{1, 2};    // CRT-style cross-core
+    RedundantPair &pair = rm.addPair(p);
+
+    EXPECT_EQ(rm.roleFor(0, 0), Role::Leading);
+    EXPECT_EQ(rm.roleFor(1, 2), Role::Trailing);
+    EXPECT_EQ(rm.roleFor(0, 1), Role::Single);
+    EXPECT_EQ(rm.pairFor(0, 0), &pair);
+    EXPECT_EQ(rm.pairFor(1, 2), &pair);
+    EXPECT_EQ(rm.pairFor(1, 3), nullptr);
+    EXPECT_FALSE(rm.anyFaultDetected());
+    pair.recordDetection(DetectionKind::LvqAddrMismatch, 1);
+    EXPECT_TRUE(rm.anyFaultDetected());
+}

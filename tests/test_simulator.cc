@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+SimOptions
+quick(SimMode mode)
+{
+    SimOptions o;
+    o.mode = mode;
+    o.warmup_insts = 1000;
+    o.measure_insts = 6000;
+    return o;
+}
+
+} // namespace
+
+TEST(Simulator, BaseRunProducesSaneResult)
+{
+    const RunResult r = runSimulation({"compress"}, quick(SimMode::Base));
+    EXPECT_TRUE(r.completed);
+    ASSERT_EQ(r.threads.size(), 1u);
+    EXPECT_EQ(r.threads[0].workload, "compress");
+    EXPECT_GT(r.threads[0].ipc, 0.1);
+    EXPECT_LT(r.threads[0].ipc, 8.0);   // cannot exceed machine width
+    EXPECT_GE(r.threads[0].committed, 7000u);
+}
+
+TEST(Simulator, WarmupExcludedFromMeasurement)
+{
+    SimOptions with_warm = quick(SimMode::Base);
+    SimOptions no_warm = quick(SimMode::Base);
+    no_warm.warmup_insts = 0;
+    const RunResult w = runSimulation({"mgrid"}, with_warm);
+    const RunResult c = runSimulation({"mgrid"}, no_warm);
+    // Warmed measurement can't be slower than the cold one.
+    EXPECT_GE(w.threads[0].ipc, c.threads[0].ipc * 0.98);
+}
+
+TEST(Simulator, SingleThreadIpcMatchesBaseMode)
+{
+    SimOptions o = quick(SimMode::Srt);   // mode must be ignored
+    const double ipc = singleThreadIpc("li", o);
+    const RunResult r = runSimulation({"li"}, quick(SimMode::Base));
+    EXPECT_DOUBLE_EQ(ipc, r.threads[0].ipc);
+}
+
+TEST(Simulator, SmtEfficiencyMath)
+{
+    EXPECT_DOUBLE_EQ(smtEfficiency(1.0, 2.0), 0.5);
+    EXPECT_DOUBLE_EQ(smtEfficiency(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(meanEfficiency({0.5, 1.0}), 0.75);
+    EXPECT_DOUBLE_EQ(meanEfficiency({}), 0.0);
+}
+
+TEST(Simulator, BaselineCacheAvoidsResimulation)
+{
+    SimOptions o = quick(SimMode::Base);
+    BaselineCache cache(o);
+    const double first = cache.ipc("go");
+    const double second = cache.ipc("go");
+    EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(Simulator, EfficiencyOfBaseSingleIsOne)
+{
+    SimOptions o = quick(SimMode::Base);
+    BaselineCache cache(o);
+    const RunResult r = runSimulation({"perl"}, o);
+    EXPECT_NEAR(cache.efficiency(r), 1.0, 1e-9);
+}
+
+TEST(Simulator, MultithreadedBaseDegradesPerThread)
+{
+    SimOptions o = quick(SimMode::Base);
+    BaselineCache cache(o);
+    const RunResult r = runSimulation({"compress", "m88ksim"}, o);
+    const auto effs = cache.efficiencies(r);
+    ASSERT_EQ(effs.size(), 2u);
+    for (double e : effs) {
+        EXPECT_GT(e, 0.3);
+        EXPECT_LT(e, 1.05);     // no thread speeds up from sharing
+    }
+}
+
+TEST(Simulator, PlacementReporting)
+{
+    Simulation srt({"gcc"}, quick(SimMode::Srt));
+    EXPECT_TRUE(srt.placement(0).redundant);
+    EXPECT_EQ(srt.placement(0).lead_core, srt.placement(0).trail_core);
+
+    Simulation crt({"gcc"}, quick(SimMode::Crt));
+    EXPECT_TRUE(crt.placement(0).redundant);
+    EXPECT_NE(crt.placement(0).lead_core, crt.placement(0).trail_core);
+
+    Simulation base({"gcc"}, quick(SimMode::Base));
+    EXPECT_FALSE(base.placement(0).redundant);
+}
+
+TEST(Simulator, RejectsOverfullConfigurations)
+{
+    EXPECT_EXIT(
+        {
+            Simulation sim({"gcc", "go", "li"}, quick(SimMode::Srt));
+        },
+        ::testing::ExitedWithCode(1), "at most");
+    EXPECT_EXIT(
+        {
+            Simulation sim({"gcc", "go", "li", "perl", "swim"},
+                           quick(SimMode::Base));
+        },
+        ::testing::ExitedWithCode(1), "at most");
+}
+
+TEST(Simulator, RunResultAggregatesRmtStats)
+{
+    const RunResult r = runSimulation({"vortex"}, quick(SimMode::Srt));
+    EXPECT_GT(r.store_comparisons, 0u);
+    EXPECT_EQ(r.store_mismatches, 0u);
+    EXPECT_GT(r.fu_pairs, 0u);
+    EXPECT_GT(r.avg_leading_store_lifetime, 0.0);
+}

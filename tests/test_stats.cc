@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace rmt;
+
+TEST(Stats, CounterBasics)
+{
+    StatGroup g("grp");
+    Counter c(g, "count", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageBasics)
+{
+    StatGroup g("grp");
+    Average a(g, "avg", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    StatGroup g("grp");
+    Histogram h(g, "hist", "a histogram", 4, 10.0);
+    h.sample(0);
+    h.sample(9.9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(40);    // overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Stats, GroupDumpContainsNamesAndValues)
+{
+    StatGroup g("core0");
+    Counter c(g, "cycles", "cycles simulated");
+    c += 7;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("core0.cycles"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("cycles simulated"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAll)
+{
+    StatGroup g("g");
+    Counter c(g, "c", "");
+    Average a(g, "a", "");
+    c += 5;
+    a.sample(1.0);
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.samples(), 0u);
+}

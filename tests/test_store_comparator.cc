@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "rmt/store_comparator.hh"
+
+using namespace rmt;
+
+TEST(StoreComparator, MatchVerifies)
+{
+    StoreComparator sc("sc");
+    sc.pushTrailing(0, 0x100, 42, 8, 5);
+    bool mismatch = true;
+    EXPECT_FALSE(sc.tryVerify(0, 0x100, 42, 8, 4, mismatch)); // too early
+    EXPECT_TRUE(sc.tryVerify(0, 0x100, 42, 8, 5, mismatch));
+    EXPECT_FALSE(mismatch);
+    EXPECT_EQ(sc.comparisons(), 1u);
+    EXPECT_EQ(sc.mismatches(), 0u);
+}
+
+TEST(StoreComparator, DataMismatchIsFault)
+{
+    StoreComparator sc("sc");
+    sc.pushTrailing(0, 0x100, 42, 8, 0);
+    bool mismatch = false;
+    EXPECT_TRUE(sc.tryVerify(0, 0x100, 43, 8, 1, mismatch));
+    EXPECT_TRUE(mismatch);
+    EXPECT_EQ(sc.mismatches(), 1u);
+}
+
+TEST(StoreComparator, AddressMismatchIsFault)
+{
+    StoreComparator sc("sc");
+    sc.pushTrailing(0, 0x108, 42, 8, 0);
+    bool mismatch = false;
+    EXPECT_TRUE(sc.tryVerify(0, 0x100, 42, 8, 1, mismatch));
+    EXPECT_TRUE(mismatch);
+}
+
+TEST(StoreComparator, SizeMismatchIsFault)
+{
+    StoreComparator sc("sc");
+    sc.pushTrailing(0, 0x100, 42, 4, 0);
+    bool mismatch = false;
+    EXPECT_TRUE(sc.tryVerify(0, 0x100, 42, 8, 1, mismatch));
+    EXPECT_TRUE(mismatch);
+}
+
+TEST(StoreComparator, EmptyQueueDefersVerification)
+{
+    StoreComparator sc("sc");
+    bool mismatch = true;
+    EXPECT_FALSE(sc.tryVerify(0, 0x100, 42, 8, 100, mismatch));
+    EXPECT_FALSE(mismatch);
+}
+
+TEST(StoreComparator, OrderedStreamVerifiesInSequence)
+{
+    StoreComparator sc("sc");
+    for (std::uint64_t i = 0; i < 4; ++i)
+        sc.pushTrailing(i, 0x100 + i * 8, i, 8, 0);
+    bool mismatch = false;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        EXPECT_TRUE(sc.tryVerify(i, 0x100 + i * 8, i, 8, 1, mismatch));
+        EXPECT_FALSE(mismatch);
+    }
+    EXPECT_EQ(sc.pendingTrailing(), 0u);
+}
+
+TEST(StoreComparator, OutOfOrderTrailingArrival)
+{
+    // Trailing stores execute out of order; the comparator matches
+    // associatively on the store index (the paper's CAM search).
+    StoreComparator sc("sc");
+    sc.pushTrailing(2, 0x110, 22, 8, 0);
+    sc.pushTrailing(1, 0x108, 11, 8, 0);
+    bool mismatch = false;
+    EXPECT_TRUE(sc.tryVerify(1, 0x108, 11, 8, 1, mismatch));
+    EXPECT_FALSE(mismatch);
+    EXPECT_TRUE(sc.tryVerify(2, 0x110, 22, 8, 1, mismatch));
+    EXPECT_FALSE(mismatch);
+}
+
+TEST(StoreComparator, MissingIndexDefers)
+{
+    StoreComparator sc("sc");
+    sc.pushTrailing(5, 0x100, 42, 8, 0);
+    bool mismatch = true;
+    // Store 4's trailing copy has not executed yet: defer, no fault.
+    EXPECT_FALSE(sc.tryVerify(4, 0x100, 42, 8, 1, mismatch));
+    EXPECT_FALSE(mismatch);
+}
+
+TEST(StoreComparatorDeathTest, DuplicateIndexIsABug)
+{
+    StoreComparator sc("sc");
+    sc.pushTrailing(3, 0x100, 1, 8, 0);
+    EXPECT_DEATH(sc.pushTrailing(3, 0x108, 2, 8, 0), "duplicate");
+}

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "predictor/store_sets.hh"
+
+using namespace rmt;
+
+TEST(StoreSets, UnknownLoadIsUnconstrained)
+{
+    StoreSets ss(StoreSetsParams{});
+    EXPECT_EQ(ss.loadDependence(0, 0x100), StoreSets::noStore);
+}
+
+TEST(StoreSets, ViolationCreatesDependence)
+{
+    StoreSets ss(StoreSetsParams{});
+    const Addr load_pc = 0x100, store_pc = 0x200;
+    ss.recordViolation(0, load_pc, store_pc);
+    // Store advertises itself as in-flight.
+    ss.storeFetched(0, store_pc, 42);
+    EXPECT_EQ(ss.loadDependence(0, load_pc), 42u);
+    // Once the store completes, the load is free.
+    ss.storeCompleted(0, store_pc, 42);
+    EXPECT_EQ(ss.loadDependence(0, load_pc), StoreSets::noStore);
+}
+
+TEST(StoreSets, YoungestStoreWins)
+{
+    StoreSets ss(StoreSetsParams{});
+    ss.recordViolation(0, 0x100, 0x200);
+    ss.storeFetched(0, 0x200, 10);
+    ss.storeFetched(0, 0x200, 11);
+    EXPECT_EQ(ss.loadDependence(0, 0x100), 11u);
+}
+
+TEST(StoreSets, CompletionOfOlderStoreDoesNotClearYounger)
+{
+    StoreSets ss(StoreSetsParams{});
+    ss.recordViolation(0, 0x100, 0x200);
+    ss.storeFetched(0, 0x200, 10);
+    ss.storeFetched(0, 0x200, 11);
+    ss.storeCompleted(0, 0x200, 10);    // stale completion
+    EXPECT_EQ(ss.loadDependence(0, 0x100), 11u);
+}
+
+TEST(StoreSets, SetMerging)
+{
+    StoreSets ss(StoreSetsParams{});
+    ss.recordViolation(0, 0x100, 0x200);
+    ss.recordViolation(0, 0x104, 0x204);
+    // Merge the two sets through a shared violation.
+    ss.recordViolation(0, 0x100, 0x204);
+    ss.storeFetched(0, 0x204, 77);
+    EXPECT_EQ(ss.loadDependence(0, 0x100), 77u);
+}
+
+TEST(StoreSets, SquashClearsThreadEntries)
+{
+    StoreSets ss(StoreSetsParams{});
+    ss.recordViolation(0, 0x100, 0x200);
+    ss.storeFetched(0, 0x200, 5);
+    ss.squashThread(0);
+    EXPECT_EQ(ss.loadDependence(0, 0x100), StoreSets::noStore);
+}
+
+TEST(StoreSets, ThreadsDoNotInterfere)
+{
+    StoreSets ss(StoreSetsParams{});
+    ss.recordViolation(0, 0x100, 0x200);
+    ss.storeFetched(0, 0x200, 5);
+    // Thread 1's load at the same pc indexes a different SSIT slot.
+    EXPECT_EQ(ss.loadDependence(1, 0x100), StoreSets::noStore);
+}

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cpu/smt_cpu.hh"
+#include "mem/mem_system.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+constexpr RegIndex r1 = intReg(1);
+constexpr RegIndex r2 = intReg(2);
+
+Program
+smallProgram()
+{
+    ProgramBuilder b("t");
+    b.li(r1, 3);
+    b.label("loop");
+    b.addi(r2, r2, 5);
+    b.addi(r1, r1, -1);
+    b.bne(r1, intReg(0), "loop");
+    b.li(r1, 0x100);
+    b.stq(r2, r1, 0);
+    b.halt();
+    return b.build();
+}
+
+struct TraceHarness
+{
+    TraceHarness() : program(smallProgram()), mem(4096),
+                     memSys(MemSystemParams{})
+    {
+        SmtParams p;
+        p.num_threads = 1;
+        cpu = std::make_unique<SmtCpu>(p, memSys, 0);
+        cpu->addThread(0, program, mem, 0, Role::Single);
+    }
+
+    void
+    run()
+    {
+        while (!cpu->threadHalted(0) && cpu->cycle() < 100000)
+            cpu->tick();
+        ASSERT_TRUE(cpu->threadHalted(0));
+    }
+
+    Program program;
+    DataMemory mem;
+    MemSystem memSys;
+    std::unique_ptr<SmtCpu> cpu;
+};
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line))
+        out.push_back(line);
+    return out;
+}
+
+} // namespace
+
+TEST(Tracer, OneLinePerCommittedInstruction)
+{
+    TraceHarness h;
+    std::ostringstream os;
+    h.cpu->setCommitTrace(&os);
+    h.run();
+    EXPECT_EQ(lines(os.str()).size(), h.cpu->committed(0));
+}
+
+TEST(Tracer, StageTimestampsAreOrdered)
+{
+    TraceHarness h;
+    std::ostringstream os;
+    h.cpu->setCommitTrace(&os);
+    h.run();
+    for (const auto &line : lines(os.str())) {
+        // Format: "<cyc> c0 t0 0x<pc> F<f> D<d> [I<i>] C<c> R<r>  ..."
+        Cycle f = 0, d = 0, c = 0, r = 0;
+        std::sscanf(line.c_str() + line.find(" F"), " F%llu",
+                    reinterpret_cast<unsigned long long *>(&f));
+        std::sscanf(line.c_str() + line.find(" D"), " D%llu",
+                    reinterpret_cast<unsigned long long *>(&d));
+        std::sscanf(line.c_str() + line.find(" C"), " C%llu",
+                    reinterpret_cast<unsigned long long *>(&c));
+        std::sscanf(line.c_str() + line.find(" R"), " R%llu",
+                    reinterpret_cast<unsigned long long *>(&r));
+        EXPECT_LE(f, d) << line;
+        EXPECT_LE(d, c) << line;
+        EXPECT_LE(c, r) << line;
+    }
+}
+
+TEST(Tracer, ContainsDisassemblyAndResults)
+{
+    TraceHarness h;
+    std::ostringstream os;
+    h.cpu->setCommitTrace(&os);
+    h.run();
+    const std::string out = os.str();
+    EXPECT_NE(out.find("addi r2 r2 #5"), std::string::npos);
+    EXPECT_NE(out.find("stq"), std::string::npos);
+    EXPECT_NE(out.find("= 0xf"), std::string::npos);     // r2 = 15
+    EXPECT_NE(out.find("[0x100]=0xf"), std::string::npos);
+}
+
+TEST(Tracer, BudgetBoundsOutput)
+{
+    TraceHarness h;
+    std::ostringstream os;
+    h.cpu->setCommitTrace(&os, 4);
+    h.run();
+    EXPECT_EQ(lines(os.str()).size(), 4u);
+}
+
+TEST(Tracer, DisabledByDefaultAndDisablable)
+{
+    TraceHarness h;
+    std::ostringstream os;
+    h.cpu->setCommitTrace(&os);
+    h.cpu->setCommitTrace(nullptr);
+    h.run();
+    EXPECT_TRUE(os.str().empty());
+}

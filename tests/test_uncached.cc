@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "cmp/chip.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+constexpr RegIndex r1 = intReg(1);
+constexpr RegIndex r2 = intReg(2);
+constexpr RegIndex r3 = intReg(3);
+constexpr RegIndex r4 = intReg(4);
+
+constexpr Addr devBase = 0xF0000000;
+
+/**
+ * A device-polling loop: read a volatile device register, compute on
+ * it, write the result to another device register, repeat.  Every
+ * value that reaches the device *derives from a volatile read*, so the
+ * redundant copies agree only if uncached-input replication works.
+ */
+Program
+devicePollLoop(int iters)
+{
+    ProgramBuilder b("poll");
+    b.li(r1, static_cast<std::int64_t>(devBase));
+    b.li(r2, iters);
+    b.label("loop");
+    b.ldunc(r3, r1, 0);         // volatile read
+    b.xori(r3, r3, 0x5A);
+    b.addi(r3, r3, 1);
+    b.stunc(r3, r1, 8);         // side-effecting write
+    b.addi(r2, r2, -1);
+    b.bne(r2, intReg(0), "loop");
+    b.halt();
+    return b.build();
+}
+
+struct ChipHarness
+{
+    explicit ChipHarness(unsigned cores = 1)
+    {
+        ChipParams cp;
+        cp.num_cores = cores;
+        cp.cpu.num_threads = 2;
+        cp.cpu.cosim = true;
+        chip = std::make_unique<Chip>(cp);
+    }
+
+    void
+    runAll(Cycle cap = 500000)
+    {
+        chip->run(cap);
+        ASSERT_TRUE(chip->allDone());
+    }
+
+    std::unique_ptr<Chip> chip;
+    std::vector<std::unique_ptr<DataMemory>> mems;
+};
+
+} // namespace
+
+TEST(Uncached, ReferenceModelSemantics)
+{
+    ProgramBuilder b("ref");
+    b.li(r1, 0x100);
+    b.li(r2, 42);
+    b.stunc(r2, r1, 0);
+    b.ldunc(r3, r1, 0);
+    b.halt();
+    Program p = b.build();
+    DataMemory mem(4096);
+    ArchState st(p, mem);
+    st.run(100);
+    // The reference treats uncached ops as plain memory (pseudo-device).
+    EXPECT_EQ(st.readReg(r3), 42u);
+}
+
+TEST(Uncached, DeviceReadsAreVolatile)
+{
+    Device dev(DeviceParams{});
+    const auto a = dev.read(0x10);
+    const auto b = dev.read(0x10);
+    EXPECT_NE(a, b);    // same register, fresh value each read
+    EXPECT_EQ(dev.reads(), 2u);
+}
+
+TEST(Uncached, SingleThreadPerformsExactlyOnce)
+{
+    ChipHarness h;
+    const Program prog = devicePollLoop(20);
+    DataMemory mem(64 * 1024);
+    h.chip->cpu(0).addThread(0, prog, mem, 0, Role::Single);
+    h.runAll();
+    EXPECT_EQ(h.chip->device().reads(), 20u);
+    EXPECT_EQ(h.chip->device().writes(), 20u);
+    EXPECT_EQ(h.chip->device().writeLog().size(), 20u);
+    EXPECT_EQ(h.chip->device().writeLog().front().addr, devBase + 8);
+}
+
+TEST(Uncached, WrongPathNeverTouchesTheDevice)
+{
+    // The device read sits behind a rarely-taken branch; speculative
+    // wrong paths may fetch it but must never perform it (uncached ops
+    // are non-speculative, executed only at the head of the machine).
+    ProgramBuilder b("spec");
+    b.li(r1, static_cast<std::int64_t>(devBase));
+    b.li(r2, 400);
+    b.li(r4, 12345);
+    b.label("loop");
+    b.muli(r4, r4, 6364136223846793005);
+    b.addi(r4, r4, 1442695040888963407);
+    b.srli(r3, r4, 33);
+    b.andi(r3, r3, 63);
+    b.bne(r3, intReg(0), "skip");   // taken 63/64: skip the device
+    b.ldunc(r3, r1, 0);
+    b.label("skip");
+    b.addi(r2, r2, -1);
+    b.bne(r2, intReg(0), "loop");
+    b.halt();
+    const Program prog = b.build();
+
+    // Architecturally executed device reads.
+    DataMemory ref_mem(64 * 1024);
+    ArchState ref(prog, ref_mem);
+    ref.run(100000);
+    ASSERT_TRUE(ref.halted());
+    std::uint64_t arch_reads = 0;
+    {
+        DataMemory m2(64 * 1024);
+        ArchState st(prog, m2);
+        while (!st.halted()) {
+            const Addr pc = st.pc();
+            if (prog.fetch(pc).isUncachedLoad())
+                ++arch_reads;
+            st.step();
+        }
+    }
+
+    ChipHarness h;
+    DataMemory mem(64 * 1024);
+    h.chip->cpu(0).addThread(0, prog, mem, 0, Role::Single);
+    h.runAll();
+    EXPECT_EQ(h.chip->device().reads(), arch_reads);
+}
+
+TEST(Uncached, SrtReplicatesVolatileInputs)
+{
+    // The crux of Section 2.1's deferred mechanism: the trailing thread
+    // must observe the *same* volatile values the leading thread read,
+    // or every downstream store would mismatch.
+    ChipHarness h;
+    const Program prog = devicePollLoop(50);
+    DataMemory mem(64 * 1024);
+    auto &rm = h.chip->redundancy();
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{0, 1};
+    RedundantPair &pair = rm.addPair(pp);
+    h.chip->cpu(0).addThread(0, prog, mem, 0, Role::Leading, &pair);
+    h.chip->cpu(0).addThread(1, prog, mem, 0, Role::Trailing, &pair);
+    h.runAll();
+
+    EXPECT_FALSE(pair.faultDetected());
+    // The device was read once per uncached load (not twice) and
+    // written once per uncached store (compare-then-perform-once).
+    EXPECT_EQ(h.chip->device().reads(), 50u);
+    EXPECT_EQ(h.chip->device().writes(), 50u);
+}
+
+TEST(Uncached, CrtReplicatesAcrossCores)
+{
+    ChipHarness h(2);
+    const Program prog = devicePollLoop(30);
+    DataMemory mem(64 * 1024);
+    auto &rm = h.chip->redundancy();
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{1, 0};
+    pp.cross_core_latency = 4;
+    RedundantPair &pair = rm.addPair(pp);
+    h.chip->cpu(0).addThread(0, prog, mem, 0, Role::Leading, &pair);
+    h.chip->cpu(1).addThread(0, prog, mem, 0, Role::Trailing, &pair);
+    h.runAll();
+    EXPECT_FALSE(pair.faultDetected());
+    EXPECT_EQ(h.chip->device().reads(), 30u);
+    EXPECT_EQ(h.chip->device().writes(), 30u);
+}
+
+TEST(Uncached, CorruptedTrailingStoreIsDetectedBeforeTheDevice)
+{
+    // Inject a fault into the trailing copy's store data: the uncached
+    // store comparison must flag it, and the device must receive the
+    // (correct) leading value — output comparison happens *before* the
+    // store leaves the sphere.
+    ChipHarness h;
+    // No cosim: the injected fault makes divergence intentional.
+    ChipParams cp;
+    cp.num_cores = 1;
+    cp.cpu.num_threads = 2;
+    h.chip = std::make_unique<Chip>(cp);
+
+    const Program prog = devicePollLoop(40);
+    DataMemory mem(64 * 1024);
+    auto &rm = h.chip->redundancy();
+    RedundantPairParams pp;
+    pp.leading = HwThread{0, 0};
+    pp.trailing = HwThread{0, 1};
+    RedundantPair &pair = rm.addPair(pp);
+    h.chip->cpu(0).addThread(0, prog, mem, 0, Role::Leading, &pair);
+    h.chip->cpu(0).addThread(1, prog, mem, 0, Role::Trailing, &pair);
+
+    FaultInjector injector;
+    FaultRecord f;
+    f.kind = FaultRecord::Kind::TransientReg;
+    f.when = 300;
+    f.core = 0;
+    f.tid = 1;              // trailing copy
+    f.reg = r1;             // the device base pointer: long-lived, so
+                            // every later trailing store address skews
+    f.bit = 4;
+    injector.schedule(f);
+    h.chip->setFaultInjector(&injector);
+
+    h.chip->run(500000);
+    EXPECT_TRUE(pair.faultDetected());
+    // Device writes all carry leading-thread data; count unchanged.
+    EXPECT_EQ(h.chip->device().writes(), 40u);
+}
+
+TEST(Uncached, LoadValueFeedsDependentsPromptly)
+{
+    // Dependents of an uncached load wake up when it performs.
+    ProgramBuilder b("dep");
+    b.li(r1, static_cast<std::int64_t>(devBase));
+    b.ldunc(r2, r1, 0);
+    b.andi(r3, r2, 0xFF);
+    b.li(r4, 0x200);
+    b.stq(r3, r4, 0);
+    b.halt();
+    const Program prog = b.build();
+    ChipHarness h;
+    DataMemory mem(64 * 1024);
+    h.chip->cpu(0).addThread(0, prog, mem, 0, Role::Single);
+    h.runAll();
+    // The stored value equals the device's first read masked to a byte.
+    Device probe(DeviceParams{});
+    const std::uint64_t expected = probe.read(devBase) & 0xFF;
+    EXPECT_EQ(mem.read(0x200, 8), expected);
+}

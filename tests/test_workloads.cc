@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "isa/arch_state.hh"
+#include "workloads/workloads.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST(Workloads, EighteenSpec95Names)
+{
+    EXPECT_EQ(spec95Names().size(), 18u);
+}
+
+TEST_P(AllWorkloads, BuildsAndRunsFunctionally)
+{
+    const Workload w = buildWorkload(GetParam());
+    EXPECT_EQ(w.name, GetParam());
+    EXPECT_GT(w.program.size(), 4u);
+
+    auto mem = w.makeMemory();
+    ArchState st(w.program, *mem);
+    const std::uint64_t ran = st.run(50000);
+    // Kernels loop forever: they must consume the whole budget without
+    // halting or escaping the text segment.
+    EXPECT_EQ(ran, 50000u);
+    EXPECT_FALSE(st.halted());
+    EXPECT_TRUE(w.program.contains(st.pc()));
+}
+
+TEST_P(AllWorkloads, DeterministicMemoryImage)
+{
+    const Workload w = buildWorkload(GetParam());
+    auto m1 = w.makeMemory();
+    auto m2 = w.makeMemory();
+    ASSERT_EQ(m1->size(), m2->size());
+    EXPECT_EQ(0, std::memcmp(m1->data(), m2->data(), m1->size()));
+}
+
+TEST_P(AllWorkloads, ExecutesStoresAndLoads)
+{
+    // Every kernel must produce output-comparison traffic (stores) —
+    // otherwise SRT has nothing to verify.
+    const Workload w = buildWorkload(GetParam());
+    auto mem = w.makeMemory();
+    ArchState st(w.program, *mem);
+    unsigned stores = 0;
+    for (int i = 0; i < 30000; ++i) {
+        if (st.step().is_store)
+            ++stores;
+    }
+    EXPECT_GT(stores, 100u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec95, AllWorkloads,
+                         ::testing::ValuesIn(spec95Names()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadMixes, TwoProgramMixesMatchPaper)
+{
+    const auto mixes = twoProgramMixes();
+    EXPECT_EQ(mixes.size(), 6u);    // C(4,2) over {gcc,go,fpppp,swim}
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.size(), 2u);
+        EXPECT_NE(mix[0], mix[1]);
+    }
+}
+
+TEST(WorkloadMixes, FourProgramMixesMatchPaper)
+{
+    const auto mixes = fourProgramMixes();
+    EXPECT_EQ(mixes.size(), 15u);   // paper Section 6.2
+    for (const auto &mix : mixes)
+        EXPECT_EQ(mix.size(), 4u);
+}
+
+TEST(WorkloadMixes, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            Workload w = buildWorkload("specfp2077");
+            (void)w;
+        },
+        "unknown workload");
+}

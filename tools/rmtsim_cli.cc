@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Command-line driver: run any workload mix under any of the paper's
+ * configurations without writing C++.
+ *
+ *   rmtsim --mode srt --workloads gcc,swim --insts 40000 --stats
+ *   rmtsim --mode crt --workloads gcc,go,fpppp,swim --checker 8
+ *   rmtsim --mode srt --workloads compress --fault reg:3000:0:3:5
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "rmtsim — redundant multithreading simulator (ISCA 2002 repro)\n"
+        "\n"
+        "  --mode M          base | base2 | srt | lockstep | crt "
+        "(default base)\n"
+        "  --workloads W     comma-separated kernels (default gcc); "
+        "'all' lists\n"
+        "  --insts N         measured instructions/thread (default "
+        "40000)\n"
+        "  --warmup N        warm-up instructions/thread (default "
+        "20000)\n"
+        "  --checker N       lockstep checker penalty (default 8)\n"
+        "  --ptsq            per-thread store queues\n"
+        "  --nosc            disable store comparison (SRT+nosc)\n"
+        "  --no-psr          disable preferential space redundancy\n"
+        "  --no-ecc          disable LVQ ECC\n"
+        "  --frontend F      lpq | boq | sharedlp (trailing fetch)\n"
+        "  --slack N         slack fetch distance\n"
+        "  --fault SPEC      reg:<cycle>:<tid>:<reg>:<bit> | "
+        "lvq:<cycle>:<tid> | fu:<cycle>:<unit>:<maskbit>\n"
+        "  --recover         checkpoint-based fault recovery\n"
+        "  --recover-interval N   checkpoint cadence (insts)\n"
+        "  --trace N         commit trace (first N lines per core)\n"
+        "  --efficiency      also report SMT-Efficiency vs single-"
+        "thread base\n"
+        "  --cosim           enable architectural co-simulation "
+        "checking\n"
+        "  --stats           dump per-core statistics\n");
+}
+
+std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+bool
+parseFault(const std::string &spec, FaultInjector &injector)
+{
+    const auto parts = splitCommas(spec);
+    (void)parts;
+    std::vector<std::string> f;
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ':'))
+        f.push_back(item);
+    if (f.empty())
+        return false;
+    FaultRecord rec;
+    if (f[0] == "reg" && f.size() == 5) {
+        rec.kind = FaultRecord::Kind::TransientReg;
+        rec.when = std::strtoull(f[1].c_str(), nullptr, 0);
+        rec.tid = static_cast<ThreadId>(std::atoi(f[2].c_str()));
+        rec.reg = static_cast<RegIndex>(std::atoi(f[3].c_str()));
+        rec.bit = static_cast<unsigned>(std::atoi(f[4].c_str()));
+    } else if (f[0] == "lvq" && f.size() == 3) {
+        rec.kind = FaultRecord::Kind::TransientLvq;
+        rec.when = std::strtoull(f[1].c_str(), nullptr, 0);
+        rec.tid = static_cast<ThreadId>(std::atoi(f[2].c_str()));
+    } else if (f[0] == "fu" && f.size() == 4) {
+        rec.kind = FaultRecord::Kind::PermanentFu;
+        rec.when = std::strtoull(f[1].c_str(), nullptr, 0);
+        rec.fuIndex = static_cast<unsigned>(std::atoi(f[2].c_str()));
+        rec.mask = std::uint64_t{1} << std::atoi(f[3].c_str());
+    } else {
+        return false;
+    }
+    injector.schedule(rec);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimOptions opts;
+    opts.mode = SimMode::Base;
+    opts.warmup_insts = 20000;
+    opts.measure_insts = 40000;
+    std::vector<std::string> workloads{"gcc"};
+    std::vector<std::string> fault_specs;
+    bool want_stats = false;
+    bool want_efficiency = false;
+    std::uint64_t trace_lines = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--mode") {
+            const std::string m = next();
+            if (m == "base")
+                opts.mode = SimMode::Base;
+            else if (m == "base2")
+                opts.mode = SimMode::Base2;
+            else if (m == "srt")
+                opts.mode = SimMode::Srt;
+            else if (m == "lockstep")
+                opts.mode = SimMode::Lockstep;
+            else if (m == "crt")
+                opts.mode = SimMode::Crt;
+            else
+                fatal("unknown mode '%s'", m.c_str());
+        } else if (arg == "--workloads") {
+            workloads = splitCommas(next());
+        } else if (arg == "--insts") {
+            opts.measure_insts = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--warmup") {
+            opts.warmup_insts = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--checker") {
+            opts.checker_penalty =
+                static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--ptsq") {
+            opts.per_thread_store_queues = true;
+        } else if (arg == "--nosc") {
+            opts.store_comparison = false;
+        } else if (arg == "--no-psr") {
+            opts.preferential_space_redundancy = false;
+        } else if (arg == "--no-ecc") {
+            opts.lvq_ecc = false;
+        } else if (arg == "--slack") {
+            opts.slack_fetch =
+                static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--frontend") {
+            const std::string f = next();
+            if (f == "lpq")
+                opts.trailing_fetch =
+                    TrailingFetchMode::LinePredictionQueue;
+            else if (f == "boq")
+                opts.trailing_fetch = TrailingFetchMode::BranchOutcomeQueue;
+            else if (f == "sharedlp")
+                opts.trailing_fetch =
+                    TrailingFetchMode::SharedLinePredictor;
+            else
+                fatal("unknown frontend '%s'", f.c_str());
+        } else if (arg == "--fault") {
+            fault_specs.push_back(next());
+        } else if (arg == "--recover") {
+            opts.recovery = true;
+        } else if (arg == "--recover-interval") {
+            opts.recovery_params.interval_insts =
+                std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--cosim") {
+            opts.cosim = true;
+        } else if (arg == "--efficiency") {
+            want_efficiency = true;
+        } else if (arg == "--trace") {
+            trace_lines = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--stats") {
+            want_stats = true;
+        } else {
+            usage();
+            fatal("unknown argument '%s'", arg.c_str());
+        }
+    }
+
+    if (workloads.size() == 1 && workloads[0] == "all") {
+        for (const auto &name : spec95Names())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    Simulation sim(workloads, opts);
+    if (trace_lines) {
+        for (unsigned c = 0; c < sim.chip().numCores(); ++c)
+            sim.chip().cpu(c).setCommitTrace(&std::cout, trace_lines);
+    }
+    for (const auto &spec : fault_specs) {
+        if (!parseFault(spec, sim.faultInjector()))
+            fatal("bad --fault spec '%s'", spec.c_str());
+    }
+
+    const RunResult r = sim.run();
+
+    std::printf("%-10s %8s %12s %12s\n", "thread", "ipc", "committed",
+                "cycles");
+    for (const auto &t : r.threads) {
+        std::printf("%-10s %8.3f %12llu %12llu\n", t.workload.c_str(),
+                    t.ipc, static_cast<unsigned long long>(t.committed),
+                    static_cast<unsigned long long>(t.cycles));
+    }
+    std::printf("total cycles %llu, completed %s\n",
+                static_cast<unsigned long long>(r.total_cycles),
+                r.completed ? "yes" : "NO");
+    if (opts.mode == SimMode::Srt || opts.mode == SimMode::Crt) {
+        std::printf("store pairs compared %llu, mismatches %llu, "
+                    "detections %llu, recoveries %llu\n",
+                    static_cast<unsigned long long>(r.store_comparisons),
+                    static_cast<unsigned long long>(r.store_mismatches),
+                    static_cast<unsigned long long>(r.detections),
+                    static_cast<unsigned long long>(r.recoveries));
+        const auto &rm = sim.chip().redundancy();
+        for (std::size_t i = 0; i < rm.numPairs(); ++i) {
+            const auto &events = rm.pair(i).detections();
+            const std::size_t shown = std::min<std::size_t>(5,
+                                                            events.size());
+            for (std::size_t e = 0; e < shown; ++e) {
+                const auto &d = events[e];
+                const char *kind =
+                    d.kind == DetectionKind::StoreMismatch
+                        ? "store mismatch"
+                        : d.kind == DetectionKind::LvqAddrMismatch
+                              ? "LVQ address mismatch"
+                              : "control divergence";
+                std::printf("  pair %zu: %s at cycle %llu\n", i, kind,
+                            static_cast<unsigned long long>(d.cycle));
+            }
+            const std::uint64_t total = rm.pair(i).detectionCount();
+            if (total > shown) {
+                std::printf("  pair %zu: ... and %llu further "
+                            "detections (streams diverged)\n",
+                            i,
+                            static_cast<unsigned long long>(total -
+                                                            shown));
+            }
+        }
+    }
+
+    if (want_efficiency) {
+        BaselineCache baseline(opts);
+        const auto effs = baseline.efficiencies(r);
+        for (std::size_t i = 0; i < effs.size(); ++i) {
+            std::printf("efficiency %-10s %.3f\n",
+                        r.threads[i].workload.c_str(), effs[i]);
+        }
+        std::printf("mean SMT-efficiency %.3f\n", meanEfficiency(effs));
+    }
+
+    if (want_stats) {
+        for (unsigned c = 0; c < sim.chip().numCores(); ++c)
+            sim.chip().cpu(c).dumpStats(std::cout);
+    }
+    return 0;
+}
