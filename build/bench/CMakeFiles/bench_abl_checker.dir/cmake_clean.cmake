@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_checker.dir/bench_abl_checker.cc.o"
+  "CMakeFiles/bench_abl_checker.dir/bench_abl_checker.cc.o.d"
+  "bench_abl_checker"
+  "bench_abl_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

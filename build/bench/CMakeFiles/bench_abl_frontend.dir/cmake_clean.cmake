@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_frontend.dir/bench_abl_frontend.cc.o"
+  "CMakeFiles/bench_abl_frontend.dir/bench_abl_frontend.cc.o.d"
+  "bench_abl_frontend"
+  "bench_abl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

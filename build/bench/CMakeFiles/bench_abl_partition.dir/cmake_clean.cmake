@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_partition.dir/bench_abl_partition.cc.o"
+  "CMakeFiles/bench_abl_partition.dir/bench_abl_partition.cc.o.d"
+  "bench_abl_partition"
+  "bench_abl_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

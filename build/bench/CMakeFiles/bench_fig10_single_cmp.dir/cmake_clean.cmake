@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_single_cmp.dir/bench_fig10_single_cmp.cc.o"
+  "CMakeFiles/bench_fig10_single_cmp.dir/bench_fig10_single_cmp.cc.o.d"
+  "bench_fig10_single_cmp"
+  "bench_fig10_single_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_single_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

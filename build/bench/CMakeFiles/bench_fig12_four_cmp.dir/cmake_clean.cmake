@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_four_cmp.dir/bench_fig12_four_cmp.cc.o"
+  "CMakeFiles/bench_fig12_four_cmp.dir/bench_fig12_four_cmp.cc.o.d"
+  "bench_fig12_four_cmp"
+  "bench_fig12_four_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_four_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_psr.dir/bench_fig7_psr.cc.o"
+  "CMakeFiles/bench_fig7_psr.dir/bench_fig7_psr.cc.o.d"
+  "bench_fig7_psr"
+  "bench_fig7_psr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_psr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_storeq.dir/bench_fig8_storeq.cc.o"
+  "CMakeFiles/bench_fig8_storeq.dir/bench_fig8_storeq.cc.o.d"
+  "bench_fig8_storeq"
+  "bench_fig8_storeq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_storeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

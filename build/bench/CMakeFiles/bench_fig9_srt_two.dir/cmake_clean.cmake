@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_srt_two.dir/bench_fig9_srt_two.cc.o"
+  "CMakeFiles/bench_fig9_srt_two.dir/bench_fig9_srt_two.cc.o.d"
+  "bench_fig9_srt_two"
+  "bench_fig9_srt_two.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_srt_two.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crt_vs_lockstep.dir/crt_vs_lockstep.cpp.o"
+  "CMakeFiles/crt_vs_lockstep.dir/crt_vs_lockstep.cpp.o.d"
+  "crt_vs_lockstep"
+  "crt_vs_lockstep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crt_vs_lockstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

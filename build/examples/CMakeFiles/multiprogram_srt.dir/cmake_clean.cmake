@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogram_srt.dir/multiprogram_srt.cpp.o"
+  "CMakeFiles/multiprogram_srt.dir/multiprogram_srt.cpp.o.d"
+  "multiprogram_srt"
+  "multiprogram_srt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogram_srt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

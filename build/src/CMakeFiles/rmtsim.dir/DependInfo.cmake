@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cmp/chip.cc" "src/CMakeFiles/rmtsim.dir/cmp/chip.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cmp/chip.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/rmtsim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rmtsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/cpu/dyn_inst.cc" "src/CMakeFiles/rmtsim.dir/cpu/dyn_inst.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cpu/dyn_inst.cc.o.d"
+  "/root/repo/src/cpu/ebox.cc" "src/CMakeFiles/rmtsim.dir/cpu/ebox.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cpu/ebox.cc.o.d"
+  "/root/repo/src/cpu/ibox.cc" "src/CMakeFiles/rmtsim.dir/cpu/ibox.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cpu/ibox.cc.o.d"
+  "/root/repo/src/cpu/mbox.cc" "src/CMakeFiles/rmtsim.dir/cpu/mbox.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cpu/mbox.cc.o.d"
+  "/root/repo/src/cpu/pbox.cc" "src/CMakeFiles/rmtsim.dir/cpu/pbox.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cpu/pbox.cc.o.d"
+  "/root/repo/src/cpu/qbox.cc" "src/CMakeFiles/rmtsim.dir/cpu/qbox.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cpu/qbox.cc.o.d"
+  "/root/repo/src/cpu/smt_cpu.cc" "src/CMakeFiles/rmtsim.dir/cpu/smt_cpu.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/cpu/smt_cpu.cc.o.d"
+  "/root/repo/src/isa/arch_state.cc" "src/CMakeFiles/rmtsim.dir/isa/arch_state.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/isa/arch_state.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/rmtsim.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/rmtsim.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/rmtsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/rmtsim.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/rmtsim.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/mem/merge_buffer.cc" "src/CMakeFiles/rmtsim.dir/mem/merge_buffer.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/mem/merge_buffer.cc.o.d"
+  "/root/repo/src/predictor/branch_predictor.cc" "src/CMakeFiles/rmtsim.dir/predictor/branch_predictor.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/predictor/branch_predictor.cc.o.d"
+  "/root/repo/src/predictor/line_predictor.cc" "src/CMakeFiles/rmtsim.dir/predictor/line_predictor.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/predictor/line_predictor.cc.o.d"
+  "/root/repo/src/predictor/ras.cc" "src/CMakeFiles/rmtsim.dir/predictor/ras.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/predictor/ras.cc.o.d"
+  "/root/repo/src/predictor/store_sets.cc" "src/CMakeFiles/rmtsim.dir/predictor/store_sets.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/predictor/store_sets.cc.o.d"
+  "/root/repo/src/rmt/fault_injector.cc" "src/CMakeFiles/rmtsim.dir/rmt/fault_injector.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/rmt/fault_injector.cc.o.d"
+  "/root/repo/src/rmt/lpq.cc" "src/CMakeFiles/rmtsim.dir/rmt/lpq.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/rmt/lpq.cc.o.d"
+  "/root/repo/src/rmt/lvq.cc" "src/CMakeFiles/rmtsim.dir/rmt/lvq.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/rmt/lvq.cc.o.d"
+  "/root/repo/src/rmt/recovery.cc" "src/CMakeFiles/rmtsim.dir/rmt/recovery.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/rmt/recovery.cc.o.d"
+  "/root/repo/src/rmt/redundancy.cc" "src/CMakeFiles/rmtsim.dir/rmt/redundancy.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/rmt/redundancy.cc.o.d"
+  "/root/repo/src/rmt/store_comparator.cc" "src/CMakeFiles/rmtsim.dir/rmt/store_comparator.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/rmt/store_comparator.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/rmtsim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/rmtsim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/rmtsim.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/rmtsim.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_smt.dir/test_cpu_smt.cc.o"
+  "CMakeFiles/test_cpu_smt.dir/test_cpu_smt.cc.o.d"
+  "test_cpu_smt"
+  "test_cpu_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

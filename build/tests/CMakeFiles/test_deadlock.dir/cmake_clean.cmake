@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock.dir/test_deadlock.cc.o"
+  "CMakeFiles/test_deadlock.dir/test_deadlock.cc.o.d"
+  "test_deadlock"
+  "test_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

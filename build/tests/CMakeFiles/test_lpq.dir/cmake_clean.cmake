@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpq.dir/test_lpq.cc.o"
+  "CMakeFiles/test_lpq.dir/test_lpq.cc.o.d"
+  "test_lpq"
+  "test_lpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lvq.dir/test_lvq.cc.o"
+  "CMakeFiles/test_lvq.dir/test_lvq.cc.o.d"
+  "test_lvq"
+  "test_lvq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lvq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_sweeps.dir/test_machine_sweeps.cc.o"
+  "CMakeFiles/test_machine_sweeps.dir/test_machine_sweeps.cc.o.d"
+  "test_machine_sweeps"
+  "test_machine_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_buffer.dir/test_merge_buffer.cc.o"
+  "CMakeFiles/test_merge_buffer.dir/test_merge_buffer.cc.o.d"
+  "test_merge_buffer"
+  "test_merge_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mode_properties.dir/test_mode_properties.cc.o"
+  "CMakeFiles/test_mode_properties.dir/test_mode_properties.cc.o.d"
+  "test_mode_properties"
+  "test_mode_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mode_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srt.dir/test_srt.cc.o"
+  "CMakeFiles/test_srt.dir/test_srt.cc.o.d"
+  "test_srt"
+  "test_srt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_comparator.dir/test_store_comparator.cc.o"
+  "CMakeFiles/test_store_comparator.dir/test_store_comparator.cc.o.d"
+  "test_store_comparator"
+  "test_store_comparator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_comparator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_sets.dir/test_store_sets.cc.o"
+  "CMakeFiles/test_store_sets.dir/test_store_sets.cc.o.d"
+  "test_store_sets"
+  "test_store_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

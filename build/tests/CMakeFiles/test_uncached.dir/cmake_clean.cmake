@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uncached.dir/test_uncached.cc.o"
+  "CMakeFiles/test_uncached.dir/test_uncached.cc.o.d"
+  "test_uncached"
+  "test_uncached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uncached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

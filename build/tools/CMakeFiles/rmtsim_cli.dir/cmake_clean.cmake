@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmtsim_cli.dir/rmtsim_cli.cc.o"
+  "CMakeFiles/rmtsim_cli.dir/rmtsim_cli.cc.o.d"
+  "rmtsim"
+  "rmtsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmtsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
