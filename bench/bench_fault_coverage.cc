@@ -1,7 +1,9 @@
 /**
  * @file
  * Fault-coverage experiment (Sections 2.1, 4.5): deterministic fault
- * campaigns against the SRT machine.
+ * campaigns against the SRT machine, driven through the campaign
+ * runner so the independent trials fan out over all host cores
+ * (override with RMTSIM_JOBS=N).
  *
  *  1. Transient register strikes: random (register, bit, cycle) flips
  *     in one redundant copy.  Outcomes: detected (store comparator /
@@ -13,12 +15,18 @@
  *     space redundancy: without PSR both copies can use the broken
  *     unit, corrupt identically, compare equal, and silently corrupt
  *     memory — exactly the coverage hole PSR closes.
+ *
+ * Each trial is one JobSpec whose fault parameters are drawn at
+ * campaign-build time, so the grid is identical however many workers
+ * execute it; the post_run hook classifies the outcome against the
+ * golden memory image while the trial's Simulation is still alive.
  */
 
 #include <cstring>
 
 #include "bench_util.hh"
 #include "common/random.hh"
+#include "runner/runner.hh"
 
 using namespace rmt;
 using namespace rmtbench;
@@ -54,33 +62,50 @@ goldenImage(const std::string &workload)
     return {mem.data(), mem.data() + mem.size()};
 }
 
+/** Classify one faulted run against @p golden into JobResult::extra. */
+void
+attachClassifier(JobSpec &spec, const std::vector<std::uint8_t> *golden)
+{
+    const Cycle when = spec.faults.at(0).when;
+    spec.post_run = [golden, when](Simulation &sim, const RunResult &r,
+                                   JobResult &res) {
+        const bool corrupted =
+            std::memcmp(sim.memory(0).data(), golden->data(),
+                        golden->size()) != 0;
+        double latency = 0;
+        if (r.detections > 0) {
+            latency = static_cast<double>(
+                sim.chip().redundancy().pair(0).detections().front()
+                    .cycle - when);
+        }
+        res.extra.emplace_back("detected", r.detections > 0 ? 1 : 0);
+        res.extra.emplace_back("corrupted", corrupted ? 1 : 0);
+        res.extra.emplace_back("latency", latency);
+    };
+}
+
+double
+extraValue(const JobResult &r, const char *key)
+{
+    for (const auto &[k, v] : r.extra) {
+        if (k == key)
+            return v;
+    }
+    return 0;
+}
+
 Outcome
-transientRegCampaign(const std::string &workload, unsigned trials,
-                     const std::vector<std::uint8_t> &golden,
-                     unsigned max_reg)
+tally(const std::vector<JobResult> &results)
 {
     Outcome out;
-    Random rng(0xFA117);
-    for (unsigned i = 0; i < trials; ++i) {
-        Simulation sim({workload}, campaignOptions());
-        FaultRecord f;
-        f.kind = FaultRecord::Kind::TransientReg;
-        f.when = 1000 + rng.range(8000);
-        f.core = 0;
-        f.tid = static_cast<ThreadId>(rng.range(2));    // either copy
-        f.reg = static_cast<RegIndex>(1 + rng.range(max_reg - 1));
-        f.bit = static_cast<unsigned>(rng.range(64));
-        sim.faultInjector().schedule(f);
-        const RunResult r = sim.run();
-        const bool corrupted =
-            std::memcmp(sim.memory(0).data(), golden.data(),
-                        golden.size()) != 0;
-        if (r.detections > 0) {
+    for (const JobResult &r : results) {
+        if (!r.ok())
+            fatal("fault trial '%s' failed: %s", r.label.c_str(),
+                  r.error.c_str());
+        if (extraValue(r, "detected") > 0) {
             ++out.detected;
-            out.latency_sum += static_cast<double>(
-                sim.chip().redundancy().pair(0).detections().front()
-                    .cycle - f.when);
-        } else if (corrupted) {
+            out.latency_sum += extraValue(r, "latency");
+        } else if (extraValue(r, "corrupted") > 0) {
             ++out.silent;
         } else {
             ++out.benign;
@@ -90,41 +115,57 @@ transientRegCampaign(const std::string &workload, unsigned trials,
 }
 
 Outcome
+transientRegCampaign(const std::string &workload, unsigned trials,
+                     const std::vector<std::uint8_t> &golden,
+                     unsigned max_reg)
+{
+    CampaignBuilder builder("reg-strikes", 0xFA117 + max_reg);
+    builder.base(campaignOptions())
+        .workloads({workload})
+        .transientRegTrials(trials, max_reg);
+    Campaign campaign = builder.build();
+    for (JobSpec &spec : campaign.jobs)
+        attachClassifier(spec, &golden);
+
+    RunnerConfig cfg;
+    cfg.jobs = benchJobs();
+    return tally(runCampaign(campaign, cfg));
+}
+
+Outcome
 permanentFuCampaign(const std::string &workload, bool psr,
                     unsigned trials,
                     const std::vector<std::uint8_t> &golden)
 {
-    Outcome out;
+    // Same strike distribution as the original sequential campaign:
+    // hit every integer/logic unit in turn (ids 0..15, 16..31).
+    Campaign campaign;
+    campaign.name = "fu-faults";
     Random rng(0xFE11);
     for (unsigned i = 0; i < trials; ++i) {
-        SimOptions o = campaignOptions();
-        o.preferential_space_redundancy = psr;
-        Simulation sim({workload}, o);
+        JobSpec spec;
+        spec.id = campaign.jobs.size();
+        spec.label = std::string("fu:") + workload +
+                     (psr ? " psr=1" : " psr=0") +
+                     " trial=" + std::to_string(i);
+        spec.workloads = {workload};
+        spec.options = campaignOptions();
+        spec.options.preferential_space_redundancy = psr;
         FaultRecord f;
         f.kind = FaultRecord::Kind::PermanentFu;
         f.when = 500;
         f.core = 0;
-        // Hit every integer/logic unit in turn (ids 0..15, 16..31).
         f.fuIndex = static_cast<unsigned>(
             i % 2 ? 16 + rng.range(8) : rng.range(8));
         f.mask = std::uint64_t{1} << rng.range(16);
-        sim.faultInjector().schedule(f);
-        const RunResult r = sim.run();
-        const bool corrupted =
-            std::memcmp(sim.memory(0).data(), golden.data(),
-                        golden.size()) != 0;
-        if (r.detections > 0) {
-            ++out.detected;
-            out.latency_sum += static_cast<double>(
-                sim.chip().redundancy().pair(0).detections().front()
-                    .cycle - f.when);
-        } else if (corrupted) {
-            ++out.silent;
-        } else {
-            ++out.benign;
-        }
+        spec.faults.push_back(f);
+        attachClassifier(spec, &golden);
+        campaign.jobs.push_back(std::move(spec));
     }
-    return out;
+
+    RunnerConfig cfg;
+    cfg.jobs = benchJobs();
+    return tally(runCampaign(campaign, cfg));
 }
 
 void
@@ -164,23 +205,50 @@ main()
                         "through output comparison!\n");
     }
 
-    // 2. LVQ strikes with and without ECC.
+    // 2. LVQ strikes with and without ECC: ten deterministic strike
+    //    cycles per configuration, one job each.
     for (bool ecc : {true, false}) {
-        unsigned detected = 0, corrected = 0;
+        Campaign campaign;
+        campaign.name = "lvq-strikes";
         for (unsigned i = 0; i < 10; ++i) {
-            SimOptions o = campaignOptions();
-            o.lvq_ecc = ecc;
-            Simulation sim({"gcc"}, o);
+            JobSpec spec;
+            spec.id = campaign.jobs.size();
+            spec.label = std::string("lvq:gcc ecc=") + (ecc ? "1" : "0") +
+                         " trial=" + std::to_string(i);
+            spec.workloads = {"gcc"};
+            spec.options = campaignOptions();
+            spec.options.lvq_ecc = ecc;
             FaultRecord f;
             f.kind = FaultRecord::Kind::TransientLvq;
             f.when = 1500 + 700 * i;
             f.core = 0;
             f.tid = 0;
-            sim.faultInjector().schedule(f);
-            const RunResult r = sim.run();
-            detected += r.detections > 0;
-            corrected +=
-                sim.chip().redundancy().pair(0).lvq.eccCorrections();
+            spec.faults.push_back(f);
+            spec.post_run = [](Simulation &sim, const RunResult &r,
+                               JobResult &res) {
+                res.extra.emplace_back("detected",
+                                       r.detections > 0 ? 1 : 0);
+                res.extra.emplace_back(
+                    "ecc_corrected",
+                    static_cast<double>(sim.chip()
+                                            .redundancy()
+                                            .pair(0)
+                                            .lvq.eccCorrections()));
+            };
+            campaign.jobs.push_back(std::move(spec));
+        }
+
+        RunnerConfig cfg;
+        cfg.jobs = benchJobs();
+        const auto results = runCampaign(campaign, cfg);
+        unsigned detected = 0, corrected = 0;
+        for (const JobResult &r : results) {
+            if (!r.ok())
+                fatal("LVQ trial '%s' failed: %s", r.label.c_str(),
+                      r.error.c_str());
+            detected += extraValue(r, "detected") > 0;
+            corrected += static_cast<unsigned>(
+                extraValue(r, "ecc_corrected"));
         }
         std::printf("%-38s detected %3u  ecc-corrected %3u\n",
                     ecc ? "LVQ strikes, ECC on (paper design)"

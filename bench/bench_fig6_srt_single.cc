@@ -5,12 +5,19 @@
  * SRT with per-thread store queues, and SRT without store comparison —
  * across the 18 SPEC CPU95-like benchmarks.
  *
+ * Driven through the campaign runner: the 18 x 4 grid fans out over
+ * all host cores (override with RMTSIM_JOBS=N), with the single-thread
+ * baselines computed once per workload by the shared single-flight
+ * BaselineCache.  Results are gathered by job id, so the table is
+ * identical whatever the worker count.
+ *
  * Paper result: SRT degrades 32% on average vs the base processor
  * running one copy (1.0 on this scale); per-thread store queues recover
  * ~2% on average with large gains on individual benchmarks.
  */
 
 #include "bench_util.hh"
+#include "runner/runner.hh"
 
 using namespace rmt;
 using namespace rmtbench;
@@ -19,45 +26,74 @@ int
 main()
 {
     setInformEnabled(false);
-    SimOptions opts = standardOptions();
+    const SimOptions opts = standardOptions();
     BaselineCache baseline(opts);
+
+    struct Variant
+    {
+        const char *name;
+        void (*apply)(SimOptions &);
+    };
+    const Variant variants[] = {
+        {"Base2", [](SimOptions &o) { o.mode = SimMode::Base2; }},
+        {"SRT", [](SimOptions &o) { o.mode = SimMode::Srt; }},
+        {"SRT+ptsq",
+         [](SimOptions &o) {
+             o.mode = SimMode::Srt;
+             o.per_thread_store_queues = true;
+         }},
+        {"SRT+nosc",
+         [](SimOptions &o) {
+             o.mode = SimMode::Srt;
+             o.store_comparison = false;
+         }},
+    };
+    const std::size_t num_variants = std::size(variants);
+
+    Campaign campaign;
+    campaign.name = "fig6";
+    for (const auto &name : spec95Names()) {
+        for (const Variant &v : variants) {
+            JobSpec spec;
+            spec.id = campaign.jobs.size();
+            spec.label = std::string(v.name) + ":" + name;
+            spec.workloads = {name};
+            spec.options = opts;
+            v.apply(spec.options);
+            campaign.jobs.push_back(std::move(spec));
+        }
+    }
+
+    RunnerConfig cfg;
+    cfg.jobs = benchJobs();
+    cfg.baseline = &baseline;
+    const auto results = runCampaign(campaign, cfg);
 
     printHeader("Figure 6: SMT-Efficiency, one logical thread "
                 "(1.0 = single-thread base)",
                 {"Base2", "SRT", "SRT+ptsq", "SRT+nosc"});
 
-    std::vector<double> base2s, srts, ptsqs, noscs;
-    for (const auto &name : spec95Names()) {
-        SimOptions o = opts;
-
-        o.mode = SimMode::Base2;
-        const double base2 =
-            baseline.efficiency(runSimulation({name}, o));
-
-        o.mode = SimMode::Srt;
-        const double srt = baseline.efficiency(runSimulation({name}, o));
-
-        o.per_thread_store_queues = true;
-        const double ptsq =
-            baseline.efficiency(runSimulation({name}, o));
-        o.per_thread_store_queues = false;
-
-        o.store_comparison = false;
-        const double nosc =
-            baseline.efficiency(runSimulation({name}, o));
-
-        printRow(name, {base2, srt, ptsq, nosc});
-        base2s.push_back(base2);
-        srts.push_back(srt);
-        ptsqs.push_back(ptsq);
-        noscs.push_back(nosc);
+    std::vector<std::vector<double>> columns(num_variants);
+    const auto &names = spec95Names();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<double> row;
+        for (std::size_t v = 0; v < num_variants; ++v) {
+            const JobResult &r = results[w * num_variants + v];
+            if (!r.ok())
+                fatal("fig6 job '%s' failed: %s", r.label.c_str(),
+                      r.error.c_str());
+            row.push_back(r.mean_efficiency);
+            columns[v].push_back(r.mean_efficiency);
+        }
+        printRow(names[w], row);
     }
-    printRow("MEAN", {mean(base2s), mean(srts), mean(ptsqs), mean(noscs)});
+    printRow("MEAN", {mean(columns[0]), mean(columns[1]),
+                      mean(columns[2]), mean(columns[3])});
     std::printf("\npaper: SRT mean degradation 32%% (efficiency 0.68); "
                 "ptsq -> 30%% (0.70)\n");
     std::printf("here:  SRT mean degradation %.0f%% (efficiency %.2f); "
                 "ptsq -> %.0f%% (%.2f)\n",
-                100 * (1 - mean(srts)), mean(srts),
-                100 * (1 - mean(ptsqs)), mean(ptsqs));
+                100 * (1 - mean(columns[1])), mean(columns[1]),
+                100 * (1 - mean(columns[2])), mean(columns[2]));
     return 0;
 }

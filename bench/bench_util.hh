@@ -10,6 +10,7 @@
 #define RMTSIM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -21,6 +22,16 @@
 
 namespace rmtbench
 {
+
+/** Worker threads for campaign-driven benches: RMTSIM_JOBS if set,
+ *  otherwise 0 = one per hardware core (ThreadPool's default). */
+inline unsigned
+benchJobs()
+{
+    if (const char *env = std::getenv("RMTSIM_JOBS"))
+        return static_cast<unsigned>(std::atoi(env));
+    return 0;
+}
 
 /** Canonical bench budgets: warm structures, then measure (the paper
  *  warms 1M and measures 15M; we scale both by ~375x for simulator

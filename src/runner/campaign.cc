@@ -1,0 +1,262 @@
+#include "runner/campaign.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/random.hh"
+
+namespace rmt
+{
+
+const char *
+modeName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::Base:     return "base";
+      case SimMode::Base2:    return "base2";
+      case SimMode::Srt:      return "srt";
+      case SimMode::Lockstep: return "lockstep";
+      case SimMode::Crt:      return "crt";
+    }
+    return "?";
+}
+
+SimMode
+parseMode(const std::string &name)
+{
+    if (name == "base")     return SimMode::Base;
+    if (name == "base2")    return SimMode::Base2;
+    if (name == "srt")      return SimMode::Srt;
+    if (name == "lockstep") return SimMode::Lockstep;
+    if (name == "crt")      return SimMode::Crt;
+    throw std::invalid_argument("unknown mode '" + name + "'");
+}
+
+namespace
+{
+
+std::uint64_t
+parseUint(const std::string &key, const std::string &value)
+{
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(value, &pos, 0);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != value.size())
+        throw std::invalid_argument("sweep " + key + ": bad value '" +
+                                    value + "'");
+    return v;
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    const std::uint64_t v = parseUint(key, value);
+    if (v > 1)
+        throw std::invalid_argument("sweep " + key +
+                                    ": expected 0 or 1, got '" + value +
+                                    "'");
+    return v != 0;
+}
+
+/** SplitMix64: spreads a counter into an independent 64-bit stream so
+ *  per-trial fault draws do not correlate across grid points. */
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9E3779B97F4A7C15ull * (b + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+applySweepSetting(SimOptions &o, const std::string &key,
+                  const std::string &value)
+{
+    if (key == "slack") {
+        o.slack_fetch = static_cast<unsigned>(parseUint(key, value));
+    } else if (key == "checker") {
+        o.checker_penalty = static_cast<unsigned>(parseUint(key, value));
+    } else if (key == "storeq") {
+        o.cpu.store_queue_entries =
+            static_cast<unsigned>(parseUint(key, value));
+    } else if (key == "lvq") {
+        o.cpu.lvq_entries = static_cast<unsigned>(parseUint(key, value));
+    } else if (key == "lpq") {
+        o.cpu.lpq_entries = static_cast<unsigned>(parseUint(key, value));
+    } else if (key == "rob") {
+        o.cpu.rob_entries = static_cast<unsigned>(parseUint(key, value));
+    } else if (key == "iq") {
+        o.cpu.iq_entries = static_cast<unsigned>(parseUint(key, value));
+    } else if (key == "insts") {
+        o.measure_insts = parseUint(key, value);
+    } else if (key == "warmup") {
+        o.warmup_insts = parseUint(key, value);
+    } else if (key == "ptsq") {
+        o.per_thread_store_queues = parseBool(key, value);
+    } else if (key == "nosc") {
+        o.store_comparison = !parseBool(key, value);
+    } else if (key == "psr") {
+        o.preferential_space_redundancy = parseBool(key, value);
+    } else if (key == "ecc") {
+        o.lvq_ecc = parseBool(key, value);
+    } else if (key == "frontend") {
+        if (value == "lpq")
+            o.trailing_fetch = TrailingFetchMode::LinePredictionQueue;
+        else if (value == "boq")
+            o.trailing_fetch = TrailingFetchMode::BranchOutcomeQueue;
+        else if (value == "sharedlp")
+            o.trailing_fetch = TrailingFetchMode::SharedLinePredictor;
+        else
+            throw std::invalid_argument(
+                "sweep frontend: unknown value '" + value + "'");
+    } else {
+        throw std::invalid_argument("unknown sweep key '" + key + "'");
+    }
+}
+
+CampaignBuilder::CampaignBuilder(std::string name, std::uint64_t seed)
+    : _name(std::move(name)), _seed(seed)
+{
+}
+
+CampaignBuilder &
+CampaignBuilder::base(const SimOptions &options)
+{
+    _base = options;
+    return *this;
+}
+
+CampaignBuilder &
+CampaignBuilder::modes(const std::vector<SimMode> &modes)
+{
+    _modes = modes;
+    return *this;
+}
+
+CampaignBuilder &
+CampaignBuilder::mixes(const std::vector<std::vector<std::string>> &mixes)
+{
+    _mixes = mixes;
+    return *this;
+}
+
+CampaignBuilder &
+CampaignBuilder::workloads(const std::vector<std::string> &names)
+{
+    _mixes.clear();
+    for (const auto &n : names)
+        _mixes.push_back({n});
+    return *this;
+}
+
+CampaignBuilder &
+CampaignBuilder::sweep(const std::string &key,
+                       const std::vector<std::string> &values)
+{
+    if (values.empty())
+        throw std::invalid_argument("sweep " + key + ": no values");
+    _axes.push_back({key, values});
+    return *this;
+}
+
+CampaignBuilder &
+CampaignBuilder::transientRegTrials(unsigned trials, unsigned max_reg)
+{
+    if (trials && max_reg < 2)
+        throw std::invalid_argument(
+            "transientRegTrials: max_reg must be >= 2");
+    _fault_trials = trials;
+    _fault_max_reg = max_reg;
+    return *this;
+}
+
+Campaign
+CampaignBuilder::build() const
+{
+    Campaign c;
+    c.name = _name;
+    c.seed = _seed;
+
+    const std::vector<SimMode> modes =
+        _modes.empty() ? std::vector<SimMode>{_base.mode} : _modes;
+    const std::vector<std::vector<std::string>> mixes =
+        _mixes.empty() ? std::vector<std::vector<std::string>>{{"gcc"}}
+                       : _mixes;
+
+    // Odometer over the sweep axes (empty axes -> one grid point).
+    std::vector<std::size_t> idx(_axes.size(), 0);
+    bool done = false;
+    while (!done) {
+        for (const SimMode mode : modes) {
+            for (const auto &mix : mixes) {
+                SimOptions o = _base;
+                o.mode = mode;
+                std::string label = modeName(mode);
+                label += ":";
+                for (std::size_t w = 0; w < mix.size(); ++w) {
+                    if (w)
+                        label += "+";
+                    label += mix[w];
+                }
+                for (std::size_t a = 0; a < _axes.size(); ++a) {
+                    applySweepSetting(o, _axes[a].key,
+                                      _axes[a].values[idx[a]]);
+                    label += " " + _axes[a].key + "=" +
+                             _axes[a].values[idx[a]];
+                }
+
+                const unsigned trials = std::max(1u, _fault_trials);
+                for (unsigned t = 0; t < trials; ++t) {
+                    JobSpec spec;
+                    spec.id = c.jobs.size();
+                    spec.workloads = mix;
+                    spec.options = o;
+                    spec.label = label;
+                    spec.seed = mixSeed(_seed, spec.id);
+                    if (_fault_trials) {
+                        spec.label +=
+                            " trial=" + std::to_string(t);
+                        Random rng(spec.seed);
+                        const std::uint64_t insts =
+                            o.warmup_insts + o.measure_insts;
+                        FaultRecord f;
+                        f.kind = FaultRecord::Kind::TransientReg;
+                        // Land inside the run: cycle count is at least
+                        // the committed-instruction count (IPC <= 8 per
+                        // thread but >= 1/8 of the budget in cycles).
+                        f.when = insts / 12 +
+                                 rng.range(std::max<std::uint64_t>(
+                                     1, (insts * 2) / 3));
+                        f.core = 0;
+                        f.tid = static_cast<ThreadId>(rng.range(2));
+                        f.reg = static_cast<RegIndex>(
+                            1 + rng.range(_fault_max_reg - 1));
+                        f.bit = static_cast<unsigned>(rng.range(64));
+                        spec.faults.push_back(f);
+                    }
+                    c.jobs.push_back(std::move(spec));
+                }
+            }
+        }
+        // Advance the odometer.
+        done = true;
+        for (std::size_t a = _axes.size(); a-- > 0;) {
+            if (++idx[a] < _axes[a].values.size()) {
+                done = false;
+                break;
+            }
+            idx[a] = 0;
+        }
+    }
+    return c;
+}
+
+} // namespace rmt

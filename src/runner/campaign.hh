@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Campaign description and cartesian-sweep builders.
+ *
+ * A Campaign is a flat, ordered list of JobSpecs.  CampaignBuilder
+ * expands the cross product
+ *
+ *     modes x workload mixes x sweep axes x fault trials
+ *
+ * into that list, assigning dense job ids in grid order so results can
+ * be reassembled deterministically regardless of which worker finishes
+ * first.  Sweep axes are named strings ("slack=0,32,64") so the batch
+ * CLI can drive the same code path as C++ callers.
+ */
+
+#ifndef RMTSIM_RUNNER_CAMPAIGN_HH
+#define RMTSIM_RUNNER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/job.hh"
+#include "sim/simulator.hh"
+
+namespace rmt
+{
+
+struct Campaign
+{
+    std::string name = "campaign";
+    std::uint64_t seed = 1;
+    std::vector<JobSpec> jobs;
+};
+
+/** Printable name of a mode ("srt", "crt", ...). */
+const char *modeName(SimMode mode);
+
+/** Parse a mode name; throws std::invalid_argument on unknown names. */
+SimMode parseMode(const std::string &name);
+
+/**
+ * Apply one named sweep setting to @p options.  Known keys:
+ *
+ *   slack, checker, storeq, lvq, lpq, insts, warmup, rob, iq,
+ *   ptsq, nosc, psr, ecc, frontend (lpq|boq|sharedlp)
+ *
+ * Numeric keys parse the value as an integer; boolean keys accept
+ * 0/1.  Throws std::invalid_argument on unknown keys or bad values.
+ */
+void applySweepSetting(SimOptions &options, const std::string &key,
+                       const std::string &value);
+
+/** One sweep axis: a key and the values it takes. */
+struct SweepAxis
+{
+    std::string key;
+    std::vector<std::string> values;
+};
+
+class CampaignBuilder
+{
+  public:
+    explicit CampaignBuilder(std::string name = "campaign",
+                             std::uint64_t seed = 1);
+
+    /** Options shared by every job (budgets, machine parameters). */
+    CampaignBuilder &base(const SimOptions &options);
+
+    /** Modes to evaluate (default: just the base() mode). */
+    CampaignBuilder &modes(const std::vector<SimMode> &modes);
+
+    /** Workload mixes; each inner vector is one logical-thread set. */
+    CampaignBuilder &mixes(
+        const std::vector<std::vector<std::string>> &mixes);
+
+    /** Convenience: one single-workload mix per name. */
+    CampaignBuilder &workloads(const std::vector<std::string> &names);
+
+    /** Add one cartesian sweep axis (may be called repeatedly). */
+    CampaignBuilder &sweep(const std::string &key,
+                           const std::vector<std::string> &values);
+
+    /**
+     * Per grid point, add @p trials jobs with one deterministic
+     * transient register strike each (random cycle / victim copy /
+     * register / bit, derived from the campaign seed and trial index —
+     * the bench_fault_coverage campaign shape).  @p max_reg bounds the
+     * victim register index.
+     */
+    CampaignBuilder &transientRegTrials(unsigned trials,
+                                        unsigned max_reg);
+
+    /** Expand the cross product into a Campaign. */
+    Campaign build() const;
+
+  private:
+    std::string _name;
+    std::uint64_t _seed;
+    SimOptions _base;
+    std::vector<SimMode> _modes;
+    std::vector<std::vector<std::string>> _mixes;
+    std::vector<SweepAxis> _axes;
+    unsigned _fault_trials = 0;
+    unsigned _fault_max_reg = 0;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_RUNNER_CAMPAIGN_HH

@@ -1,0 +1,239 @@
+#include "runner/result_sink.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "runner/campaign.hh"
+
+namespace rmt
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+const char *
+frontendName(TrailingFetchMode mode)
+{
+    switch (mode) {
+      case TrailingFetchMode::LinePredictionQueue: return "lpq";
+      case TrailingFetchMode::BranchOutcomeQueue:  return "boq";
+      case TrailingFetchMode::SharedLinePredictor: return "sharedlp";
+    }
+    return "?";
+}
+
+/** Format a double with enough digits to round-trip, trimming the
+ *  noise printf's %g leaves behind ("1.75" not "1.750000"). */
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+optionsJson(const SimOptions &o)
+{
+    std::ostringstream os;
+    os << "{\"mode\":\"" << modeName(o.mode) << "\""
+       << ",\"warmup_insts\":" << o.warmup_insts
+       << ",\"measure_insts\":" << o.measure_insts
+       << ",\"checker_penalty\":" << o.checker_penalty
+       << ",\"ptsq\":" << (o.per_thread_store_queues ? 1 : 0)
+       << ",\"store_comparison\":" << (o.store_comparison ? 1 : 0)
+       << ",\"psr\":" << (o.preferential_space_redundancy ? 1 : 0)
+       << ",\"frontend\":\"" << frontendName(o.trailing_fetch) << "\""
+       << ",\"slack\":" << o.slack_fetch
+       << ",\"lvq_ecc\":" << (o.lvq_ecc ? 1 : 0)
+       << ",\"storeq\":" << o.cpu.store_queue_entries
+       << ",\"lvq\":" << o.cpu.lvq_entries
+       << ",\"lpq\":" << o.cpu.lpq_entries
+       << ",\"rob\":" << o.cpu.rob_entries
+       << ",\"iq\":" << o.cpu.iq_entries
+       << ",\"recovery\":" << (o.recovery ? 1 : 0)
+       << "}";
+    return os.str();
+}
+
+std::string
+optionsFingerprint(const SimOptions &o)
+{
+    const std::string canon = optionsJson(o);
+    std::uint64_t h = 0xcbf29ce484222325ull;     // FNV-1a 64
+    for (const char c : canon) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+std::string
+resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
+{
+    std::ostringstream os;
+    os << "{\"id\":" << spec.id
+       << ",\"label\":\"" << jsonEscape(spec.label) << "\""
+       << ",\"seed\":" << spec.seed
+       << ",\"workloads\":[";
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(spec.workloads[i]) << "\"";
+    }
+    os << "]"
+       << ",\"options\":" << optionsJson(spec.options)
+       << ",\"fingerprint\":\"" << optionsFingerprint(spec.options)
+       << "\""
+       << ",\"status\":\"" << (r.ok() ? "ok" : "failed") << "\""
+       << ",\"attempts\":" << r.attempts;
+    if (!r.ok()) {
+        os << ",\"error\":\"" << jsonEscape(r.error) << "\""
+           << ",\"timed_out\":" << (r.timed_out ? "true" : "false");
+    }
+    if (include_timing)
+        os << ",\"wall_ms\":" << num(r.wall_seconds * 1e3);
+    if (r.ok()) {
+        const RunResult &run = r.run;
+        os << ",\"completed\":" << (run.completed ? "true" : "false")
+           << ",\"total_cycles\":" << run.total_cycles
+           << ",\"threads\":[";
+        for (std::size_t i = 0; i < run.threads.size(); ++i) {
+            const ThreadResult &t = run.threads[i];
+            if (i)
+                os << ",";
+            os << "{\"workload\":\"" << jsonEscape(t.workload) << "\""
+               << ",\"ipc\":" << num(t.ipc)
+               << ",\"committed\":" << t.committed
+               << ",\"cycles\":" << t.cycles << "}";
+        }
+        os << "]"
+           << ",\"detections\":" << run.detections
+           << ",\"recoveries\":" << run.recoveries
+           << ",\"store_comparisons\":" << run.store_comparisons
+           << ",\"store_mismatches\":" << run.store_mismatches
+           << ",\"fu_pairs\":" << run.fu_pairs
+           << ",\"fu_same_unit\":" << run.fu_same_unit
+           << ",\"sq_full_stalls\":" << run.sq_full_stalls
+           << ",\"lvq_full_stalls\":" << run.lvq_full_stalls
+           << ",\"branch_mispredicts\":" << run.branch_mispredicts
+           << ",\"line_mispredicts\":" << run.line_mispredicts;
+        if (r.mean_efficiency >= 0) {
+            os << ",\"mean_efficiency\":" << num(r.mean_efficiency)
+               << ",\"efficiencies\":[";
+            for (std::size_t i = 0; i < r.efficiencies.size(); ++i) {
+                if (i)
+                    os << ",";
+                os << num(r.efficiencies[i]);
+            }
+            os << "]";
+        }
+    }
+    if (!r.extra.empty()) {
+        os << ",\"extra\":{";
+        for (std::size_t i = 0; i < r.extra.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "\"" << jsonEscape(r.extra[i].first)
+               << "\":" << num(r.extra[i].second);
+        }
+        os << "}";
+    }
+    os << "}";
+    return os.str();
+}
+
+JsonlSink::JsonlSink(std::ostream &out, Options options)
+    : out(out), opts(options)
+{
+}
+
+void
+JsonlSink::begin(const Campaign &campaign)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    total = campaign.jobs.size();
+    done = 0;
+    failed = 0;
+    next_id = 0;
+}
+
+void
+JsonlSink::record(const JobSpec &spec, const JobResult &result)
+{
+    const std::string line =
+        resultJson(spec, result, opts.include_timing);
+
+    std::lock_guard<std::mutex> lock(mu);
+    ++done;
+    if (!result.ok())
+        ++failed;
+    if (opts.ordered) {
+        pending.emplace(spec.id, line);
+        flushReady();
+    } else {
+        out << line << "\n";
+    }
+    if (opts.progress) {
+        std::fprintf(stderr,
+                     "\r[%" PRIu64 "/%" PRIu64 "] %s%s (%.0f ms)%s",
+                     done, total, result.ok() ? "" : "FAILED ",
+                     spec.label.c_str(), result.wall_seconds * 1e3,
+                     done == total ? "\n" : "");
+        std::fflush(stderr);
+    }
+}
+
+void
+JsonlSink::flushReady()
+{
+    for (auto it = pending.begin();
+         it != pending.end() && it->first == next_id;
+         it = pending.erase(it), ++next_id) {
+        out << it->second << "\n";
+    }
+}
+
+void
+JsonlSink::end()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    // Failed-and-skipped ids would wedge the ordered buffer; drain
+    // whatever is left in id order.
+    for (auto &[id, line] : pending)
+        out << line << "\n";
+    pending.clear();
+    out.flush();
+}
+
+} // namespace rmt

@@ -1,0 +1,162 @@
+#include "runner/runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "runner/thread_pool.hh"
+#include "workloads/workloads.hh"
+
+namespace rmt
+{
+
+namespace
+{
+
+bool
+knownWorkload(const std::string &name)
+{
+    const auto &names = spec95Names();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+unsigned
+maxLogicalThreads(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::Base:
+      case SimMode::Lockstep:
+      case SimMode::Crt:
+        return 4;
+      case SimMode::Base2:
+      case SimMode::Srt:
+        return 2;
+    }
+    return 1;
+}
+
+/** Apply the runner-level instruction cap to a copy of the options. */
+SimOptions
+cappedOptions(const JobSpec &spec, const RunnerConfig &config)
+{
+    SimOptions o = spec.options;
+    if (config.max_insts) {
+        o.warmup_insts = std::min(o.warmup_insts, config.max_insts);
+        o.measure_insts =
+            std::min(o.measure_insts, config.max_insts - o.warmup_insts);
+    }
+    return o;
+}
+
+} // namespace
+
+void
+validateJobSpec(const JobSpec &spec)
+{
+    if (spec.workloads.empty())
+        throw std::invalid_argument("job " + std::to_string(spec.id) +
+                                    ": no workloads");
+    for (const auto &name : spec.workloads) {
+        if (!knownWorkload(name))
+            throw std::invalid_argument(
+                "job " + std::to_string(spec.id) +
+                ": unknown workload '" + name + "'");
+    }
+    const unsigned logical =
+        static_cast<unsigned>(spec.workloads.size());
+    if (logical > maxLogicalThreads(spec.options.mode))
+        throw std::invalid_argument(
+            "job " + std::to_string(spec.id) + ": " +
+            std::to_string(logical) + " logical threads exceed mode " +
+            modeName(spec.options.mode));
+    if (spec.options.recovery && spec.options.cosim)
+        throw std::invalid_argument(
+            "job " + std::to_string(spec.id) +
+            ": recovery is incompatible with cosim");
+}
+
+JobResult
+executeJob(const JobSpec &spec, const RunnerConfig &config)
+{
+    using Clock = std::chrono::steady_clock;
+
+    JobResult result;
+    result.id = spec.id;
+    result.label = spec.label;
+
+    const unsigned max_attempts = std::max(1u, config.max_attempts);
+    const auto job_start = Clock::now();
+
+    while (result.attempts < max_attempts) {
+        ++result.attempts;
+        try {
+            validateJobSpec(spec);
+            Simulation sim(spec.workloads, cappedOptions(spec, config));
+            for (const FaultRecord &f : spec.faults)
+                sim.faultInjector().schedule(f);
+            const RunResult run = sim.run();
+
+            result.wall_seconds =
+                std::chrono::duration<double>(Clock::now() - job_start)
+                    .count();
+            if (config.timeout_seconds > 0 &&
+                result.wall_seconds > config.timeout_seconds) {
+                result.status = JobStatus::Failed;
+                result.timed_out = true;
+                result.error = "exceeded timeout of " +
+                               std::to_string(config.timeout_seconds) +
+                               " s";
+                return result;
+            }
+
+            result.status = JobStatus::Ok;
+            result.run = run;
+            if (config.baseline) {
+                result.efficiencies =
+                    config.baseline->efficiencies(run);
+                result.mean_efficiency =
+                    meanEfficiency(result.efficiencies);
+            }
+            if (spec.post_run)
+                spec.post_run(sim, run, result);
+            return result;
+        } catch (const std::exception &e) {
+            result.status = JobStatus::Failed;
+            result.error = e.what();
+        } catch (...) {
+            result.status = JobStatus::Failed;
+            result.error = "unknown exception";
+        }
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - job_start).count();
+    return result;
+}
+
+std::vector<JobResult>
+runCampaign(const Campaign &campaign, const RunnerConfig &config)
+{
+    std::vector<JobResult> results(campaign.jobs.size());
+    if (config.sink)
+        config.sink->begin(campaign);
+
+    {
+        ThreadPool pool(config.jobs);
+        for (const JobSpec &spec : campaign.jobs) {
+            pool.submit([&spec, &config, &results] {
+                JobResult r = executeJob(spec, config);
+                if (config.sink)
+                    config.sink->record(spec, r);
+                // Slots are disjoint per job id: no lock needed.
+                results[spec.id] = std::move(r);
+            });
+        }
+        pool.wait();
+    }
+
+    if (config.sink)
+        config.sink->end();
+    return results;
+}
+
+} // namespace rmt

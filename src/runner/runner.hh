@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Campaign execution: fan JobSpecs out over the thread pool, guard
+ * each job (validation, retry-once on exception, wall-clock timeout,
+ * instruction cap), and deliver JobResults to a ResultSink as they
+ * complete plus as an id-ordered vector at the end.
+ *
+ * Every job builds its own Simulation, so jobs are independent and the
+ * per-job results are bit-identical whatever the worker count or
+ * completion order (tests/test_runner.cc asserts this).  The only
+ * shared mutable state is the optional BaselineCache, which is
+ * internally synchronised with single-flight semantics.
+ */
+
+#ifndef RMTSIM_RUNNER_RUNNER_HH
+#define RMTSIM_RUNNER_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/campaign.hh"
+#include "runner/job.hh"
+#include "runner/result_sink.hh"
+#include "sim/metrics.hh"
+
+namespace rmt
+{
+
+struct RunnerConfig
+{
+    unsigned jobs = 1;              ///< worker threads (0 = all cores)
+    unsigned max_attempts = 2;      ///< 2 = retry once, then record
+    double timeout_seconds = 0;     ///< 0 = no wall-clock guard
+    std::uint64_t max_insts = 0;    ///< clamp warmup+measure (0 = off)
+
+    /** When set, mean_efficiency / efficiencies are filled from this
+     *  cache (single-thread baselines simulated once per workload). */
+    BaselineCache *baseline = nullptr;
+
+    /** When set, receives each JobResult as it completes. */
+    ResultSink *sink = nullptr;
+};
+
+/**
+ * Reject a spec the Simulation constructor would abort the process on
+ * (unknown workload, too many logical threads for the mode, option
+ * conflicts).  Throws std::invalid_argument; used by executeJob so a
+ * bad grid point becomes a recorded failure instead of killing a
+ * thousand-run campaign.
+ */
+void validateJobSpec(const JobSpec &spec);
+
+/** Run one job inline (validation, guards, post_run, efficiency). */
+JobResult executeJob(const JobSpec &spec, const RunnerConfig &config);
+
+/** Run all jobs; returns results indexed by job id. */
+std::vector<JobResult> runCampaign(const Campaign &campaign,
+                                   const RunnerConfig &config);
+
+} // namespace rmt
+
+#endif // RMTSIM_RUNNER_RUNNER_HH

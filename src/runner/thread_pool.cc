@@ -1,0 +1,109 @@
+#include "runner/thread_pool.hh"
+
+#include <chrono>
+#include <utility>
+
+namespace rmt
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    queues.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    std::size_t q;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        q = next_queue;
+        next_queue = (next_queue + 1) % queues.size();
+        ++unfinished;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues[q]->mu);
+        queues[q]->tasks.push_back(std::move(task));
+    }
+    cv.notify_one();
+}
+
+bool
+ThreadPool::popFrom(std::size_t q, std::function<void()> &task,
+                    bool steal)
+{
+    WorkerQueue &wq = *queues[q];
+    std::lock_guard<std::mutex> lock(wq.mu);
+    if (wq.tasks.empty())
+        return false;
+    // Owner takes the oldest local task; thieves take the newest so
+    // the two ends contend as little as possible.
+    if (steal) {
+        task = std::move(wq.tasks.back());
+        wq.tasks.pop_back();
+    } else {
+        task = std::move(wq.tasks.front());
+        wq.tasks.pop_front();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        bool have = popFrom(self, task, false);
+        for (std::size_t k = 1; !have && k < queues.size(); ++k)
+            have = popFrom((self + k) % queues.size(), task, true);
+
+        if (!have) {
+            std::unique_lock<std::mutex> lock(mu);
+            if (stopping)
+                return;
+            // Re-check under the lock via a short timed wait: a submit
+            // that raced with our scan will have signalled cv already
+            // or will signal it after we sleep; the timeout makes the
+            // race benign.
+            cv.wait_for(lock, std::chrono::milliseconds(50));
+            continue;
+        }
+
+        task();
+
+        std::lock_guard<std::mutex> lock(mu);
+        if (--unfinished == 0)
+            idle_cv.notify_all();
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idle_cv.wait(lock, [this] { return unfinished == 0; });
+}
+
+} // namespace rmt

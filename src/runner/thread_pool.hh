@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-size work-stealing thread pool (std::thread + condition
+ * variable, no external dependencies).
+ *
+ * Tasks are distributed round-robin across per-worker deques; an idle
+ * worker first drains its own deque from the front, then steals from
+ * the back of its siblings' deques, then sleeps on the shared
+ * condition variable.  Campaign jobs are coarse (whole simulations,
+ * milliseconds to seconds each), so contention on the per-deque
+ * mutexes is negligible; stealing is what keeps workers busy when the
+ * grid has a few slow configurations at the end.
+ */
+
+#ifndef RMTSIM_RUNNER_THREAD_POOL_HH
+#define RMTSIM_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmt
+{
+
+class ThreadPool
+{
+  public:
+    /** @p threads == 0 selects std::thread::hardware_concurrency(). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Joins all workers; pending tasks are still executed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task.  Tasks must not throw (wrap work that can). */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished executing. */
+    void wait();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    bool popFrom(std::size_t q, std::function<void()> &task,
+                 bool steal);
+    void workerLoop(std::size_t self);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;                  ///< guards sleeping / counters
+    std::condition_variable cv;     ///< wakes idle workers
+    std::condition_variable idle_cv;///< wakes wait()ers
+    std::size_t next_queue = 0;     ///< round-robin submit cursor
+    std::size_t unfinished = 0;     ///< submitted - completed
+    bool stopping = false;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_RUNNER_THREAD_POOL_HH

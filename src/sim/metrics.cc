@@ -23,13 +23,47 @@ meanEfficiency(const std::vector<double> &efficiencies)
 double
 BaselineCache::ipc(const std::string &workload)
 {
-    for (const auto &[name, value] : cache) {
-        if (name == workload)
-            return value;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        auto [it, inserted] = cache.try_emplace(workload);
+        if (inserted)
+            break;              // we own the placeholder
+        if (it->second.ready)
+            return it->second.value;
+        // Another thread is simulating this workload; wait for it to
+        // publish (or to unpublish on failure, in which case the loop
+        // re-claims the entry and retries the simulation).
+        cv.wait(lock);
     }
-    const double value = singleThreadIpc(workload, opts);
-    cache.emplace_back(workload, value);
+
+    // We inserted the placeholder, so we are the single flight that
+    // simulates this workload; everyone else blocks above.
+    lock.unlock();
+    double value = 0;
+    try {
+        value = singleThreadIpc(workload, opts);
+    } catch (...) {
+        // Unpublish so waiters do not hang on a value that will never
+        // arrive; the next caller retries the simulation.
+        lock.lock();
+        cache.erase(workload);
+        cv.notify_all();
+        throw;
+    }
+    lock.lock();
+    Entry &entry = cache.at(workload);
+    entry.value = value;
+    entry.ready = true;
+    ++sims;
+    cv.notify_all();
     return value;
+}
+
+std::uint64_t
+BaselineCache::simulations() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return sims;
 }
 
 std::vector<double>

@@ -9,7 +9,11 @@
 #ifndef RMTSIM_SIM_METRICS_HH
 #define RMTSIM_SIM_METRICS_HH
 
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hh"
@@ -26,6 +30,12 @@ double meanEfficiency(const std::vector<double> &efficiencies);
 /**
  * Cache of single-thread IPCs so sweeps do not re-simulate the
  * baseline for every configuration.
+ *
+ * Thread-safe with single-flight semantics: when N campaign workers
+ * ask for the same workload's baseline at once, exactly one simulates
+ * it while the others block on the condition variable until the value
+ * is published.  Keyed by an unordered_map so a lookup is O(1) rather
+ * than a linear scan over every cached workload.
  */
 class BaselineCache
 {
@@ -41,9 +51,22 @@ class BaselineCache
     /** Per-thread efficiencies of @p result. */
     std::vector<double> efficiencies(const RunResult &result);
 
+    /** Number of baseline simulations actually executed (the
+     *  single-flight invariant: one per distinct workload). */
+    std::uint64_t simulations() const;
+
   private:
+    struct Entry
+    {
+        bool ready = false;
+        double value = 0;
+    };
+
     SimOptions opts;
-    std::vector<std::pair<std::string, double>> cache;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, Entry> cache;
+    std::uint64_t sims = 0;
 };
 
 } // namespace rmt

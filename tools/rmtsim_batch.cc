@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Batch campaign driver: expand a configuration grid, run it over the
+ * work-stealing pool, stream one JSON object per job to a .jsonl file.
+ *
+ *   rmtsim_batch --modes srt,crt --workloads gcc,swim \
+ *                --sweep slack=0,32,64 -j 8 --out results.jsonl
+ *   rmtsim_batch --modes srt --workloads compress --fault-trials 100 \
+ *                --insts 12000 --warmup 0 -j 8 --out faults.jsonl
+ *
+ * Job ids are assigned in grid order and results are emitted in id
+ * order, so the output file is deterministic and independent of -j
+ * (use --no-timing to drop the wall-clock field and make runs
+ * byte-for-byte diffable).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runner/runner.hh"
+#include "sim/metrics.hh"
+#include "workloads/workloads.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "rmtsim_batch — parallel experiment campaigns over the rmtsim "
+        "grid\n"
+        "\n"
+        "grid:\n"
+        "  --modes M,M,...   base | base2 | srt | lockstep | crt "
+        "(default srt)\n"
+        "  --workloads W,... single-thread mixes, one job per name; "
+        "'all' = SPEC95 set\n"
+        "  --mix A+B[+C...]  add one multiprogrammed mix "
+        "(repeatable)\n"
+        "  --sweep K=V,V,... cartesian axis (repeatable); keys: slack "
+        "checker storeq lvq lpq rob iq insts warmup ptsq nosc psr ecc "
+        "frontend\n"
+        "  --fault-trials N  N seeded transient-reg strikes per grid "
+        "point\n"
+        "  --max-reg N       victim register bound for fault trials "
+        "(default 31)\n"
+        "  --seed S          campaign seed (default 1)\n"
+        "\n"
+        "budgets:\n"
+        "  --insts N         measured instructions/thread (default "
+        "40000)\n"
+        "  --warmup N        warm-up instructions/thread (default "
+        "20000)\n"
+        "  --max-insts N     hard per-job cap on warmup+measure\n"
+        "  --timeout-ms N    record jobs slower than this as failed\n"
+        "\n"
+        "execution:\n"
+        "  -j, --jobs N      worker threads (default 1; 0 = all "
+        "cores)\n"
+        "  --retries N       attempts per job (default 2 = retry "
+        "once)\n"
+        "  --out FILE        .jsonl output (default '-' = stdout)\n"
+        "  --efficiency      add SMT-efficiency vs shared baseline "
+        "cache\n"
+        "  --no-timing       omit wall_ms (byte-diffable output)\n"
+        "  --quiet           no stderr progress\n"
+        "  --list            print the expanded job grid and exit\n");
+}
+
+std::vector<std::string>
+split(const std::string &arg, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, sep))
+        out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+
+    SimOptions base;
+    base.warmup_insts = 20000;
+    base.measure_insts = 40000;
+
+    std::vector<SimMode> modes;
+    std::vector<std::vector<std::string>> mixes;
+    std::vector<std::pair<std::string, std::vector<std::string>>> sweeps;
+    unsigned fault_trials = 0;
+    unsigned max_reg = 31;
+    std::uint64_t seed = 1;
+
+    RunnerConfig cfg;
+    std::string out_path = "-";
+    bool want_efficiency = false;
+    bool list_only = false;
+    JsonlSink::Options sink_opts;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument("missing value for " +
+                                                arg);
+                return argv[++i];
+            };
+            if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else if (arg == "--modes") {
+                for (const auto &m : split(next(), ','))
+                    modes.push_back(parseMode(m));
+            } else if (arg == "--workloads") {
+                const auto names = split(next(), ',');
+                if (names.size() == 1 && names[0] == "all") {
+                    for (const auto &n : spec95Names())
+                        mixes.push_back({n});
+                } else {
+                    for (const auto &n : names)
+                        mixes.push_back({n});
+                }
+            } else if (arg == "--mix") {
+                mixes.push_back(split(next(), '+'));
+            } else if (arg == "--sweep") {
+                const std::string spec = next();
+                const auto eq = spec.find('=');
+                if (eq == std::string::npos)
+                    throw std::invalid_argument("bad --sweep '" + spec +
+                                                "' (want key=v1,v2)");
+                sweeps.emplace_back(spec.substr(0, eq),
+                                    split(spec.substr(eq + 1), ','));
+            } else if (arg == "--fault-trials") {
+                fault_trials =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--max-reg") {
+                max_reg = static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--seed") {
+                seed = std::stoull(next());
+            } else if (arg == "--insts") {
+                base.measure_insts = std::stoull(next());
+            } else if (arg == "--warmup") {
+                base.warmup_insts = std::stoull(next());
+            } else if (arg == "--max-insts") {
+                cfg.max_insts = std::stoull(next());
+            } else if (arg == "--timeout-ms") {
+                cfg.timeout_seconds = std::stod(next()) / 1e3;
+            } else if (arg == "-j" || arg == "--jobs") {
+                cfg.jobs = static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--retries") {
+                cfg.max_attempts =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--out") {
+                out_path = next();
+            } else if (arg == "--efficiency") {
+                want_efficiency = true;
+            } else if (arg == "--no-timing") {
+                sink_opts.include_timing = false;
+            } else if (arg == "--quiet") {
+                sink_opts.progress = false;
+            } else if (arg == "--list") {
+                list_only = true;
+            } else {
+                usage();
+                throw std::invalid_argument("unknown argument '" + arg +
+                                            "'");
+            }
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
+        return 2;
+    }
+
+    if (modes.empty())
+        modes.push_back(SimMode::Srt);
+
+    Campaign campaign;
+    try {
+        CampaignBuilder builder("batch", seed);
+        builder.base(base).modes(modes);
+        if (!mixes.empty())
+            builder.mixes(mixes);
+        for (const auto &[key, values] : sweeps)
+            builder.sweep(key, values);
+        if (fault_trials)
+            builder.transientRegTrials(fault_trials, max_reg);
+        campaign = builder.build();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
+        return 2;
+    }
+
+    if (list_only) {
+        for (const JobSpec &j : campaign.jobs)
+            std::printf("%6llu  %s\n",
+                        static_cast<unsigned long long>(j.id),
+                        j.label.c_str());
+        std::printf("%zu jobs\n", campaign.jobs.size());
+        return 0;
+    }
+
+    std::ofstream file;
+    if (out_path != "-") {
+        file.open(out_path);
+        if (!file) {
+            std::fprintf(stderr, "rmtsim_batch: cannot open '%s'\n",
+                         out_path.c_str());
+            return 2;
+        }
+    }
+    std::ostream &out = out_path == "-" ? std::cout : file;
+
+    JsonlSink sink(out, sink_opts);
+    cfg.sink = &sink;
+
+    // The baseline cache is shared across workers (single-flight);
+    // baselines use the campaign's budgets but the base machine.
+    BaselineCache baseline(base);
+    if (want_efficiency)
+        cfg.baseline = &baseline;
+
+    const auto results = runCampaign(campaign, cfg);
+
+    std::uint64_t failed = 0;
+    for (const auto &r : results)
+        failed += !r.ok();
+    if (sink_opts.progress) {
+        std::string note;
+        if (want_efficiency)
+            note = " (" + std::to_string(baseline.simulations()) +
+                   " baseline sims)";
+        std::fprintf(stderr, "%zu jobs, %llu failed%s\n",
+                     results.size(),
+                     static_cast<unsigned long long>(failed),
+                     note.c_str());
+    }
+    return failed ? 1 : 0;
+}
