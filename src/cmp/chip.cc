@@ -1,6 +1,7 @@
 #include "cmp/chip.hh"
 
 #include "common/logging.hh"
+#include "obs/timeline.hh"
 
 namespace rmt
 {
@@ -27,6 +28,32 @@ Chip::setFaultInjector(FaultInjector *injector)
 }
 
 void
+Chip::forEachStatGroup(
+    const std::function<void(const std::string &, StatGroup &)> &fn)
+{
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        const std::string prefix = "core" + std::to_string(c);
+        cores[c]->forEachStatGroup(
+            [&](const std::string &sub, StatGroup &group) {
+                fn(sub.empty() ? prefix : prefix + "/" + sub, group);
+            });
+    }
+    fn("mem/l2", mem.l2().stats());
+    fn("mem/main", mem.mainMemory().stats());
+    fn("device", dev.stats());
+    for (std::size_t i = 0; i < rmgr.numPairs(); ++i) {
+        RedundantPair &pair = rmgr.pair(i);
+        const std::string prefix = "pair" + std::to_string(i);
+        fn(prefix, pair.stats());
+        fn(prefix + "/lvq", pair.lvq.stats());
+        fn(prefix + "/lpq", pair.lpq.stats());
+        fn(prefix + "/cmp", pair.comparator.stats());
+        if (pair.recovery)
+            fn(prefix + "/recovery", pair.recovery->stats());
+    }
+}
+
+void
 Chip::tick()
 {
     for (auto &core : cores)
@@ -49,6 +76,9 @@ Chip::tick()
         cpu(p.trailing.core).recoverThread(p.trailing.tid, ckpt);
         pair.resetForRecovery(ckpt);
     }
+
+    if (probe)
+        probe->tick(*this);
 }
 
 Cycle

@@ -9,6 +9,7 @@
 #ifndef RMTSIM_CMP_CHIP_HH
 #define RMTSIM_CMP_CHIP_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,6 +20,8 @@
 
 namespace rmt
 {
+
+class TimelineProbe;
 
 struct ChipParams
 {
@@ -40,6 +43,16 @@ class Chip
     Device &device() { return dev; }
 
     void setFaultInjector(FaultInjector *injector);
+
+    /** Attach a cycle-sampled timeline probe (nullptr detaches). */
+    void setTimelineProbe(TimelineProbe *p) { probe = p; }
+
+    /**
+     * Visit every stat group on the chip with a hierarchical path:
+     * "core0", "core0/l1d", "pair1/lvq", "mem/l2", "device", ...
+     */
+    void forEachStatGroup(
+        const std::function<void(const std::string &, StatGroup &)> &fn);
 
     /** Advance every core one cycle. */
     void tick();
@@ -63,6 +76,7 @@ class Chip
     Device dev{DeviceParams{}};
     RedundancyManager rmgr;
     std::vector<std::unique_ptr<SmtCpu>> cores;
+    TimelineProbe *probe = nullptr;
 };
 
 } // namespace rmt

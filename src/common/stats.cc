@@ -1,14 +1,35 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <iomanip>
+
+#include "common/json.hh"
 
 namespace rmt
 {
 
 StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
-    : _name(std::move(name)), _desc(std::move(desc))
+    : _group(&group), _name(std::move(name)), _desc(std::move(desc))
 {
     group.stats.push_back(this);
+}
+
+StatBase::~StatBase()
+{
+    if (!_group)
+        return;
+    auto &v = _group->stats;
+    v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
+
+void
+StatBase::json(std::ostream &os) const
+{
+    os << "{\"name\":\"" << jsonEscape(_name) << "\""
+       << ",\"desc\":\"" << jsonEscape(_desc) << "\""
+       << ",\"kind\":\"" << kind() << "\",";
+    jsonFields(os);
+    os << "}";
 }
 
 void
@@ -18,9 +39,23 @@ Counter::print(std::ostream &os) const
 }
 
 void
+Counter::jsonFields(std::ostream &os) const
+{
+    os << "\"value\":" << _value;
+}
+
+void
 Average::print(std::ostream &os) const
 {
     os << mean() << " (" << _count << " samples)";
+}
+
+void
+Average::jsonFields(std::ostream &os) const
+{
+    os << "\"count\":" << _count
+       << ",\"sum\":" << jsonNum(_sum)
+       << ",\"mean\":" << jsonNum(mean());
 }
 
 Histogram::Histogram(StatGroup &group, std::string name, std::string desc,
@@ -56,6 +91,22 @@ Histogram::print(std::ostream &os) const
 }
 
 void
+Histogram::jsonFields(std::ostream &os) const
+{
+    os << "\"count\":" << count
+       << ",\"sum\":" << jsonNum(sum)
+       << ",\"mean\":" << jsonNum(mean())
+       << ",\"bucket_width\":" << jsonNum(width)
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (i)
+            os << ",";
+        os << buckets[i];
+    }
+    os << "],\"overflow\":" << overflow;
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets)
@@ -63,6 +114,21 @@ Histogram::reset()
     overflow = 0;
     count = 0;
     sum = 0;
+}
+
+StatGroup::StatGroup(std::string name) : _name(std::move(name))
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    StatRegistry::instance().remove(this);
+    // Detach surviving stats (owner declared them before the group, or
+    // holds them by unique_ptr destroyed later): their destructors
+    // must not touch this group's freed vector.
+    for (StatBase *stat : stats)
+        stat->_group = nullptr;
 }
 
 void
@@ -77,10 +143,51 @@ StatGroup::dump(std::ostream &os) const
 }
 
 void
+StatGroup::json(std::ostream &os) const
+{
+    os << "{\"name\":\"" << jsonEscape(_name) << "\",\"stats\":[";
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        if (i)
+            os << ",";
+        stats[i]->json(os);
+    }
+    os << "]}";
+}
+
+void
 StatGroup::resetAll()
 {
     for (auto *stat : stats)
         stat->reset();
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+std::size_t
+StatRegistry::liveGroups() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return groups.size();
+}
+
+void
+StatRegistry::add(StatGroup *group)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    groups.push_back(group);
+}
+
+void
+StatRegistry::remove(StatGroup *group)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    groups.erase(std::remove(groups.begin(), groups.end(), group),
+                 groups.end());
 }
 
 } // namespace rmt

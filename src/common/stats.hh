@@ -1,17 +1,24 @@
 /**
  * @file
  * Lightweight statistics package: named scalar counters, averages, and
- * histograms grouped per component, dumpable as aligned text.
+ * histograms grouped per component, dumpable as aligned text or as a
+ * machine-readable JSON tree.
  *
  * Components own a StatGroup; stats register themselves on construction
- * so a dump walks every live group deterministically (registration
- * order).
+ * and unregister on destruction, so a dump walks every live stat
+ * deterministically (registration order) and a stat destroyed before
+ * its group never leaves a dangling pointer behind.
+ *
+ * Every live StatGroup also registers with the process-wide
+ * StatRegistry, which is what the observability layer walks to
+ * serialize a complete stats tree (src/obs/stats_json.*).
  */
 
 #ifndef RMTSIM_COMMON_STATS_HH
 #define RMTSIM_COMMON_STATS_HH
 
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -26,7 +33,7 @@ class StatBase
 {
   public:
     StatBase(StatGroup &group, std::string name, std::string desc);
-    virtual ~StatBase() = default;
+    virtual ~StatBase();
 
     StatBase(const StatBase &) = delete;
     StatBase &operator=(const StatBase &) = delete;
@@ -34,12 +41,25 @@ class StatBase
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
 
+    /** Kind tag serialized into the JSON dump ("counter", ...). */
+    virtual const char *kind() const = 0;
+
     /** Print "value-part" (no name) into @p os. */
     virtual void print(std::ostream &os) const = 0;
+
+    /** Append the kind-specific JSON fields (no braces, no name) into
+     *  @p os, e.g. `"value":42`. */
+    virtual void jsonFields(std::ostream &os) const = 0;
+
+    /** Full JSON object for this stat: name, desc, kind, values. */
+    void json(std::ostream &os) const;
+
     /** Zero the statistic. */
     virtual void reset() = 0;
 
   private:
+    friend class StatGroup;
+    StatGroup *_group;          ///< nulled if the group dies first
     std::string _name;
     std::string _desc;
 };
@@ -55,7 +75,9 @@ class Counter : public StatBase
     void set(std::uint64_t v) { _value = v; }
     std::uint64_t value() const { return _value; }
 
+    const char *kind() const override { return "counter"; }
     void print(std::ostream &os) const override;
+    void jsonFields(std::ostream &os) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -78,7 +100,9 @@ class Average : public StatBase
     double mean() const { return _count ? _sum / _count : 0.0; }
     std::uint64_t samples() const { return _count; }
 
+    const char *kind() const override { return "average"; }
     void print(std::ostream &os) const override;
+    void jsonFields(std::ostream &os) const override;
     void reset() override { _sum = 0; _count = 0; }
 
   private:
@@ -95,11 +119,18 @@ class Histogram : public StatBase
 
     void sample(double v);
     std::uint64_t bucketCount(unsigned i) const { return buckets.at(i); }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets.size());
+    }
+    double bucketWidth() const { return width; }
     std::uint64_t overflowCount() const { return overflow; }
     std::uint64_t samples() const { return count; }
     double mean() const { return count ? sum / count : 0.0; }
 
+    const char *kind() const override { return "histogram"; }
     void print(std::ostream &os) const override;
+    void jsonFields(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -112,16 +143,29 @@ class Histogram : public StatBase
 
 /**
  * A named collection of statistics belonging to one component instance.
+ *
+ * Lifetime: stats register in their constructor and unregister in
+ * their destructor.  If the group itself is destroyed first, it
+ * detaches its surviving stats so their destructors are no-ops.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
 
     const std::string &name() const { return _name; }
 
+    /** Live stats in registration order. */
+    const std::vector<StatBase *> &statList() const { return stats; }
+
     /** Dump "group.stat value # desc" lines. */
     void dump(std::ostream &os) const;
+    /** Serialize as `{"name":...,"stats":[...]}` into @p os. */
+    void json(std::ostream &os) const;
     /** Reset every stat in the group. */
     void resetAll();
 
@@ -129,6 +173,46 @@ class StatGroup
     friend class StatBase;
     std::string _name;
     std::vector<StatBase *> stats;
+};
+
+/**
+ * Process-wide registry of live StatGroups.
+ *
+ * Groups self-register on construction and unregister on destruction;
+ * both paths are mutex-protected because campaign workers construct
+ * and tear down whole Simulations concurrently.  forEach() holds the
+ * lock across the walk, so the group list is stable during a dump —
+ * but the *values* of stats owned by another thread's running
+ * simulation may still be mid-update.  Whole-registry serialization
+ * is therefore meant for quiescent points (end of a single run); a
+ * concurrent campaign serializes per-simulation via the chip walk
+ * instead (obs/stats_json.hh).
+ */
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    /** Number of currently live groups. */
+    std::size_t liveGroups() const;
+
+    /** Visit every live group under the registry lock. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (StatGroup *g : groups)
+            fn(*g);
+    }
+
+  private:
+    friend class StatGroup;
+    void add(StatGroup *group);
+    void remove(StatGroup *group);
+
+    mutable std::mutex mu;
+    std::vector<StatGroup *> groups;
 };
 
 } // namespace rmt

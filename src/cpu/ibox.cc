@@ -171,6 +171,7 @@ SmtCpu::fetchLeadingChunks(ThreadId tid)
                 inst->predNextPc = pc;
                 t.rmb.push_back(inst);
                 ++statFetched;
+                ++statFetchSrcLead;
                 halt_seen = true;
                 break;
             }
@@ -214,6 +215,7 @@ SmtCpu::fetchLeadingChunks(ThreadId tid)
                 inst->predNextPc = taken ? target : pc + instBytes;
                 t.rmb.push_back(inst);
                 ++statFetched;
+                ++statFetchSrcLead;
                 if (taken) {
                     next_fetch_pc = target;
                     pc += instBytes;
@@ -226,6 +228,7 @@ SmtCpu::fetchLeadingChunks(ThreadId tid)
             inst->predNextPc = pc + instBytes;
             t.rmb.push_back(inst);
             ++statFetched;
+            ++statFetchSrcLead;
             pc += instBytes;
         }
 
@@ -316,6 +319,7 @@ SmtCpu::fetchTrailingLpq(ThreadId tid)
             inst->predTaken = false;
             t.rmb.push_back(inst);
             ++statFetched;
+            ++statFetchSrcLpq;
             ++pair.trailFetched;
             if (si.isHalt()) {
                 halt_seen = true;
@@ -395,6 +399,7 @@ SmtCpu::fetchTrailingBoq(ThreadId tid)
                 si.isControl() && taken ? target : pc + instBytes;
             t.rmb.push_back(inst);
             ++statFetched;
+            ++statFetchSrcBoq;
             ++pair.trailFetched;
             ++fetched_here;
 

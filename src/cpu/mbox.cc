@@ -291,6 +291,8 @@ SmtCpu::releaseStores()
             mergeBuf.accept(paddr, now);
             t.storeLifetime->sample(
                 static_cast<double>(now - entry.allocCycle));
+            t.storeLifetimeHist->sample(
+                static_cast<double>(now - entry.allocCycle));
             t.sq.pop_front();
             ++releases;
         }

@@ -54,7 +54,15 @@ SmtCpu::SmtCpu(const SmtParams &params, MemSystem &mem_system,
       statIcacheMissStalls(statGroup, "icache_miss_stalls",
                            "fetch stall cycles from I-cache misses"),
       statWrongPathInsts(statGroup, "wrong_path_insts",
-                         "squashed (wrong-path) instructions")
+                         "squashed (wrong-path) instructions"),
+      statFetchSrcLead(statGroup, "fetch_src_lead",
+                       "instructions fetched predictor-driven "
+                       "(leading/single threads)"),
+      statFetchSrcLpq(statGroup, "fetch_src_lpq",
+                      "instructions fetched from the LPQ chunk stream"),
+      statFetchSrcBoq(statGroup, "fetch_src_boq",
+                      "instructions fetched on the BOQ/shared-LP "
+                      "trailing front end")
 {
     if (params.num_threads == 0 || params.num_threads > 4)
         fatal("SmtCpu supports 1-4 hardware threads");
@@ -64,6 +72,12 @@ SmtCpu::SmtCpu(const SmtParams &params, MemSystem &mem_system,
             statGroup, "store_lifetime_t" +
                 std::to_string(&thread - threads.data()),
             "cycles a store occupies its SQ entry");
+        // Distribution behind the mean (paper Figure 8): 16 buckets of
+        // 8 cycles, long-lifetime tail in the overflow bucket.
+        thread.storeLifetimeHist = std::make_unique<Histogram>(
+            statGroup, "store_lifetime_hist_t" +
+                std::to_string(&thread - threads.data()),
+            "distribution of store SQ-entry lifetimes", 16, 8.0);
         thread.statCommitted = std::make_unique<Counter>(
             statGroup, "committed_t" +
                 std::to_string(&thread - threads.data()),
@@ -426,13 +440,21 @@ SmtCpu::debugDump(std::ostream &os) const
 void
 SmtCpu::dumpStats(std::ostream &os)
 {
-    statGroup.dump(os);
-    l1i.stats().dump(os);
-    l1d.stats().dump(os);
-    mergeBuf.stats().dump(os);
-    bpred.stats().dump(os);
-    linePred.stats().dump(os);
-    storeSets.stats().dump(os);
+    forEachStatGroup(
+        [&os](const std::string &, StatGroup &g) { g.dump(os); });
+}
+
+void
+SmtCpu::forEachStatGroup(
+    const std::function<void(const std::string &, StatGroup &)> &fn)
+{
+    fn("", statGroup);
+    fn("l1i", l1i.stats());
+    fn("l1d", l1d.stats());
+    fn("mergebuf", mergeBuf.stats());
+    fn("bpred", bpred.stats());
+    fn("linepred", linePred.stats());
+    fn("storesets", storeSets.stats());
 }
 
 } // namespace rmt

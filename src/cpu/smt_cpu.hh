@@ -20,6 +20,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -109,6 +110,39 @@ class SmtCpu
     LinePredictor &linePredictor() { return linePred; }
     MergeBuffer &mergeBuffer() { return mergeBuf; }
     StatGroup &stats() { return statGroup; }
+
+    // ------------------------------------- observability (src/obs/)
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+    bool threadActive(ThreadId tid) const { return threads[tid].active; }
+    Role threadRole(ThreadId tid) const { return threads[tid].role; }
+    unsigned iqHalfOccupancy(unsigned half) const
+    {
+        return iqHalfOcc[half];
+    }
+    unsigned robOcc() const { return robOccupancy; }
+    std::size_t sqOccupancy(ThreadId tid) const
+    {
+        return threads[tid].sq.size();
+    }
+    std::size_t lqOccupancy(ThreadId tid) const
+    {
+        return threads[tid].lq.size();
+    }
+    std::uint64_t fetchSrcLead() const { return statFetchSrcLead.value(); }
+    std::uint64_t fetchSrcLpq() const { return statFetchSrcLpq.value(); }
+    std::uint64_t fetchSrcBoq() const { return statFetchSrcBoq.value(); }
+    std::uint64_t committedAll() const
+    {
+        return statCommittedTotal.value();
+    }
+
+    /** Visit every stat group this core owns.  @p fn receives a
+     *  core-relative path ("" for the core group, "l1d", ...). */
+    void forEachStatGroup(
+        const std::function<void(const std::string &, StatGroup &)> &fn);
 
     std::uint64_t squashes() const { return statSquashes.value(); }
     std::uint64_t branchMispredicts() const
@@ -229,6 +263,7 @@ class SmtCpu
 
         // Per-thread stats.
         std::unique_ptr<Average> storeLifetime;
+        std::unique_ptr<Histogram> storeLifetimeHist;
         std::unique_ptr<Counter> statCommitted;
     };
 
@@ -401,6 +436,9 @@ class SmtCpu
     Counter statLpqFullStalls;
     Counter statIcacheMissStalls;
     Counter statWrongPathInsts;
+    Counter statFetchSrcLead;
+    Counter statFetchSrcLpq;
+    Counter statFetchSrcBoq;
 };
 
 } // namespace rmt

@@ -1,0 +1,21 @@
+#include "obs/host_profile.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace rmt
+{
+
+std::string
+HostTiming::json() const
+{
+    std::ostringstream os;
+    os << "{\"build_ms\":" << jsonNum(build_seconds * 1e3)
+       << ",\"warmup_ms\":" << jsonNum(warmup_seconds * 1e3)
+       << ",\"measure_ms\":" << jsonNum(measure_seconds * 1e3)
+       << ",\"kips\":" << jsonNum(sim_kips) << "}";
+    return os.str();
+}
+
+} // namespace rmt

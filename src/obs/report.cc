@@ -1,0 +1,288 @@
+#include "obs/report.hh"
+
+#include <cstdio>
+#include <map>
+
+namespace rmt
+{
+
+namespace
+{
+
+/** One batch record reduced to the fields the report needs. */
+struct Job
+{
+    std::string mode;
+    std::string mix;
+    std::string cell;       ///< mix + instruction budgets (base match)
+    bool ok = false;
+    double ipc = 0;         ///< summed per-thread IPC
+    double efficiency = -1;
+};
+
+Job
+reduceRecord(const JsonValue &rec)
+{
+    Job job;
+    job.ok = rec.strOr("status", "failed") == "ok";
+
+    const JsonValue *options = rec.find("options");
+    if (options)
+        job.mode = options->strOr("mode", "?");
+
+    if (const JsonValue *workloads = rec.find("workloads");
+        workloads && workloads->isArray()) {
+        for (const JsonValue &w : workloads->array()) {
+            if (!job.mix.empty())
+                job.mix += "+";
+            job.mix += w.isString() ? w.str() : "?";
+        }
+    }
+    if (job.mix.empty())
+        job.mix = "?";
+
+    job.cell = job.mix;
+    if (options) {
+        job.cell += "@" +
+                    jsonNum(options->numberOr("warmup_insts", 0)) + "+" +
+                    jsonNum(options->numberOr("measure_insts", 0));
+    }
+
+    if (const JsonValue *threads = rec.find("threads");
+        threads && threads->isArray()) {
+        for (const JsonValue &t : threads->array())
+            job.ipc += t.numberOr("ipc", 0);
+    }
+    job.efficiency = rec.numberOr("mean_efficiency", -1);
+    return job;
+}
+
+} // namespace
+
+std::vector<JsonValue>
+parseJsonlLines(const std::vector<std::string> &lines,
+                unsigned &bad_lines)
+{
+    std::vector<JsonValue> records;
+    bad_lines = 0;
+    for (const std::string &line : lines) {
+        if (line.find_first_not_of(" \t\r\n") == std::string::npos)
+            continue;
+        JsonValue value;
+        if (parseJson(line, value) && value.isObject())
+            records.push_back(std::move(value));
+        else
+            ++bad_lines;
+    }
+    return records;
+}
+
+CampaignReport
+buildReport(const std::vector<JsonValue> &records,
+            const ReportOptions &options)
+{
+    CampaignReport report;
+    report.base_mode = options.base_mode;
+
+    std::vector<Job> jobs;
+    jobs.reserve(records.size());
+    for (const JsonValue &rec : records)
+        jobs.push_back(reduceRecord(rec));
+
+    // Baseline IPC per cell: mean over ok base-mode jobs.
+    std::map<std::string, std::pair<double, unsigned>> base_cells;
+    for (const Job &job : jobs) {
+        if (job.ok && job.mode == options.base_mode) {
+            auto &[sum, n] = base_cells[job.cell];
+            sum += job.ipc;
+            ++n;
+        }
+    }
+    auto baseIpc = [&](const std::string &cell, double &out) {
+        const auto it = base_cells.find(cell);
+        if (it == base_cells.end() || it->second.second == 0)
+            return false;
+        out = it->second.first / it->second.second;
+        return true;
+    };
+
+    // Per-mode rows, first-seen order.
+    struct ModeAcc
+    {
+        ReportModeRow row;
+        double ipc_sum = 0;
+        unsigned ipc_n = 0;
+        double eff_sum = 0;
+        unsigned eff_n = 0;
+        double deg_sum = 0;
+    };
+    std::vector<ModeAcc> mode_accs;
+    auto modeAcc = [&](const std::string &mode) -> ModeAcc & {
+        for (ModeAcc &acc : mode_accs) {
+            if (acc.row.mode == mode)
+                return acc;
+        }
+        mode_accs.emplace_back();
+        mode_accs.back().row.mode = mode;
+        return mode_accs.back();
+    };
+
+    // Per-(mix, mode) cells, mix-major, first-seen order.
+    struct MixAcc
+    {
+        ReportMixRow row;
+        double ipc_sum = 0;
+        double deg_sum = 0;
+        unsigned deg_n = 0;
+    };
+    std::vector<MixAcc> mix_accs;
+    auto mixAcc = [&](const std::string &mix,
+                      const std::string &mode) -> MixAcc & {
+        for (MixAcc &acc : mix_accs) {
+            if (acc.row.mix == mix && acc.row.mode == mode)
+                return acc;
+        }
+        mix_accs.emplace_back();
+        mix_accs.back().row.mix = mix;
+        mix_accs.back().row.mode = mode;
+        return mix_accs.back();
+    };
+
+    for (const Job &job : jobs) {
+        ++report.total_jobs;
+        ModeAcc &macc = modeAcc(job.mode);
+        ++macc.row.jobs;
+        if (!job.ok) {
+            ++macc.row.failed;
+            ++report.failed_jobs;
+            continue;
+        }
+        macc.ipc_sum += job.ipc;
+        ++macc.ipc_n;
+        if (job.efficiency >= 0) {
+            macc.eff_sum += job.efficiency;
+            ++macc.eff_n;
+        }
+
+        MixAcc &xacc = mixAcc(job.mix, job.mode);
+        ++xacc.row.jobs;
+        xacc.ipc_sum += job.ipc;
+
+        double base = 0;
+        if (baseIpc(job.cell, base) && base > 0) {
+            const double deg = 1.0 - job.ipc / base;
+            macc.deg_sum += deg;
+            ++macc.row.with_base;
+            xacc.deg_sum += deg;
+            ++xacc.deg_n;
+        }
+    }
+
+    for (ModeAcc &acc : mode_accs) {
+        if (acc.ipc_n)
+            acc.row.mean_ipc = acc.ipc_sum / acc.ipc_n;
+        if (acc.eff_n)
+            acc.row.mean_efficiency = acc.eff_sum / acc.eff_n;
+        if (acc.row.with_base)
+            acc.row.mean_degradation = acc.deg_sum / acc.row.with_base;
+        report.modes.push_back(acc.row);
+    }
+    // Mix-major: group all modes of one mix together, mixes in
+    // first-seen order.
+    std::vector<std::string> mix_order;
+    for (const MixAcc &acc : mix_accs) {
+        bool seen = false;
+        for (const std::string &m : mix_order)
+            seen = seen || m == acc.row.mix;
+        if (!seen)
+            mix_order.push_back(acc.row.mix);
+    }
+    for (const std::string &mix : mix_order) {
+        for (MixAcc &acc : mix_accs) {
+            if (acc.row.mix != mix)
+                continue;
+            if (acc.row.jobs)
+                acc.row.mean_ipc = acc.ipc_sum / acc.row.jobs;
+            if (acc.deg_n) {
+                acc.row.mean_degradation = acc.deg_sum / acc.deg_n;
+                acc.row.has_base = true;
+            }
+            report.mixes.push_back(acc.row);
+        }
+    }
+    return report;
+}
+
+namespace
+{
+
+std::string
+degradationCell(bool has_base, const std::string &mode,
+                const std::string &base_mode, double degradation)
+{
+    if (mode == base_mode)
+        return "base";
+    if (!has_base)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", -degradation * 100);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatReport(const CampaignReport &report, const ReportOptions &options)
+{
+    std::string out;
+    char line[160];
+
+    std::snprintf(line, sizeof(line), "%-10s %5s %5s %9s %8s %9s\n",
+                  "mode", "jobs", "fail", "mean-IPC", "vs-base",
+                  "mean-eff");
+    out += line;
+    for (const ReportModeRow &row : report.modes) {
+        std::string eff = "-";
+        if (row.mean_efficiency >= 0) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.3f",
+                          row.mean_efficiency);
+            eff = buf;
+        }
+        std::snprintf(
+            line, sizeof(line), "%-10s %5u %5u %9.3f %8s %9s\n",
+            row.mode.c_str(), row.jobs, row.failed, row.mean_ipc,
+            degradationCell(row.with_base > 0, row.mode,
+                            report.base_mode, row.mean_degradation)
+                .c_str(),
+            eff.c_str());
+        out += line;
+    }
+
+    if (options.per_mix && !report.mixes.empty()) {
+        out += "\n";
+        std::snprintf(line, sizeof(line), "%-24s %-10s %5s %9s %8s\n",
+                      "mix", "mode", "jobs", "mean-IPC", "vs-base");
+        out += line;
+        for (const ReportMixRow &row : report.mixes) {
+            std::snprintf(
+                line, sizeof(line), "%-24s %-10s %5u %9.3f %8s\n",
+                row.mix.c_str(), row.mode.c_str(), row.jobs,
+                row.mean_ipc,
+                degradationCell(row.has_base, row.mode,
+                                report.base_mode,
+                                row.mean_degradation)
+                    .c_str());
+            out += line;
+        }
+    }
+
+    std::snprintf(line, sizeof(line),
+                  "%u jobs (%u failed), degradation vs mode '%s'\n",
+                  report.total_jobs, report.failed_jobs,
+                  report.base_mode.c_str());
+    out += line;
+    return out;
+}
+
+} // namespace rmt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Campaign report: aggregate a rmtsim_batch .jsonl result stream into
+ * the paper's headline shape — per-mode throughput and degradation
+ * relative to the base machine (e.g. SRT one-thread ~32 % / two-thread
+ * ~30 % slowdowns, CRT ~13 % over lockstep), without a bespoke bench
+ * binary per figure.
+ *
+ * Jobs are matched to their baseline by workload mix and instruction
+ * budget, so sweeps that vary RMT-side knobs (slack, queue sizes, ...)
+ * all compare against the same base cells while budget sweeps stay
+ * properly separated.
+ */
+
+#ifndef RMTSIM_OBS_REPORT_HH
+#define RMTSIM_OBS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace rmt
+{
+
+struct ReportOptions
+{
+    std::string base_mode = "base";     ///< degradation reference mode
+    bool per_mix = false;               ///< also emit the per-mix table
+};
+
+/** Aggregate of all jobs sharing one mode. */
+struct ReportModeRow
+{
+    std::string mode;
+    unsigned jobs = 0;
+    unsigned failed = 0;
+    double mean_ipc = 0;            ///< mean over ok jobs of summed
+                                    ///< per-thread IPC (throughput)
+    double mean_efficiency = -1;    ///< mean SMT-efficiency, if present
+    /** Mean of per-job (1 - ipc/base_ipc); valid iff with_base > 0. */
+    double mean_degradation = 0;
+    unsigned with_base = 0;         ///< ok jobs that had a base match
+};
+
+/** Aggregate of all jobs sharing one (workload mix, mode) cell. */
+struct ReportMixRow
+{
+    std::string mix;                ///< "gcc" or "gcc+swim"
+    std::string mode;
+    unsigned jobs = 0;
+    double mean_ipc = 0;
+    double mean_degradation = 0;
+    bool has_base = false;
+};
+
+struct CampaignReport
+{
+    std::string base_mode;
+    unsigned total_jobs = 0;
+    unsigned failed_jobs = 0;
+    std::vector<ReportModeRow> modes;       ///< first-seen order
+    std::vector<ReportMixRow> mixes;        ///< mix-major order
+};
+
+/** Parse the lines of a .jsonl stream; malformed lines are skipped
+ *  and counted in @p bad_lines. */
+std::vector<JsonValue> parseJsonlLines(
+    const std::vector<std::string> &lines, unsigned &bad_lines);
+
+/** Aggregate parsed batch records into the report tables. */
+CampaignReport buildReport(const std::vector<JsonValue> &records,
+                           const ReportOptions &options);
+
+/** Render as aligned, human-readable tables. */
+std::string formatReport(const CampaignReport &report,
+                         const ReportOptions &options);
+
+} // namespace rmt
+
+#endif // RMTSIM_OBS_REPORT_HH

@@ -1,0 +1,56 @@
+#include "obs/stats_json.hh"
+
+#include <sstream>
+
+#include "cmp/chip.hh"
+#include "common/json.hh"
+#include "common/stats.hh"
+
+namespace rmt
+{
+
+std::string
+statGroupJson(const StatGroup &group)
+{
+    std::ostringstream os;
+    group.json(os);
+    return os.str();
+}
+
+std::string
+chipStatsJson(Chip &chip)
+{
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    chip.forEachStatGroup([&](const std::string &path, StatGroup &g) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"path\":\"" << jsonEscape(path) << "\",";
+        // Splice the group object's members into this one.
+        std::ostringstream inner;
+        g.json(inner);
+        os << inner.str().substr(1);
+    });
+    os << "]";
+    return os.str();
+}
+
+std::string
+registryStatsJson()
+{
+    std::ostringstream os;
+    os << "[";
+    bool first = true;
+    StatRegistry::instance().forEach([&](const StatGroup &g) {
+        if (!first)
+            os << ",";
+        first = false;
+        g.json(os);
+    });
+    os << "]";
+    return os.str();
+}
+
+} // namespace rmt

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Stats-tree serialization: walk the StatGroups of a chip (or every
+ * live group in the process) and emit them as one JSON array, full
+ * histogram buckets included.
+ *
+ * The chip walk is the per-run entry point — it visits exactly the
+ * groups owned by one Simulation's chip, with hierarchical paths
+ * ("core0/l1d", "pair1/lvq", "mem/l2"), so concurrent campaign
+ * workers each serialize their own run without seeing a neighbour's
+ * groups.  The registry walk serializes every live group in the
+ * process and is meant for quiescent single-run tools and tests.
+ */
+
+#ifndef RMTSIM_OBS_STATS_JSON_HH
+#define RMTSIM_OBS_STATS_JSON_HH
+
+#include <string>
+
+namespace rmt
+{
+
+class Chip;
+class StatGroup;
+
+/** `{"name":...,"stats":[...]}` for one group. */
+std::string statGroupJson(const StatGroup &group);
+
+/**
+ * JSON array of every stat group owned by @p chip:
+ * `[{"path":"core0","name":"cpu0","stats":[...]}, ...]`.
+ */
+std::string chipStatsJson(Chip &chip);
+
+/** JSON array of every live StatGroup in the process (no paths). */
+std::string registryStatsJson();
+
+} // namespace rmt
+
+#endif // RMTSIM_OBS_STATS_JSON_HH

@@ -1,0 +1,110 @@
+#include "obs/timeline.hh"
+
+#include "cmp/chip.hh"
+
+namespace rmt
+{
+
+TimelineProbe::TimelineProbe(const TimelineConfig &config) : cfg(config)
+{
+    if (cfg.interval == 0)
+        cfg.interval = 1;
+}
+
+void
+TimelineProbe::tick(Chip &chip)
+{
+    if (chip.cycle() < next)
+        return;
+    sample(chip);
+    next = chip.cycle() + cfg.interval;
+}
+
+void
+TimelineProbe::sample(Chip &chip)
+{
+    TimelineSample s;
+    s.cycle = chip.cycle();
+
+    if (prevFetch.size() < chip.numCores())
+        prevFetch.resize(chip.numCores());
+
+    for (unsigned c = 0; c < chip.numCores(); ++c) {
+        SmtCpu &cpu = chip.cpu(c);
+        TimelineCoreSample cs;
+        cs.iq_half = {cpu.iqHalfOccupancy(0), cpu.iqHalfOccupancy(1)};
+        cs.rob = cpu.robOcc();
+        cs.merge_buffer =
+            static_cast<unsigned>(cpu.mergeBuffer().occupancy());
+        for (ThreadId t = 0; t < cpu.numThreads(); ++t) {
+            if (!cpu.threadActive(t))
+                continue;
+            cs.sq.push_back(static_cast<unsigned>(cpu.sqOccupancy(t)));
+            cs.lq.push_back(static_cast<unsigned>(cpu.lqOccupancy(t)));
+        }
+        FetchCounts &prev = prevFetch[c];
+        const std::uint64_t lead = cpu.fetchSrcLead();
+        const std::uint64_t lpq = cpu.fetchSrcLpq();
+        const std::uint64_t boq = cpu.fetchSrcBoq();
+        cs.fetch_lead = lead - prev.lead;
+        cs.fetch_lpq = lpq - prev.lpq;
+        cs.fetch_boq = boq - prev.boq;
+        prev = FetchCounts{lead, lpq, boq};
+        s.cores.push_back(std::move(cs));
+    }
+
+    RedundancyManager &rm = chip.redundancy();
+    for (std::size_t i = 0; i < rm.numPairs(); ++i) {
+        RedundantPair &pair = rm.pair(i);
+        TimelinePairSample ps;
+        ps.lvq = pair.lvq.size();
+        ps.lpq = pair.lpq.size();
+        ps.slack = static_cast<std::int64_t>(pair.leadRetired) -
+                   static_cast<std::int64_t>(pair.trailFetched);
+        s.pairs.push_back(ps);
+    }
+
+    ++taken;
+    ring.push_back(std::move(s));
+    if (cfg.max_samples && ring.size() > cfg.max_samples)
+        ring.pop_front();
+}
+
+void
+TimelineProbe::writeJsonl(std::ostream &os) const
+{
+    for (const TimelineSample &s : ring) {
+        os << "{\"cycle\":" << s.cycle << ",\"cores\":[";
+        for (std::size_t c = 0; c < s.cores.size(); ++c) {
+            const TimelineCoreSample &cs = s.cores[c];
+            if (c)
+                os << ",";
+            os << "{\"core\":" << c
+               << ",\"iq_half\":[" << cs.iq_half[0] << ","
+               << cs.iq_half[1] << "]"
+               << ",\"rob\":" << cs.rob
+               << ",\"merge_buffer\":" << cs.merge_buffer
+               << ",\"sq\":[";
+            for (std::size_t t = 0; t < cs.sq.size(); ++t)
+                os << (t ? "," : "") << cs.sq[t];
+            os << "],\"lq\":[";
+            for (std::size_t t = 0; t < cs.lq.size(); ++t)
+                os << (t ? "," : "") << cs.lq[t];
+            os << "],\"fetch\":{\"lead\":" << cs.fetch_lead
+               << ",\"lpq\":" << cs.fetch_lpq
+               << ",\"boq\":" << cs.fetch_boq << "}}";
+        }
+        os << "],\"pairs\":[";
+        for (std::size_t p = 0; p < s.pairs.size(); ++p) {
+            const TimelinePairSample &ps = s.pairs[p];
+            if (p)
+                os << ",";
+            os << "{\"pair\":" << p << ",\"lvq\":" << ps.lvq
+               << ",\"lpq\":" << ps.lpq << ",\"slack\":" << ps.slack
+               << "}";
+        }
+        os << "]}\n";
+    }
+}
+
+} // namespace rmt

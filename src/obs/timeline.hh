@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cycle-sampled timeline probes (the observability counterpart of the
+ * paper's Figure 8-style time-series evidence).
+ *
+ * A TimelineProbe attaches to a Chip and, every @c interval cycles,
+ * records one sample of the microarchitectural pressure points the
+ * paper's analysis turns on:
+ *
+ *  - per-core queue occupancies: the two instruction-queue halves, the
+ *    completion unit (ROB), each hardware thread's store queue and
+ *    load queue, and the merge buffer;
+ *  - per-core fetch-source mix since the previous sample (leading /
+ *    predictor-driven fetch vs trailing LPQ vs trailing BOQ);
+ *  - per-pair sphere-crossing state: LVQ and LPQ occupancy and the
+ *    leading-vs-trailing slack in instructions.
+ *
+ * Samples land in a bounded ring buffer (oldest dropped first, drops
+ * counted) and stream out as one JSON object per line (JSONL) for
+ * figure reproduction without bespoke bench binaries.
+ */
+
+#ifndef RMTSIM_OBS_TIMELINE_HH
+#define RMTSIM_OBS_TIMELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rmt
+{
+
+class Chip;
+
+struct TimelineConfig
+{
+    Cycle interval = 1024;          ///< cycles between samples
+    std::size_t max_samples = 65536;    ///< ring capacity (0 = unbounded)
+};
+
+/** One core's slice of a timeline sample. */
+struct TimelineCoreSample
+{
+    std::array<unsigned, 2> iq_half{};  ///< instruction-queue halves
+    unsigned rob = 0;                   ///< completion-unit occupancy
+    unsigned merge_buffer = 0;
+    std::vector<unsigned> sq;           ///< per hardware thread
+    std::vector<unsigned> lq;           ///< per hardware thread
+    // Instructions fetched since the previous sample, by source.
+    std::uint64_t fetch_lead = 0;       ///< predictor-driven (lead/single)
+    std::uint64_t fetch_lpq = 0;        ///< trailing, LPQ-driven
+    std::uint64_t fetch_boq = 0;        ///< trailing, BOQ/shared-LP
+};
+
+/** One redundant pair's slice of a timeline sample. */
+struct TimelinePairSample
+{
+    std::size_t lvq = 0;
+    std::size_t lpq = 0;
+    std::int64_t slack = 0;     ///< leading retired - trailing fetched
+};
+
+struct TimelineSample
+{
+    Cycle cycle = 0;
+    std::vector<TimelineCoreSample> cores;
+    std::vector<TimelinePairSample> pairs;
+};
+
+class TimelineProbe
+{
+  public:
+    explicit TimelineProbe(const TimelineConfig &config);
+
+    Cycle interval() const { return cfg.interval; }
+
+    /** Called by the chip once per cycle; samples on the boundary. */
+    void tick(Chip &chip);
+
+    /** Record a sample right now regardless of the boundary. */
+    void sample(Chip &chip);
+
+    const std::deque<TimelineSample> &samples() const { return ring; }
+    /** Total samples taken, including ones the ring has dropped. */
+    std::uint64_t recorded() const { return taken; }
+    std::uint64_t dropped() const { return taken - ring.size(); }
+
+    /** One JSON object per retained sample, newline-terminated. */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    TimelineConfig cfg;
+    Cycle next = 0;
+    std::deque<TimelineSample> ring;
+    std::uint64_t taken = 0;
+
+    /** Previous fetch-source counter values, for per-sample deltas. */
+    struct FetchCounts
+    {
+        std::uint64_t lead = 0;
+        std::uint64_t lpq = 0;
+        std::uint64_t boq = 0;
+    };
+    std::vector<FetchCounts> prevFetch;     ///< per core
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_OBS_TIMELINE_HH

@@ -9,19 +9,8 @@
 namespace rmt
 {
 
-const char *
-modeName(SimMode mode)
-{
-    switch (mode) {
-      case SimMode::Base:     return "base";
-      case SimMode::Base2:    return "base2";
-      case SimMode::Srt:      return "srt";
-      case SimMode::Lockstep: return "lockstep";
-      case SimMode::Crt:      return "crt";
-    }
-    return "?";
-}
-
+// modeName lives in sim/simulator.cc; the inverse mapping stays here
+// with the rest of the spec parsing.
 SimMode
 parseMode(const std::string &name)
 {

@@ -9,31 +9,6 @@
 namespace rmt
 {
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
 namespace
 {
 
@@ -48,14 +23,12 @@ frontendName(TrailingFetchMode mode)
     return "?";
 }
 
-/** Format a double with enough digits to round-trip, trimming the
- *  noise printf's %g leaves behind ("1.75" not "1.750000"). */
+// jsonEscape comes from common/json.hh, as does the round-trip
+// double format used everywhere in this file.
 std::string
 num(double v)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", v);
-    return buf;
+    return jsonNum(v);
 }
 
 } // namespace
@@ -121,8 +94,11 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
         os << ",\"error\":\"" << jsonEscape(r.error) << "\""
            << ",\"timed_out\":" << (r.timed_out ? "true" : "false");
     }
-    if (include_timing)
+    if (include_timing) {
         os << ",\"wall_ms\":" << num(r.wall_seconds * 1e3);
+        if (r.ok())
+            os << ",\"host\":" << r.run.host.json();
+    }
     if (r.ok()) {
         const RunResult &run = r.run;
         os << ",\"completed\":" << (run.completed ? "true" : "false")
@@ -158,6 +134,8 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
             }
             os << "]";
         }
+        if (!run.stats_json.empty())
+            os << ",\"stats\":" << run.stats_json;
     }
     if (!r.extra.empty()) {
         os << ",\"extra\":{";

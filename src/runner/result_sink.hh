@@ -23,15 +23,13 @@
 #include <ostream>
 #include <string>
 
+#include "common/json.hh"
 #include "runner/job.hh"
 
 namespace rmt
 {
 
 struct Campaign;
-
-/** Escape @p s for inclusion in a JSON string literal. */
-std::string jsonEscape(const std::string &s);
 
 /**
  * Stable fingerprint of a SimOptions (FNV-1a over the canonical

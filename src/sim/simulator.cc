@@ -1,9 +1,26 @@
 #include "sim/simulator.hh"
 
+#include <sstream>
+
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/stats_json.hh"
 
 namespace rmt
 {
+
+const char *
+modeName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::Base:     return "base";
+      case SimMode::Base2:    return "base2";
+      case SimMode::Srt:      return "srt";
+      case SimMode::Lockstep: return "lockstep";
+      case SimMode::Crt:      return "crt";
+    }
+    return "?";
+}
 
 namespace
 {
@@ -28,6 +45,7 @@ Simulation::Simulation(const std::vector<std::string> &workload_names,
                        const SimOptions &options)
     : opts(options)
 {
+    WallTimer build_timer;
     if (workload_names.empty())
         fatal("Simulation needs at least one workload");
 
@@ -57,6 +75,15 @@ Simulation::Simulation(const std::vector<std::string> &workload_names,
         buildCrt();
         break;
     }
+
+    if (opts.timeline_interval > 0) {
+        TimelineConfig tc;
+        tc.interval = opts.timeline_interval;
+        tc.max_samples = opts.timeline_max_samples;
+        probe = std::make_unique<TimelineProbe>(tc);
+        _chip->setTimelineProbe(probe.get());
+    }
+    buildSeconds = build_timer.elapsed();
 }
 
 void
@@ -241,9 +268,51 @@ Simulation::run()
     const Cycle cap =
         100 * per_thread * std::max<std::uint64_t>(workloads.size(), 1) +
         1'000'000;
-    _chip->run(cap);
+
+    // Same tick sequence as Chip::run(cap), unrolled here so the
+    // warmup/measure wall-clock split can be attributed.  The warmup
+    // boundary check only moves the timer lap; it never changes which
+    // cycles are simulated.
+    auto pastWarmup = [&]() {
+        for (const Placement &pl : placements) {
+            if (_chip->cpu(pl.lead_core).committed(pl.lead_tid) <
+                opts.warmup_insts) {
+                return false;
+            }
+            if (pl.redundant &&
+                _chip->cpu(pl.trail_core).committed(pl.trail_tid) <
+                    opts.warmup_insts) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    WallTimer run_timer;
+    double warmup_seconds = 0;
+    bool in_warmup = opts.warmup_insts > 0;
+    Cycle n = 0;
+    while (n < cap && !_chip->allDone()) {
+        _chip->tick();
+        ++n;
+        if (in_warmup && pastWarmup()) {
+            warmup_seconds = run_timer.lap();
+            in_warmup = false;
+        }
+    }
+    // Drain: forwarded outputs may still be in flight (Chip::run).
+    if (_chip->allDone()) {
+        for (Cycle d = 0; d < Chip::drainCycles && n < cap; ++d, ++n)
+            _chip->tick();
+    }
+    if (in_warmup)
+        warmup_seconds = run_timer.lap();
+    const double measure_seconds = run_timer.lap();
 
     RunResult result;
+    result.host.build_seconds = buildSeconds;
+    result.host.warmup_seconds = warmup_seconds;
+    result.host.measure_seconds = measure_seconds;
     result.total_cycles = _chip->cycle();
     result.completed = _chip->allDone();
 
@@ -291,7 +360,37 @@ Simulation::run()
     }
     if (lifetime_n)
         result.avg_leading_store_lifetime = lifetime_sum / lifetime_n;
+
+    std::uint64_t committed_total = 0;
+    for (unsigned c = 0; c < _chip->numCores(); ++c)
+        committed_total += _chip->cpu(c).committedAll();
+    const double sim_seconds = warmup_seconds + measure_seconds;
+    if (sim_seconds > 0) {
+        result.host.sim_kips =
+            static_cast<double>(committed_total) / sim_seconds / 1000.0;
+    }
+
+    if (opts.collect_stats_json)
+        result.stats_json = statsJson(result);
     return result;
+}
+
+std::string
+Simulation::statsJson(const RunResult &result)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"rmtsim-stats-v1\""
+       << ",\"mode\":\"" << modeName(opts.mode) << "\""
+       << ",\"workloads\":[";
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        os << (i ? "," : "") << "\"" << jsonEscape(workloads[i].name)
+           << "\"";
+    }
+    os << "],\"total_cycles\":" << result.total_cycles
+       << ",\"completed\":" << (result.completed ? "true" : "false")
+       << ",\"host\":" << result.host.json()
+       << ",\"groups\":" << chipStatsJson(*_chip) << "}";
+    return os.str();
 }
 
 RunResult

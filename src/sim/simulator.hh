@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "cmp/chip.hh"
+#include "obs/host_profile.hh"
+#include "obs/timeline.hh"
 #include "workloads/workloads.hh"
 
 namespace rmt
@@ -31,6 +33,9 @@ enum class SimMode
     Lockstep,   ///< base timing + checker penalty on off-core signals
     Crt,        ///< leading+trailing cross-coupled over two cores
 };
+
+/** Printable name of a mode ("srt", "crt", ...). */
+const char *modeName(SimMode mode);
 
 struct SimOptions
 {
@@ -50,6 +55,11 @@ struct SimOptions
     RecoveryParams recovery_params{};       ///< when recovery is on
     SmtParams cpu{};                        ///< base core parameters
     MemSystemParams mem{};
+
+    // Observability (src/obs/).
+    Cycle timeline_interval = 0;            ///< 0 = no timeline probe
+    std::size_t timeline_max_samples = 65536;   ///< ring cap (0 = unbounded)
+    bool collect_stats_json = false;        ///< fill RunResult::stats_json
 };
 
 /** Outcome of one logical thread. */
@@ -82,6 +92,10 @@ struct RunResult
     std::uint64_t line_mispredicts = 0;
     double avg_leading_store_lifetime = 0;
 
+    // Observability.
+    HostTiming host;                ///< wall-clock phase breakdown
+    std::string stats_json;         ///< full stats doc (opt-in), else ""
+
     double fuSameFraction() const
     {
         return fu_pairs ? static_cast<double>(fu_same_unit) / fu_pairs : 0;
@@ -110,6 +124,16 @@ class Simulation
 
     /** Run to completion (or the safety cap); gather results. */
     RunResult run();
+
+    /** The timeline probe, or nullptr when timeline_interval == 0. */
+    TimelineProbe *timeline() { return probe.get(); }
+
+    /**
+     * Full stats document for a finished run:
+     * `{"schema":"rmtsim-stats-v1","mode":...,"workloads":[...],
+     *   "total_cycles":...,"host":{...},"groups":[...]}`.
+     */
+    std::string statsJson(const RunResult &result);
 
     /** Where each logical thread's copies live. */
     struct Placement
@@ -141,6 +165,8 @@ class Simulation
     std::unique_ptr<Chip> _chip;
     FaultInjector injector;
     std::vector<Placement> placements;
+    std::unique_ptr<TimelineProbe> probe;
+    double buildSeconds = 0;
 };
 
 /** Convenience: build + run in one call. */

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Tier-1 gate plus the sanitizer pass, in one command:
+#
+#   tools/check.sh            # build + full ctest, then TSan on the
+#                             # `sanitize`-labelled tests
+#   tools/check.sh --fast     # tier-1 only (skip the TSan build)
+#
+# Uses build/ for the normal tree and build-tsan/ for the instrumented
+# one so the two configurations never fight over a cache.
+set -e
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build -j "$jobs" --output-on-failure
+
+if [ "$1" = "--fast" ]; then
+    echo "check.sh: tier-1 OK (TSan pass skipped)"
+    exit 0
+fi
+
+echo "== sanitize: thread-sanitizer build =="
+cmake -B build-tsan -S . -DRMT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+
+echo "== sanitize: ctest -L sanitize =="
+ctest --test-dir build-tsan -j "$jobs" -L sanitize --output-on-failure
+
+echo "check.sh: all checks OK"

@@ -72,7 +72,10 @@ usage()
         "  --out FILE        .jsonl output (default '-' = stdout)\n"
         "  --efficiency      add SMT-efficiency vs shared baseline "
         "cache\n"
-        "  --no-timing       omit wall_ms (byte-diffable output)\n"
+        "  --embed-stats     embed the full stats tree in each job "
+        "record\n"
+        "  --no-timing       omit wall_ms/host (byte-diffable "
+        "output)\n"
         "  --quiet           no stderr progress\n"
         "  --list            print the expanded job grid and exit\n");
 }
@@ -170,6 +173,8 @@ main(int argc, char **argv)
                 out_path = next();
             } else if (arg == "--efficiency") {
                 want_efficiency = true;
+            } else if (arg == "--embed-stats") {
+                base.collect_stats_json = true;
             } else if (arg == "--no-timing") {
                 sink_opts.include_timing = false;
             } else if (arg == "--quiet") {

@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,12 +53,19 @@ usage()
         "lvq:<cycle>:<tid> | fu:<cycle>:<unit>:<maskbit>\n"
         "  --recover         checkpoint-based fault recovery\n"
         "  --recover-interval N   checkpoint cadence (insts)\n"
-        "  --trace N         commit trace (first N lines per core)\n"
+        "  --trace FILE      write the commit trace to FILE ('-' = "
+        "stdout)\n"
+        "  --trace-max N     trace line cap per core (default 10000)\n"
         "  --efficiency      also report SMT-Efficiency vs single-"
         "thread base\n"
         "  --cosim           enable architectural co-simulation "
         "checking\n"
-        "  --stats           dump per-core statistics\n");
+        "  --stats           dump per-core statistics\n"
+        "  --stats-json FILE full stats tree as JSON ('-' = stdout)\n"
+        "  --timeline FILE   cycle-sampled queue/slack timeline as "
+        "JSONL ('-' = stdout)\n"
+        "  --timeline-interval N  cycles between samples (default "
+        "1000)\n");
 }
 
 std::vector<std::string>
@@ -105,6 +114,21 @@ parseFault(const std::string &spec, FaultInjector &injector)
     return true;
 }
 
+/**
+ * Resolve an output spec: "-" means stdout, anything else opens a
+ * file (kept alive by @p owned).
+ */
+std::ostream *
+openOut(const std::string &path, std::vector<std::unique_ptr<std::ofstream>> &owned)
+{
+    if (path == "-")
+        return &std::cout;
+    owned.push_back(std::make_unique<std::ofstream>(path));
+    if (!*owned.back())
+        fatal("cannot open '%s' for writing", path.c_str());
+    return owned.back().get();
+}
+
 } // namespace
 
 int
@@ -118,7 +142,10 @@ main(int argc, char **argv)
     std::vector<std::string> fault_specs;
     bool want_stats = false;
     bool want_efficiency = false;
-    std::uint64_t trace_lines = 0;
+    std::string trace_file;
+    std::uint64_t trace_max = 10000;
+    std::string stats_json_file;
+    std::string timeline_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -188,9 +215,18 @@ main(int argc, char **argv)
         } else if (arg == "--efficiency") {
             want_efficiency = true;
         } else if (arg == "--trace") {
-            trace_lines = std::strtoull(next().c_str(), nullptr, 0);
+            trace_file = next();
+        } else if (arg == "--trace-max") {
+            trace_max = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--stats") {
             want_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json_file = next();
+        } else if (arg == "--timeline") {
+            timeline_file = next();
+        } else if (arg == "--timeline-interval") {
+            opts.timeline_interval =
+                std::strtoull(next().c_str(), nullptr, 0);
         } else {
             usage();
             fatal("unknown argument '%s'", arg.c_str());
@@ -203,10 +239,16 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Sampling on with a default cadence when only --timeline given.
+    if (!timeline_file.empty() && opts.timeline_interval == 0)
+        opts.timeline_interval = 1000;
+
+    std::vector<std::unique_ptr<std::ofstream>> owned_streams;
     Simulation sim(workloads, opts);
-    if (trace_lines) {
+    if (!trace_file.empty()) {
+        std::ostream *os = openOut(trace_file, owned_streams);
         for (unsigned c = 0; c < sim.chip().numCores(); ++c)
-            sim.chip().cpu(c).setCommitTrace(&std::cout, trace_lines);
+            sim.chip().cpu(c).setCommitTrace(os, trace_max);
     }
     for (const auto &spec : fault_specs) {
         if (!parseFault(spec, sim.faultInjector()))
@@ -272,6 +314,24 @@ main(int argc, char **argv)
     if (want_stats) {
         for (unsigned c = 0; c < sim.chip().numCores(); ++c)
             sim.chip().cpu(c).dumpStats(std::cout);
+    }
+
+    if (!stats_json_file.empty()) {
+        std::ostream *os = openOut(stats_json_file, owned_streams);
+        *os << sim.statsJson(r) << "\n";
+    }
+    if (!timeline_file.empty() && sim.timeline()) {
+        std::ostream *os = openOut(timeline_file, owned_streams);
+        sim.timeline()->writeJsonl(*os);
+        if (sim.timeline()->dropped()) {
+            std::fprintf(stderr,
+                         "timeline: ring dropped %llu of %llu samples "
+                         "(raise --timeline-interval or the ring cap)\n",
+                         static_cast<unsigned long long>(
+                             sim.timeline()->dropped()),
+                         static_cast<unsigned long long>(
+                             sim.timeline()->recorded()));
+        }
     }
     return 0;
 }

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Summarise a rmtsim_batch .jsonl result stream as the paper's
+ * headline tables: per-mode throughput and degradation vs the base
+ * machine, optionally broken down per workload mix.
+ *
+ *   rmtsim_batch --modes base,srt,crt --workloads gcc,swim \
+ *                --out results.jsonl
+ *   rmtsim_report results.jsonl
+ *   rmtsim_report --per-mix --base lockstep results.jsonl
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "rmtsim_report — per-mode degradation tables from batch "
+        ".jsonl results\n"
+        "\n"
+        "  rmtsim_report [options] FILE   ('-' = stdin)\n"
+        "\n"
+        "  --base MODE       degradation reference mode (default "
+        "base)\n"
+        "  --per-mix         also print the per-workload-mix table\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ReportOptions opts;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--base") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "rmtsim_report: missing value for "
+                             "--base\n");
+                return 2;
+            }
+            opts.base_mode = argv[++i];
+        } else if (arg == "--per-mix") {
+            opts.per_mix = true;
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            usage();
+            std::fprintf(stderr,
+                         "rmtsim_report: unknown argument '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "rmtsim_report: more than one input file\n");
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::ifstream file;
+    if (path != "-") {
+        file.open(path);
+        if (!file) {
+            std::fprintf(stderr, "rmtsim_report: cannot open '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+    }
+    std::istream &in = path == "-" ? std::cin : file;
+
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+
+    unsigned bad_lines = 0;
+    const std::vector<JsonValue> records =
+        parseJsonlLines(lines, bad_lines);
+    if (bad_lines) {
+        std::fprintf(stderr, "rmtsim_report: skipped %u malformed "
+                     "line%s\n", bad_lines, bad_lines == 1 ? "" : "s");
+    }
+    if (records.empty()) {
+        std::fprintf(stderr, "rmtsim_report: no records in '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const CampaignReport report = buildReport(records, opts);
+    std::fputs(formatReport(report, opts).c_str(), stdout);
+    return 0;
+}
