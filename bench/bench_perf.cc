@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Host-throughput benchmark: committed KIPS (kilo simulated
+ * instructions committed per host second, from obs/host_profile) for a
+ * short fixed-seed campaign across all five SimModes.
+ *
+ * Two uses:
+ *
+ *  - emit: `bench_perf --json BENCH_perf.json` records the per-mode
+ *    KIPS of this build on this machine (the committed baseline is
+ *    regenerated with tools/bench_perf.sh);
+ *  - gate: `bench_perf --baseline BENCH_perf.json --max-regress 10`
+ *    re-measures and exits non-zero when any mode regressed by more
+ *    than the threshold (tools/check.sh runs this as its perf smoke).
+ *
+ * Jobs execute serially (never through the thread pool) and each grid
+ * point keeps the best of N repeats, so a loaded host biases the
+ * numbers down less than a mean would.  KIPS aggregates across
+ * workloads are committed-instruction weighted.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/json.hh"
+#include "runner/runner.hh"
+
+using namespace rmt;
+using namespace rmtbench;
+
+namespace
+{
+
+struct WorkloadPerf
+{
+    std::string workload;
+    double kips = 0;                ///< best of N repeats
+    std::uint64_t committed = 0;    ///< per run (identical across repeats)
+};
+
+struct ModePerf
+{
+    SimMode mode;
+    double kips = 0;                ///< committed-weighted aggregate
+    std::uint64_t committed = 0;    ///< sum over workloads, one run each
+    std::vector<WorkloadPerf> workloads;
+};
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_perf [--json FILE] [--baseline FILE]\n"
+        "                  [--max-regress PCT] [--repeat N]\n"
+        "                  [--insts N] [--warmup N] [--workloads a,b,c]\n");
+}
+
+std::string
+perfJson(const std::vector<ModePerf> &modes, std::uint64_t warmup,
+         std::uint64_t measure, unsigned repeats,
+         const std::vector<std::string> &workloads)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"rmtsim-bench-perf-v1\""
+       << ",\"warmup_insts\":" << warmup
+       << ",\"measure_insts\":" << measure
+       << ",\"repeats\":" << repeats
+       << ",\"workloads\":[";
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        os << (i ? "," : "") << "\"" << jsonEscape(workloads[i])
+           << "\"";
+    }
+    os << "],\"modes\":[";
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        const ModePerf &mp = modes[m];
+        os << (m ? "," : "") << "{\"mode\":\"" << modeName(mp.mode)
+           << "\",\"kips\":" << jsonNum(mp.kips)
+           << ",\"committed\":" << mp.committed << ",\"per_workload\":[";
+        for (std::size_t w = 0; w < mp.workloads.size(); ++w) {
+            const WorkloadPerf &wp = mp.workloads[w];
+            os << (w ? "," : "") << "{\"workload\":\""
+               << jsonEscape(wp.workload)
+               << "\",\"kips\":" << jsonNum(wp.kips)
+               << ",\"committed\":" << wp.committed << "}";
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+
+    std::string json_path;
+    std::string baseline_path;
+    double max_regress = 10.0;
+    unsigned repeats = 3;
+    std::uint64_t measure = 20000;
+    std::uint64_t warmup = 2000;
+    std::vector<std::string> workloads = {"gcc", "swim", "compress"};
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--max-regress") {
+            max_regress = std::atof(next());
+        } else if (arg == "--repeat") {
+            repeats = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--insts") {
+            measure = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--workloads") {
+            workloads = splitList(next());
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (repeats == 0)
+        repeats = 1;
+    if (workloads.empty()) {
+        usage();
+        return 2;
+    }
+
+    const SimMode all_modes[] = {SimMode::Base, SimMode::Base2,
+                                 SimMode::Srt, SimMode::Lockstep,
+                                 SimMode::Crt};
+
+    RunnerConfig cfg;   // executeJob runs inline; no pool, no retries
+    cfg.max_attempts = 1;
+
+    std::vector<ModePerf> modes;
+    for (const SimMode mode : all_modes) {
+        ModePerf mp;
+        mp.mode = mode;
+        double seconds_total = 0;
+        for (const std::string &workload : workloads) {
+            JobSpec spec;
+            spec.id = 0;
+            spec.label = std::string(modeName(mode)) + ":" + workload;
+            spec.workloads = {workload};
+            spec.options.mode = mode;
+            spec.options.warmup_insts = warmup;
+            spec.options.measure_insts = measure;
+            spec.seed = 0x52'4d'54'53'49'4dull;     // fixed ("RMTSIM")
+
+            WorkloadPerf wp;
+            wp.workload = workload;
+            for (unsigned r = 0; r < repeats; ++r) {
+                const JobResult res = executeJob(spec, cfg);
+                if (!res.ok())
+                    fatal("bench_perf job '%s' failed: %s",
+                          spec.label.c_str(), res.error.c_str());
+                std::uint64_t committed = 0;
+                for (const ThreadResult &t : res.run.threads)
+                    committed += t.committed;
+                wp.committed = committed;
+                if (res.run.host.sim_kips > wp.kips)
+                    wp.kips = res.run.host.sim_kips;
+            }
+            if (wp.kips <= 0)
+                fatal("bench_perf: zero KIPS for '%s'",
+                      spec.label.c_str());
+            mp.committed += wp.committed;
+            seconds_total +=
+                static_cast<double>(wp.committed) / (wp.kips * 1e3);
+            mp.workloads.push_back(std::move(wp));
+        }
+        mp.kips = static_cast<double>(mp.committed) /
+                  (seconds_total * 1e3);
+        modes.push_back(std::move(mp));
+    }
+
+    std::printf("%-10s %12s %12s\n", "mode", "kips", "committed");
+    for (const ModePerf &mp : modes) {
+        std::printf("%-10s %12.1f %12llu\n", modeName(mp.mode),
+                    mp.kips,
+                    static_cast<unsigned long long>(mp.committed));
+    }
+
+    const std::string doc =
+        perfJson(modes, warmup, measure, repeats, workloads);
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            fatal("bench_perf: cannot write %s", json_path.c_str());
+        out << doc;
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (baseline_path.empty())
+        return 0;
+
+    // ------------------------------------------ regression gate
+    std::ifstream in(baseline_path);
+    if (!in)
+        fatal("bench_perf: cannot read baseline %s",
+              baseline_path.c_str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    JsonValue base;
+    std::string err;
+    if (!parseJson(buf.str(), base, err))
+        fatal("bench_perf: baseline %s: %s", baseline_path.c_str(),
+              err.c_str());
+    const JsonValue *base_modes = base.find("modes");
+    if (!base_modes || !base_modes->isArray())
+        fatal("bench_perf: baseline %s has no \"modes\" array",
+              baseline_path.c_str());
+
+    int failures = 0;
+    std::printf("\nvs %s (max regression %.0f%%):\n",
+                baseline_path.c_str(), max_regress);
+    for (const ModePerf &mp : modes) {
+        const JsonValue *ref = nullptr;
+        for (const JsonValue &entry : base_modes->array()) {
+            if (entry.strOr("mode", "") == modeName(mp.mode)) {
+                ref = &entry;
+                break;
+            }
+        }
+        if (!ref) {
+            std::printf("  %-10s (no baseline entry, skipped)\n",
+                        modeName(mp.mode));
+            continue;
+        }
+        const double base_kips = ref->numberOr("kips", 0);
+        if (base_kips <= 0)
+            continue;
+        const double delta = 100.0 * (mp.kips - base_kips) / base_kips;
+        const bool bad = delta < -max_regress;
+        std::printf("  %-10s %12.1f -> %12.1f  %+6.1f%%%s\n",
+                    modeName(mp.mode), base_kips, mp.kips, delta,
+                    bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
+    if (failures) {
+        std::fprintf(stderr,
+                     "bench_perf: %d mode(s) regressed more than "
+                     "%.0f%%\n",
+                     failures, max_regress);
+        return 1;
+    }
+    std::printf("perf gate: OK\n");
+    return 0;
+}

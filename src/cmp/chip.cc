@@ -61,9 +61,11 @@ Chip::tick()
 
     // Fault recovery (if configured on a pair): flush both redundant
     // threads, roll memory back to the active checkpoint, restart.
+    // Cheapest tests first: most runs have no recovery configured and
+    // no fault pending, so the common path is two pointer checks.
     for (std::size_t i = 0; i < rmgr.numPairs(); ++i) {
         RedundantPair &pair = rmgr.pair(i);
-        if (!pair.faultDetected() || !pair.recovery || !pair.memory)
+        if (!pair.recovery || !pair.memory || !pair.faultDetected())
             continue;
         if (!pair.recovery->canRecover())
             continue;   // exhausted: detect-only from here on
@@ -78,7 +80,7 @@ Chip::tick()
     }
 
     if (probe)
-        probe->tick(*this);
+        probe->tick(*this, cycle());
 }
 
 Cycle

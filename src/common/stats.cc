@@ -145,13 +145,21 @@ StatGroup::dump(std::ostream &os) const
 void
 StatGroup::json(std::ostream &os) const
 {
-    os << "{\"name\":\"" << jsonEscape(_name) << "\",\"stats\":[";
+    os << "{";
+    jsonMembers(os);
+    os << "}";
+}
+
+void
+StatGroup::jsonMembers(std::ostream &os) const
+{
+    os << "\"name\":\"" << jsonEscape(_name) << "\",\"stats\":[";
     for (std::size_t i = 0; i < stats.size(); ++i) {
         if (i)
             os << ",";
         stats[i]->json(os);
     }
-    os << "]}";
+    os << "]";
 }
 
 void

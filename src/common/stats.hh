@@ -166,6 +166,9 @@ class StatGroup
     void dump(std::ostream &os) const;
     /** Serialize as `{"name":...,"stats":[...]}` into @p os. */
     void json(std::ostream &os) const;
+    /** The members of json() without the braces, for callers that
+     *  splice extra fields into the same object. */
+    void jsonMembers(std::ostream &os) const;
     /** Reset every stat in the group. */
     void resetAll();
 

@@ -159,7 +159,7 @@ SmtCpu::fetchLeadingChunks(ThreadId tid)
         Addr pc = start;
         while (pc < frame_end) {
             const StaticInst &si = t.program->fetch(pc);
-            auto inst = std::make_shared<DynInst>();
+            DynInstPtr inst = instPool.acquire();
             inst->si = si;
             inst->pc = pc;
             inst->tid = tid;
@@ -304,7 +304,7 @@ SmtCpu::fetchTrailingLpq(ThreadId tid)
         for (unsigned i = 0; i < chunk.count; ++i) {
             const Addr pc = chunk.start + i * instBytes;
             const StaticInst &si = t.program->fetch(pc);
-            auto inst = std::make_shared<DynInst>();
+            DynInstPtr inst = instPool.acquire();
             inst->si = si;
             inst->pc = pc;
             inst->tid = tid;
@@ -387,7 +387,7 @@ SmtCpu::fetchTrailingBoq(ThreadId tid)
                 pair.boqPop();
             }
 
-            auto inst = std::make_shared<DynInst>();
+            DynInstPtr inst = instPool.acquire();
             inst->si = si;
             inst->pc = pc;
             inst->tid = tid;

@@ -64,7 +64,7 @@ SmtCpu::loadAgen(const DynInstPtr &inst)
     // Probe the store queue: the youngest older store with a known,
     // overlapping address governs this load.
     for (auto it = t.sq.rbegin(); it != t.sq.rend(); ++it) {
-        const DynInstPtr &st = it->inst;
+        const DynInstPtr &st = *it;
         if (st->seq >= inst->seq)
             continue;
         if (!st->addrReady)
@@ -236,11 +236,14 @@ SmtCpu::verifyLeadingStores()
     for (auto &t : threads) {
         if (!t.active || t.role != Role::Leading)
             continue;
+        if (t.sq.empty())
+            continue;
         RedundantPair &pair = *t.pair;
-        for (auto &entry : t.sq) {
-            if (entry.verified)
+        if (pair.comparator.pendingTrailing() == 0)
+            continue;   // no trailing stores to match against yet
+        for (const DynInstPtr &st : t.sq) {
+            if (st->sqVerified)
                 continue;
-            const DynInstPtr &st = entry.inst;
             if (!st->retired || !st->addrReady || !st->dataReady)
                 break;  // comparator matches in store order
             bool mismatch = false;
@@ -250,7 +253,7 @@ SmtCpu::verifyLeadingStores()
                                            mismatch)) {
                 break;  // corresponding trailing store not here yet
             }
-            entry.verified = true;
+            st->sqVerified = true;
             if (mismatch) {
                 pair.recordDetection(DetectionKind::StoreMismatch, now);
             } else if (pair.recovery) {
@@ -268,31 +271,31 @@ SmtCpu::releaseStores()
             continue;
         unsigned releases = 0;
         while (!t.sq.empty() && releases < _params.max_stores_per_cycle) {
-            SqEntry &entry = t.sq.front();
-            if (entry.inst->squashed) {
+            const DynInstPtr &entry = t.sq.front();
+            if (entry->squashed) {
                 t.sq.pop_front();
                 continue;
             }
-            if (!entry.inst->retired)
+            if (!entry->retired)
                 break;
             if (t.role == Role::Leading && _params.srt_store_comparison &&
-                !entry.verified) {
+                !entry->sqVerified) {
                 break;
             }
             // Lockstep: the store release path runs through the central
             // checker (Section 6.3).
-            if (now < entry.retireCycle + _params.store_checker_penalty)
+            if (now < entry->sqRetireCycle + _params.store_checker_penalty)
                 break;
-            const Addr paddr = physMemAddr(t, entry.inst->effAddr);
+            const Addr paddr = physMemAddr(t, entry->effAddr);
             if (!mergeBuf.canAccept(paddr)) {
                 mergeBuf.noteFullReject();
                 break;
             }
             mergeBuf.accept(paddr, now);
             t.storeLifetime->sample(
-                static_cast<double>(now - entry.allocCycle));
+                static_cast<double>(now - entry->sqAllocCycle));
             t.storeLifetimeHist->sample(
-                static_cast<double>(now - entry.allocCycle));
+                static_cast<double>(now - entry->sqAllocCycle));
             t.sq.pop_front();
             ++releases;
         }

@@ -188,6 +188,20 @@ SmtCpu::dispatchOne(ThreadId tid, DynInstPtr &inst, unsigned slot)
             t.lq.push_back(inst);
             inst->lqIndex = 1;
             inst->depStoreSeq = storeSets.loadDependence(tid, inst->pc);
+            if (inst->depStoreSeq != StoreSets::noStore) {
+                // Resolve the wait target to a pointer once, here, so
+                // the per-cycle readiness check in QBOX issue never has
+                // to search the store queue.  A store that already left
+                // the machine simply clears the dependence.
+                for (auto it = t.sq.rbegin(); it != t.sq.rend(); ++it) {
+                    if ((*it)->seq == inst->depStoreSeq) {
+                        inst->depStore = *it;
+                        break;
+                    }
+                }
+                if (!inst->depStore)
+                    inst->depStoreSeq = StoreSets::noStore;
+            }
         }
     }
     if (si.isStore()) {
@@ -195,10 +209,8 @@ SmtCpu::dispatchOne(ThreadId tid, DynInstPtr &inst, unsigned slot)
         // dispatch order; leading ones are assigned at retirement.
         if (t.pair && t.role == Role::Trailing)
             inst->storeIdx = t.pair->trailStoreIdx++;
-        SqEntry entry;
-        entry.inst = inst;
-        entry.allocCycle = now;
-        t.sq.push_back(entry);
+        inst->sqAllocCycle = now;
+        t.sq.push_back(inst);
         if (t.role != Role::Trailing)
             storeSets.storeFetched(tid, inst->pc, inst->seq);
     }

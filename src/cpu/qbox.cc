@@ -28,14 +28,16 @@ SmtCpu::operandsReady(const DynInstPtr &inst) const
 bool
 SmtCpu::memDepSatisfied(const DynInstPtr &inst) const
 {
+    // The wait-target store was resolved to a direct pointer at
+    // dispatch, so no store-queue search happens here.  A squashed
+    // store left the machine; a released store retired with address
+    // and data ready, so the flag check below covers it too.
     if (!inst->isLoad() || inst->depStoreSeq == StoreSets::noStore)
         return true;
-    const ThreadState &t = threads[inst->tid];
-    for (const auto &entry : t.sq) {
-        if (entry.inst->seq == inst->depStoreSeq)
-            return entry.inst->addrReady && entry.inst->dataReady;
-    }
-    return true;    // the store left the machine
+    const DynInst *st = inst->depStore.get();
+    if (!st || st->squashed)
+        return true;    // the store left the machine
+    return st->addrReady && st->dataReady;
 }
 
 void
@@ -44,61 +46,70 @@ SmtCpu::issue()
     issuedThisCycle = {0, 0};
     for (auto &half : fuBusy)
         half = {0, 0, 0, 0};
+    if (iq.empty())
+        return;
     unsigned total = 0;
     unsigned loads_issued = 0;
     unsigned stores_issued = 0;
 
-    auto it = iq.begin();
-    while (it != iq.end() && total < _params.issue_width) {
-        DynInstPtr inst = *it;
+    // One age-ordered pass, compacting survivors in place: issued and
+    // dead (squashed / already-issued) entries drop out without the
+    // per-erase shuffling a middle-of-vector erase costs.  Selection
+    // order and every issue decision are identical to an erase-as-you-
+    // go walk, so cycle timing is unchanged.
+    const std::size_t n = iq.size();
+    std::size_t out = 0;
+    for (std::size_t in = 0; in < n; ++in) {
+        DynInstPtr &slot = iq[in];
+        DynInst *const inst = slot.get();
         if (inst->squashed || !inst->inIq) {
-            it = iq.erase(it);
-            continue;
-        }
-        if (now < inst->issuableCycle || !operandsReady(inst) ||
-            !memDepSatisfied(inst)) {
-            ++it;
-            continue;
-        }
-        const std::uint8_t half = inst->iqHalf;
-        if (issuedThisCycle[half] >= _params.issue_per_half) {
-            ++it;
-            continue;
-        }
-        if (inst->isLoad() && loads_issued >= _params.max_loads_per_cycle) {
-            ++it;
-            continue;
-        }
-        if (inst->isStore() &&
-            stores_issued >= _params.max_stores_per_cycle) {
-            ++it;
+            slot.reset();
             continue;
         }
 
-        // Functional-unit selection within the half: position-preferred
-        // (deterministic, which is what makes redundant copies collide
-        // on the same unit without PSR — Fig. 7), falling back to the
-        // next free unit.
-        const FuClass cls = inst->si.fuClass();
-        const unsigned cls_idx = static_cast<unsigned>(cls);
-        const unsigned pool = fuPoolSize(cls);
-        const std::uint8_t busy = fuBusy[half][cls_idx];
-        unsigned unit = pool;
-        const unsigned pref =
-            static_cast<unsigned>(inst->pc / instBytes) % pool;
-        for (unsigned k = 0; k < pool; ++k) {
-            const unsigned u = (pref + k) % pool;
-            if (!(busy & (1u << u))) {
-                unit = u;
-                break;
+        bool issue_now = false;
+        unsigned cls_idx = 0;
+        unsigned pool = 0;
+        unsigned unit = 0;
+        const std::uint8_t half = inst->iqHalf;
+        if (total < _params.issue_width && now >= inst->issuableCycle &&
+            issuedThisCycle[half] < _params.issue_per_half &&
+            !(inst->isLoad() &&
+              loads_issued >= _params.max_loads_per_cycle) &&
+            !(inst->isStore() &&
+              stores_issued >= _params.max_stores_per_cycle) &&
+            operandsReady(slot) && memDepSatisfied(slot)) {
+            // Functional-unit selection within the half: position-
+            // preferred (deterministic, which is what makes redundant
+            // copies collide on the same unit without PSR — Fig. 7),
+            // falling back to the next free unit.
+            const FuClass cls = inst->si.fuClass();
+            cls_idx = static_cast<unsigned>(cls);
+            pool = fuPoolSize(cls);
+            const std::uint8_t busy = fuBusy[half][cls_idx];
+            const unsigned pref =
+                static_cast<unsigned>(inst->pc / instBytes) % pool;
+            unit = pool;
+            for (unsigned k = 0; k < pool; ++k) {
+                const unsigned u = (pref + k) % pool;
+                if (!(busy & (1u << u))) {
+                    unit = u;
+                    break;
+                }
             }
+            // unit == pool: all units of this class busy in this half.
+            issue_now = unit != pool;
         }
-        if (unit == pool) {
-            ++it;
-            continue;   // all units of this class busy in this half
+
+        if (!issue_now) {
+            if (out != in)
+                iq[out] = std::move(slot);
+            ++out;
+            continue;
         }
-        fuBusy[half][cls_idx] =
-            static_cast<std::uint8_t>(busy | (1u << unit));
+
+        fuBusy[half][cls_idx] = static_cast<std::uint8_t>(
+            fuBusy[half][cls_idx] | (1u << unit));
 
         // Global functional-unit instance id (for Fig. 7 and for the
         // permanent-fault model): classes occupy disjoint id ranges,
@@ -111,7 +122,7 @@ SmtCpu::issue()
         inst->issueCycle = now;
 
         if (inst->si.isMemRef()) {
-            schedule(now + _params.rbox_latency, EvKind::MemAgen, inst);
+            schedule(now + _params.rbox_latency, EvKind::MemAgen, slot);
             if (inst->isLoad())
                 ++loads_issued;
             else
@@ -123,10 +134,10 @@ SmtCpu::issue()
             // happens after the full QBOX-back + RBOX + EBOX depth.
             if (inst->pdst != invalidPhysReg)
                 readyAt[inst->pdst] = now + inst->si.latency();
-            schedule(now + inst->si.latency(), EvKind::Compute, inst);
+            schedule(now + inst->si.latency(), EvKind::Compute, slot);
             schedule(now + _params.qbox_back_latency +
                          _params.rbox_latency + inst->si.latency(),
-                     EvKind::ExecDone, inst);
+                     EvKind::ExecDone, slot);
         }
 
         inst->inIq = false;
@@ -135,8 +146,9 @@ SmtCpu::issue()
         ++issuedThisCycle[half];
         ++statIssued;
         ++total;
-        it = iq.erase(it);
+        slot.reset();
     }
+    iq.resize(out);
 }
 
 bool
@@ -213,13 +225,10 @@ SmtCpu::commitOne(ThreadId tid)
     // the trailing stores it is waiting on can be fetched and verified
     // (Section 4.4 deadlock rule).
     if (si.isMemBar()) {
-        bool older_store_pending = false;
-        for (const auto &entry : t.sq) {
-            if (entry.inst->seq < inst->seq) {
-                older_store_pending = true;
-                break;
-            }
-        }
+        // The SQ is dispatch-ordered, so the oldest entry decides in
+        // O(1) whether any older store is still pending.
+        const bool older_store_pending =
+            !t.sq.empty() && t.sq.front()->seq < inst->seq;
         if (older_store_pending) {
             if (leading && pair && !pair->aggregationEmpty())
                 pair->flushAggregation(now);
@@ -277,16 +286,11 @@ SmtCpu::commitOne(ThreadId tid)
         if (leading)
             inst->storeIdx = pair->leadStoreIdx++;  // committed order
         inst->retired = true;
-        for (auto &entry : t.sq) {
-            if (entry.inst == inst) {
-                entry.retireCycle = now;
-                break;
-            }
-        }
+        inst->sqRetireCycle = now;
         if (trailing) {
             // Trailing stores exist only to be compared; their queue
             // entry frees at retirement.
-            if (!t.sq.empty() && t.sq.front().inst == inst)
+            if (!t.sq.empty() && t.sq.front() == inst)
                 t.sq.pop_front();
         }
     }
@@ -470,10 +474,8 @@ SmtCpu::squashThread(ThreadId tid, InstSeq last_good_seq, Addr restart_pc,
             freePhysReg(inst->pdst);
             --physInUse[tid];
         }
-        if (inst->isStore() && !t.sq.empty() &&
-            t.sq.back().inst == inst) {
+        if (inst->isStore() && !t.sq.empty() && t.sq.back() == inst)
             t.sq.pop_back();
-        }
         if (inst->isLoad() && !t.lq.empty() && t.lq.back() == inst)
             t.lq.pop_back();
         if (inst->isControl())
@@ -524,8 +526,8 @@ SmtCpu::flushAllInflight(ThreadId tid, bool drop_retired_stores)
     } else {
         // Interrupt/iret redirect: retired stores stay for
         // verification and release; only speculative entries go.
-        std::erase_if(t.sq, [](const SqEntry &e) {
-            return e.inst->squashed && !e.inst->retired;
+        std::erase_if(t.sq, [](const DynInstPtr &e) {
+            return e->squashed && !e->retired;
         });
     }
     std::erase_if(t.lq,

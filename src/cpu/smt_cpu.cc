@@ -421,12 +421,12 @@ SmtCpu::debugDump(std::ostream &os) const
                << (h->squashed ? " SQUASHED" : "") << "\n";
         }
         if (!t.sq.empty()) {
-            const SqEntry &e = t.sq.front();
-            os << "   sq-head seq " << e.inst->seq
-               << (e.inst->retired ? " retired" : "")
-               << (e.verified ? " verified" : "")
-               << (e.inst->addrReady ? " addr" : "")
-               << (e.inst->dataReady ? " data" : "") << "\n";
+            const DynInstPtr &e = t.sq.front();
+            os << "   sq-head seq " << e->seq
+               << (e->retired ? " retired" : "")
+               << (e->sqVerified ? " verified" : "")
+               << (e->addrReady ? " addr" : "")
+               << (e->dataReady ? " data" : "") << "\n";
         }
         if (t.pair) {
             os << "   pair lpq " << t.pair->lpq.size() << " unread "

@@ -144,6 +144,9 @@ class SmtCpu
     void forEachStatGroup(
         const std::function<void(const std::string &, StatGroup &)> &fn);
 
+    /** The per-core instruction record pool (tests, diagnostics). */
+    const DynInstPool &dynInstPool() const { return instPool; }
+
     std::uint64_t squashes() const { return statSquashes.value(); }
     std::uint64_t branchMispredicts() const
     {
@@ -198,14 +201,6 @@ class SmtCpu
 
   private:
     // ------------------------------------------------- internal types
-    struct SqEntry
-    {
-        DynInstPtr inst;
-        Cycle allocCycle = 0;
-        bool verified = false;      ///< SRT: store comparison done
-        Cycle retireCycle = 0;
-    };
-
     struct ThreadState
     {
         bool active = false;
@@ -228,9 +223,11 @@ class SmtCpu
         /** Committed architectural register values (checkpointing). */
         std::array<std::uint64_t, numArchRegs> archRegs{};
 
-        // Memory queues (statically partitioned; see quotas).
+        // Memory queues (statically partitioned; see quotas).  Store
+        // entry state (alloc/retire cycle, verified) lives in the
+        // DynInst itself, so no queue search is ever needed.
         std::deque<DynInstPtr> lq;
-        std::deque<SqEntry> sq;
+        std::deque<DynInstPtr> sq;
         unsigned lqQuota = 0;
         unsigned sqQuota = 0;
 
@@ -364,6 +361,12 @@ class SmtCpu
     MemSystem &memSystem;
     CoreId core;
     Cycle now = 0;
+
+    // The instruction pool must be declared before every structure that
+    // holds a DynInstPtr (threads, iq, calendar, waitingLoads): members
+    // destroy in reverse order, and the pool has to outlive the last
+    // handle.
+    DynInstPool instPool;
 
     std::vector<ThreadState> threads;
 

@@ -24,21 +24,24 @@ Cache::Cache(const CacheParams &params)
     numSets = params.size_bytes / (blockBytes * assocWays);
     if (numSets == 0)
         fatal("cache %s: zero sets", params.name.c_str());
+    blockShift = floorLog2(blockBytes);
+    setMask = isPowerOf2(numSets) ? numSets - 1 : 0;
     lines.resize(numSets * assocWays);
 }
 
 std::size_t
 Cache::setIndex(Addr addr) const
 {
-    // Modulo indexing: set counts need not be powers of two (the
-    // paper's 3 MB 8-way L2 has 6144 sets).
-    return (addr / blockBytes) % numSets;
+    // Set counts need not be powers of two (the paper's 3 MB 8-way L2
+    // has 6144 sets), so the mask is only a fast path over modulo.
+    const Addr blk = addr >> blockShift;
+    return setMask ? (blk & setMask) : (blk % numSets);
 }
 
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return addr / blockBytes / numSets;
+    return (addr >> blockShift) / numSets;
 }
 
 bool

@@ -75,8 +75,10 @@ class Cache
     Addr tagOf(Addr addr) const;
 
     unsigned blockBytes;
+    unsigned blockShift;    ///< log2(blockBytes); block size is pow2
     unsigned assocWays;
     std::size_t numSets;
+    std::size_t setMask;    ///< numSets - 1 if pow2, else 0 (use modulo)
     std::vector<Line> lines;        ///< numSets * assocWays, set-major
     std::uint64_t stamp = 0;
 

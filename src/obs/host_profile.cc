@@ -1,7 +1,5 @@
 #include "obs/host_profile.hh"
 
-#include <sstream>
-
 #include "common/json.hh"
 
 namespace rmt
@@ -10,12 +8,18 @@ namespace rmt
 std::string
 HostTiming::json() const
 {
-    std::ostringstream os;
-    os << "{\"build_ms\":" << jsonNum(build_seconds * 1e3)
-       << ",\"warmup_ms\":" << jsonNum(warmup_seconds * 1e3)
-       << ",\"measure_ms\":" << jsonNum(measure_seconds * 1e3)
-       << ",\"kips\":" << jsonNum(sim_kips) << "}";
-    return os.str();
+    std::string s;
+    s.reserve(128);
+    s += "{\"build_ms\":";
+    s += jsonNum(build_seconds * 1e3);
+    s += ",\"warmup_ms\":";
+    s += jsonNum(warmup_seconds * 1e3);
+    s += ",\"measure_ms\":";
+    s += jsonNum(measure_seconds * 1e3);
+    s += ",\"kips\":";
+    s += jsonNum(sim_kips);
+    s += "}";
+    return s;
 }
 
 } // namespace rmt

@@ -28,10 +28,8 @@ chipStatsJson(Chip &chip)
             os << ",";
         first = false;
         os << "{\"path\":\"" << jsonEscape(path) << "\",";
-        // Splice the group object's members into this one.
-        std::ostringstream inner;
-        g.json(inner);
-        os << inner.str().substr(1);
+        g.jsonMembers(os);
+        os << "}";
     });
     os << "]";
     return os.str();

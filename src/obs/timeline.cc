@@ -12,15 +12,6 @@ TimelineProbe::TimelineProbe(const TimelineConfig &config) : cfg(config)
 }
 
 void
-TimelineProbe::tick(Chip &chip)
-{
-    if (chip.cycle() < next)
-        return;
-    sample(chip);
-    next = chip.cycle() + cfg.interval;
-}
-
-void
 TimelineProbe::sample(Chip &chip)
 {
     TimelineSample s;

@@ -78,8 +78,20 @@ class TimelineProbe
 
     Cycle interval() const { return cfg.interval; }
 
-    /** Called by the chip once per cycle; samples on the boundary. */
-    void tick(Chip &chip);
+    /**
+     * Called by the chip once per cycle; samples on the boundary.
+     * Inline so the off-boundary case (the overwhelming majority of
+     * cycles) is a compare against the cached next-sample cycle, not a
+     * call.
+     */
+    void
+    tick(Chip &chip, Cycle now)
+    {
+        if (now < next)
+            return;
+        sample(chip);
+        next = now + cfg.interval;
+    }
 
     /** Record a sample right now regardless of the boundary. */
     void sample(Chip &chip);

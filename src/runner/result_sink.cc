@@ -31,6 +31,39 @@ num(double v)
     return jsonNum(v);
 }
 
+/**
+ * Remove the wall-clock "host" member from an embedded stats blob.
+ * The blob is built inside the run, where the sink's include_timing
+ * choice is unknown; suppressing it here keeps --no-timing output
+ * byte-identical across runs and across -j levels.  The member is a
+ * flat object, so scanning to the next '}' is sufficient.
+ */
+std::string
+fnvFingerprint(const std::string &canon)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;     // FNV-1a 64
+    for (const char c : canon) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+std::string
+stripHostMember(std::string stats)
+{
+    const auto pos = stats.find(",\"host\":{");
+    if (pos == std::string::npos)
+        return stats;
+    const auto end = stats.find('}', pos);
+    if (end == std::string::npos)
+        return stats;
+    stats.erase(pos, end - pos + 1);
+    return stats;
+}
+
 } // namespace
 
 std::string
@@ -60,15 +93,7 @@ optionsJson(const SimOptions &o)
 std::string
 optionsFingerprint(const SimOptions &o)
 {
-    const std::string canon = optionsJson(o);
-    std::uint64_t h = 0xcbf29ce484222325ull;     // FNV-1a 64
-    for (const char c : canon) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ull;
-    }
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
-    return buf;
+    return fnvFingerprint(optionsJson(o));
 }
 
 std::string
@@ -84,10 +109,12 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
             os << ",";
         os << "\"" << jsonEscape(spec.workloads[i]) << "\"";
     }
+    // Serialize the options once; the fingerprint hashes the same
+    // canonical string.
+    const std::string canon = optionsJson(spec.options);
     os << "]"
-       << ",\"options\":" << optionsJson(spec.options)
-       << ",\"fingerprint\":\"" << optionsFingerprint(spec.options)
-       << "\""
+       << ",\"options\":" << canon
+       << ",\"fingerprint\":\"" << fnvFingerprint(canon) << "\""
        << ",\"status\":\"" << (r.ok() ? "ok" : "failed") << "\""
        << ",\"attempts\":" << r.attempts;
     if (!r.ok()) {
@@ -134,8 +161,11 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
             }
             os << "]";
         }
-        if (!run.stats_json.empty())
-            os << ",\"stats\":" << run.stats_json;
+        if (!run.stats_json.empty()) {
+            os << ",\"stats\":"
+               << (include_timing ? run.stats_json
+                                  : stripHostMember(run.stats_json));
+        }
     }
     if (!r.extra.empty()) {
         os << ",\"extra\":{";

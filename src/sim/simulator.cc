@@ -378,15 +378,23 @@ Simulation::run()
 std::string
 Simulation::statsJson(const RunResult &result)
 {
-    std::ostringstream os;
-    os << "{\"schema\":\"rmtsim-stats-v1\""
-       << ",\"mode\":\"" << modeName(opts.mode) << "\""
-       << ",\"workloads\":[";
-    for (std::size_t i = 0; i < workloads.size(); ++i) {
-        os << (i ? "," : "") << "\"" << jsonEscape(workloads[i].name)
-           << "\"";
+    // The schema/mode/workloads keys never change for a Simulation;
+    // format them once and reuse across repeated exports.
+    if (statsJsonPrefix.empty()) {
+        std::ostringstream os;
+        os << "{\"schema\":\"rmtsim-stats-v1\""
+           << ",\"mode\":\"" << modeName(opts.mode) << "\""
+           << ",\"workloads\":[";
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            os << (i ? "," : "") << "\""
+               << jsonEscape(workloads[i].name) << "\"";
+        }
+        os << "],";
+        statsJsonPrefix = os.str();
     }
-    os << "],\"total_cycles\":" << result.total_cycles
+    std::ostringstream os;
+    os << statsJsonPrefix
+       << "\"total_cycles\":" << result.total_cycles
        << ",\"completed\":" << (result.completed ? "true" : "false")
        << ",\"host\":" << result.host.json()
        << ",\"groups\":" << chipStatsJson(*_chip) << "}";

@@ -159,6 +159,7 @@ class Simulation
     void buildCrt();
 
     SimOptions opts;
+    std::string statsJsonPrefix;    ///< cached invariant stats-JSON head
     std::vector<Workload> workloads;
     std::vector<std::unique_ptr<DataMemory>> memories;
     std::vector<std::unique_ptr<DataMemory>> copyMemories;  ///< Base2

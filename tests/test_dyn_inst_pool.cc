@@ -1,0 +1,197 @@
+/**
+ * @file
+ * DynInstPool / DynInstPtr coverage: recycling semantics of the
+ * intrusive refcounted handle, record reuse under squash-heavy
+ * simulation, lifetime across dependence handoffs, and campaign
+ * determinism with pooled allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <utility>
+
+#include "cpu/dyn_inst.hh"
+#include "runner/runner.hh"
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+TEST(DynInstPool, AcquireGrowsInSlabs)
+{
+    DynInstPool pool(2);
+    EXPECT_EQ(pool.capacity(), 0u);
+    EXPECT_EQ(pool.live(), 0u);
+
+    DynInstPtr a = pool.acquire();
+    DynInstPtr b = pool.acquire();
+    EXPECT_EQ(pool.capacity(), 2u);
+    EXPECT_EQ(pool.live(), 2u);
+
+    DynInstPtr c = pool.acquire();  // forces a second slab
+    EXPECT_EQ(pool.capacity(), 4u);
+    EXPECT_EQ(pool.live(), 3u);
+    EXPECT_NE(a.get(), nullptr);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(b.get(), c.get());
+}
+
+TEST(DynInstPool, LastReleaseRecycles)
+{
+    DynInstPool pool(4);
+    DynInstPtr a = pool.acquire();
+    DynInst *raw = a.get();
+
+    DynInstPtr copy = a;            // refcount 2
+    a.reset();
+    EXPECT_EQ(pool.live(), 1u);     // still held by the copy
+    EXPECT_EQ(pool.recycles(), 0u);
+
+    copy.reset();                   // last reference
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.recycles(), 1u);
+
+    // LIFO free list: the next acquire reuses the recycled record.
+    DynInstPtr again = pool.acquire();
+    EXPECT_EQ(again.get(), raw);
+}
+
+TEST(DynInstPool, MoveTransfersWithoutRecycling)
+{
+    DynInstPool pool(4);
+    DynInstPtr a = pool.acquire();
+    DynInst *raw = a.get();
+
+    DynInstPtr moved = std::move(a);
+    EXPECT_EQ(a.get(), nullptr);
+    EXPECT_EQ(moved.get(), raw);
+    EXPECT_EQ(pool.live(), 1u);
+    EXPECT_EQ(pool.recycles(), 0u);
+
+    DynInstPtr assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(moved.get(), nullptr);
+    EXPECT_EQ(assigned.get(), raw);
+    EXPECT_EQ(pool.live(), 1u);
+
+    assigned.reset();
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.recycles(), 1u);
+}
+
+TEST(DynInstPool, RecycleResetsRecordState)
+{
+    DynInstPool pool(4);
+    {
+        DynInstPtr a = pool.acquire();
+        a->seq = 42;
+        a->pc = 0x1000;
+        a->squashed = true;
+        a->sqVerified = true;
+    }
+    // The recycled record is handed back first (LIFO) and must look
+    // factory-fresh.
+    DynInstPtr b = pool.acquire();
+    EXPECT_EQ(b->seq, 0u);
+    EXPECT_EQ(b->pc, 0u);
+    EXPECT_FALSE(b->squashed);
+    EXPECT_FALSE(b->sqVerified);
+}
+
+TEST(DynInstPool, DepStoreHandoffKeepsStoreAlive)
+{
+    // A load's resolved dependence pointer (set at dispatch, read at
+    // issue) must keep the store's record from being reused even after
+    // the store has left every pipeline queue.
+    DynInstPool pool(4);
+    DynInstPtr store = pool.acquire();
+    store->seq = 7;
+    store->addrReady = true;
+    store->dataReady = true;
+
+    DynInstPtr load = pool.acquire();
+    load->depStore = store;
+
+    store.reset();                  // store leaves the machine
+    EXPECT_EQ(pool.live(), 2u);     // record pinned by the load
+    EXPECT_EQ(pool.recycles(), 0u);
+    EXPECT_TRUE(load->depStore->addrReady);
+    EXPECT_EQ(load->depStore->seq, 7u);
+
+    load.reset();                   // releases the chain
+    EXPECT_EQ(pool.live(), 0u);
+    EXPECT_EQ(pool.recycles(), 2u);
+}
+
+TEST(DynInstPool, SquashHeavyRunRecyclesInsteadOfGrowing)
+{
+    // An SRT run fetches tens of thousands of instructions (including
+    // squashed wrong-path ones, recycled mid-fill); the pool must reuse
+    // a small working set rather than grow with the instruction count.
+    SimOptions opts;
+    opts.mode = SimMode::Srt;
+    opts.warmup_insts = 2000;
+    opts.measure_insts = 8000;
+    Simulation sim({"gcc"}, opts);
+    const RunResult result = sim.run();
+    ASSERT_TRUE(result.completed);
+
+    SmtCpu &cpu = sim.chip().cpu(0);
+    const DynInstPool &pool = cpu.dynInstPool();
+    const std::uint64_t fetched = cpu.fetchSrcLead() +
+                                  cpu.fetchSrcLpq() +
+                                  cpu.fetchSrcBoq();
+    EXPECT_GT(fetched, 10000u);
+    EXPECT_GT(pool.recycles(), fetched / 2);
+    EXPECT_LT(pool.capacity(), fetched / 4);
+    EXPECT_LE(pool.live(), pool.capacity());
+}
+
+TEST(DynInstPool, CampaignParallelismIsByteDeterministic)
+{
+    // Each Simulation owns its pools, so -j 1 and -j N campaigns (with
+    // embedded stats, wall times suppressed) serialize byte-identically.
+    Campaign campaign;
+    campaign.name = "pool-determinism";
+    const SimMode modes[] = {SimMode::Srt, SimMode::Base2, SimMode::Crt};
+    const char *workloads[] = {"gcc", "swim"};
+    for (const SimMode mode : modes) {
+        for (const char *w : workloads) {
+            JobSpec spec;
+            spec.id = campaign.jobs.size();
+            spec.label = std::string(modeName(mode)) + ":" + w;
+            spec.workloads = {w};
+            spec.options.mode = mode;
+            spec.options.warmup_insts = 500;
+            spec.options.measure_insts = 2000;
+            spec.options.collect_stats_json = true;
+            campaign.jobs.push_back(std::move(spec));
+        }
+    }
+
+    JsonlSink::Options opts;
+    opts.include_timing = false;    // wall time legitimately varies
+    opts.progress = false;
+
+    std::ostringstream one_out, four_out;
+    {
+        JsonlSink sink(one_out, opts);
+        RunnerConfig cfg;
+        cfg.jobs = 1;
+        cfg.sink = &sink;
+        runCampaign(campaign, cfg);
+    }
+    {
+        JsonlSink sink(four_out, opts);
+        RunnerConfig cfg;
+        cfg.jobs = 4;
+        cfg.sink = &sink;
+        runCampaign(campaign, cfg);
+    }
+    EXPECT_EQ(one_out.str(), four_out.str());
+    // The timing-suppressed stream must contain embedded stats but no
+    // wall-clock members at all.
+    EXPECT_NE(one_out.str().find("\"stats\":"), std::string::npos);
+    EXPECT_EQ(one_out.str().find("\"host\":"), std::string::npos);
+    EXPECT_EQ(one_out.str().find("\"wall_ms\":"), std::string::npos);
+}

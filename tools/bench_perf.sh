@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_perf.json: build bench_perf and run the short
+# fixed-seed campaign across all five SimModes, recording committed
+# KIPS per mode for this build on this machine.
+#
+# Usage: tools/bench_perf.sh [extra bench_perf args...]
+#   e.g. tools/bench_perf.sh --repeat 5
+#
+# The numbers are machine-specific; regenerate (and commit) them from
+# the machine that runs the perf gate in tools/check.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_perf >/dev/null
+
+./build/bench/bench_perf --json BENCH_perf.json "$@"

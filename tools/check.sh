@@ -1,12 +1,13 @@
 #!/bin/sh
-# Tier-1 gate plus the sanitizer pass, in one command:
+# Tier-1 gate plus the sanitizer and perf passes, in one command:
 #
-#   tools/check.sh            # build + full ctest, then TSan on the
-#                             # `sanitize`-labelled tests
-#   tools/check.sh --fast     # tier-1 only (skip the TSan build)
+#   tools/check.sh            # build + full ctest, then TSan and ASan
+#                             # on the `sanitize`-labelled tests, then
+#                             # the perf smoke (KIPS regression gate)
+#   tools/check.sh --fast     # tier-1 only (skip sanitizers + perf)
 #
-# Uses build/ for the normal tree and build-tsan/ for the instrumented
-# one so the two configurations never fight over a cache.
+# Uses build/ for the normal tree and build-tsan/ / build-asan/ for the
+# instrumented ones so the configurations never fight over a cache.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -20,7 +21,7 @@ echo "== tier-1: ctest =="
 ctest --test-dir build -j "$jobs" --output-on-failure
 
 if [ "$1" = "--fast" ]; then
-    echo "check.sh: tier-1 OK (TSan pass skipped)"
+    echo "check.sh: tier-1 OK (sanitizer + perf passes skipped)"
     exit 0
 fi
 
@@ -28,7 +29,23 @@ echo "== sanitize: thread-sanitizer build =="
 cmake -B build-tsan -S . -DRMT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 
-echo "== sanitize: ctest -L sanitize =="
+echo "== sanitize: ctest -L sanitize (TSan) =="
 ctest --test-dir build-tsan -j "$jobs" -L sanitize --output-on-failure
+
+echo "== sanitize: address-sanitizer build =="
+cmake -B build-asan -S . -DRMT_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$jobs"
+
+echo "== sanitize: ctest -L sanitize (ASan, pool allocator) =="
+ctest --test-dir build-asan -j "$jobs" -L sanitize --output-on-failure
+
+echo "== perf: KIPS smoke vs BENCH_perf.json =="
+if [ -f BENCH_perf.json ]; then
+    cmake --build build -j "$jobs" --target bench_perf >/dev/null
+    ./build/bench/bench_perf --baseline BENCH_perf.json --max-regress 10
+else
+    echo "check.sh: BENCH_perf.json missing; run tools/bench_perf.sh" >&2
+    exit 1
+fi
 
 echo "check.sh: all checks OK"
