@@ -18,14 +18,15 @@
  *
  * Each trial is one JobSpec whose fault parameters are drawn at
  * campaign-build time, so the grid is identical however many workers
- * execute it; the post_run hook classifies the outcome against the
- * golden memory image while the trial's Simulation is still alive.
+ * execute it; a FaultOracle chained onto post_run classifies the
+ * outcome against the golden memory image while the trial's Simulation
+ * is still alive, attributing detection latency to the pair the fault
+ * actually landed in.
  */
-
-#include <cstring>
 
 #include "bench_util.hh"
 #include "common/random.hh"
+#include "rmt/fault_oracle.hh"
 #include "runner/runner.hh"
 
 using namespace rmt;
@@ -44,45 +45,15 @@ campaignOptions()
     return o;
 }
 
-struct Outcome
+struct Tally
 {
     unsigned detected = 0;
     unsigned benign = 0;
     unsigned silent = 0;    ///< memory corrupted, nothing detected
+    unsigned hung = 0;      ///< no forward progress / cap exceeded
     double latency_sum = 0; ///< fault activation -> first detection
+    unsigned latency_n = 0; ///< trials with a valid latency
 };
-
-/** Golden memory image of @p workload after a fault-free run. */
-std::vector<std::uint8_t>
-goldenImage(const std::string &workload)
-{
-    Simulation sim({workload}, campaignOptions());
-    sim.run();
-    const DataMemory &mem = sim.memory(0);
-    return {mem.data(), mem.data() + mem.size()};
-}
-
-/** Classify one faulted run against @p golden into JobResult::extra. */
-void
-attachClassifier(JobSpec &spec, const std::vector<std::uint8_t> *golden)
-{
-    const Cycle when = spec.faults.at(0).when;
-    spec.post_run = [golden, when](Simulation &sim, const RunResult &r,
-                                   JobResult &res) {
-        const bool corrupted =
-            std::memcmp(sim.memory(0).data(), golden->data(),
-                        golden->size()) != 0;
-        double latency = 0;
-        if (r.detections > 0) {
-            latency = static_cast<double>(
-                sim.chip().redundancy().pair(0).detections().front()
-                    .cycle - when);
-        }
-        res.extra.emplace_back("detected", r.detections > 0 ? 1 : 0);
-        res.extra.emplace_back("corrupted", corrupted ? 1 : 0);
-        res.extra.emplace_back("latency", latency);
-    };
-}
 
 double
 extraValue(const JobResult &r, const char *key)
@@ -94,30 +65,41 @@ extraValue(const JobResult &r, const char *key)
     return 0;
 }
 
-Outcome
+Tally
 tally(const std::vector<JobResult> &results)
 {
-    Outcome out;
+    Tally out;
     for (const JobResult &r : results) {
         if (!r.ok())
             fatal("fault trial '%s' failed: %s", r.label.c_str(),
                   r.error.c_str());
-        if (extraValue(r, "detected") > 0) {
+        if (!r.has_verdict)
+            fatal("fault trial '%s' has no verdict", r.label.c_str());
+        switch (r.verdict) {
+          case FaultVerdict::Detected:
             ++out.detected;
-            out.latency_sum += extraValue(r, "latency");
-        } else if (extraValue(r, "corrupted") > 0) {
+            if (r.detection_latency >= 0) {
+                out.latency_sum += r.detection_latency;
+                ++out.latency_n;
+            }
+            break;
+          case FaultVerdict::Sdc:
             ++out.silent;
-        } else {
+            break;
+          case FaultVerdict::Hang:
+            ++out.hung;
+            break;
+          case FaultVerdict::Masked:
             ++out.benign;
+            break;
         }
     }
     return out;
 }
 
-Outcome
+Tally
 transientRegCampaign(const std::string &workload, unsigned trials,
-                     const std::vector<std::uint8_t> &golden,
-                     unsigned max_reg)
+                     const FaultOracle &oracle, unsigned max_reg)
 {
     CampaignBuilder builder("reg-strikes", 0xFA117 + max_reg);
     builder.base(campaignOptions())
@@ -125,17 +107,16 @@ transientRegCampaign(const std::string &workload, unsigned trials,
         .transientRegTrials(trials, max_reg);
     Campaign campaign = builder.build();
     for (JobSpec &spec : campaign.jobs)
-        attachClassifier(spec, &golden);
+        attachFaultOracle(spec, &oracle);
 
     RunnerConfig cfg;
     cfg.jobs = benchJobs();
     return tally(runCampaign(campaign, cfg));
 }
 
-Outcome
+Tally
 permanentFuCampaign(const std::string &workload, bool psr,
-                    unsigned trials,
-                    const std::vector<std::uint8_t> &golden)
+                    unsigned trials, const FaultOracle &oracle)
 {
     // Same strike distribution as the original sequential campaign:
     // hit every integer/logic unit in turn (ids 0..15, 16..31).
@@ -159,7 +140,7 @@ permanentFuCampaign(const std::string &workload, bool psr,
             i % 2 ? 16 + rng.range(8) : rng.range(8));
         f.mask = std::uint64_t{1} << rng.range(16);
         spec.faults.push_back(f);
-        attachClassifier(spec, &golden);
+        attachFaultOracle(spec, &oracle);
         campaign.jobs.push_back(std::move(spec));
     }
 
@@ -169,12 +150,12 @@ permanentFuCampaign(const std::string &workload, bool psr,
 }
 
 void
-printOutcome(const char *label, const Outcome &o)
+printOutcome(const char *label, const Tally &o)
 {
     std::printf("%-38s detected %3u  benign %3u  SILENT %3u"
-                "  mean latency %6.0f\n",
-                label, o.detected, o.benign, o.silent,
-                o.detected ? o.latency_sum / o.detected : 0.0);
+                "  hung %3u  mean latency %6.0f\n",
+                label, o.detected, o.benign, o.silent, o.hung,
+                o.latency_n ? o.latency_sum / o.latency_n : 0.0);
 }
 
 } // namespace
@@ -190,13 +171,14 @@ main()
     //    file (AVF-style: most strikes land in dead state and are
     //    benign), then restricted to the kernel's live registers.
     for (const char *wl : {"compress", "gcc"}) {
-        const auto golden = goldenImage(wl);
-        const Outcome all = transientRegCampaign(wl, 40, golden,
+        const FaultOracle oracle(
+            FaultOracle::goldenImage({wl}, campaignOptions()));
+        const Tally all = transientRegCampaign(wl, 40, oracle,
                                                  numArchRegs);
         printOutcome((std::string("reg strikes (all regs), ") + wl)
                          .c_str(),
                      all);
-        const Outcome live = transientRegCampaign(wl, 40, golden, 14);
+        const Tally live = transientRegCampaign(wl, 40, oracle, 14);
         printOutcome((std::string("reg strikes (live regs), ") + wl)
                          .c_str(),
                      live);
@@ -207,6 +189,8 @@ main()
 
     // 2. LVQ strikes with and without ECC: ten deterministic strike
     //    cycles per configuration, one job each.
+    const FaultOracle lvq_oracle(
+        FaultOracle::goldenImage({"gcc"}, campaignOptions()));
     for (bool ecc : {true, false}) {
         Campaign campaign;
         campaign.name = "lvq-strikes";
@@ -224,10 +208,8 @@ main()
             f.core = 0;
             f.tid = 0;
             spec.faults.push_back(f);
-            spec.post_run = [](Simulation &sim, const RunResult &r,
+            spec.post_run = [](Simulation &sim, const RunResult &,
                                JobResult &res) {
-                res.extra.emplace_back("detected",
-                                       r.detections > 0 ? 1 : 0);
                 res.extra.emplace_back(
                     "ecc_corrected",
                     static_cast<double>(sim.chip()
@@ -235,6 +217,7 @@ main()
                                             .pair(0)
                                             .lvq.eccCorrections()));
             };
+            attachFaultOracle(spec, &lvq_oracle);
             campaign.jobs.push_back(std::move(spec));
         }
 
@@ -246,7 +229,8 @@ main()
             if (!r.ok())
                 fatal("LVQ trial '%s' failed: %s", r.label.c_str(),
                       r.error.c_str());
-            detected += extraValue(r, "detected") > 0;
+            detected += r.has_verdict &&
+                        r.verdict == FaultVerdict::Detected;
             corrected += static_cast<unsigned>(
                 extraValue(r, "ecc_corrected"));
         }
@@ -258,11 +242,12 @@ main()
 
     // 3. Permanent FU faults: the PSR coverage argument.
     std::printf("\n");
-    const auto golden = goldenImage("applu");
-    const Outcome with_psr = permanentFuCampaign("applu", true, 20,
-                                                 golden);
-    const Outcome no_psr = permanentFuCampaign("applu", false, 20,
-                                               golden);
+    const FaultOracle fu_oracle(
+        FaultOracle::goldenImage({"applu"}, campaignOptions()));
+    const Tally with_psr = permanentFuCampaign("applu", true, 20,
+                                                 fu_oracle);
+    const Tally no_psr = permanentFuCampaign("applu", false, 20,
+                                               fu_oracle);
     printOutcome("permanent FU fault, PSR on", with_psr);
     printOutcome("permanent FU fault, PSR off", no_psr);
     std::printf("\npaper (Section 4.5): PSR makes corresponding "

@@ -7,6 +7,7 @@
 
 #include "cpu/smt_cpu.hh"
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 #include <cstdio>
@@ -26,7 +27,85 @@ chunkFrameEnd(Addr pc)
     return (pc & ~Addr(chunkBytes - 1)) + chunkBytes;
 }
 
+/**
+ * The opcode a single-bit decode strike turns @p op into.  Siblings
+ * stay within the instruction's structural class (an ALU op stays an
+ * ALU op, a store keeps being a store of some width) so the corrupted
+ * instruction still flows through the same pipeline resources — the
+ * fault corrupts the *result*, not the simulator's plumbing.  Two
+ * deliberate exclusions: nothing maps *into* Div/Fdiv (a conjured
+ * divide-by-zero would trap the host, not model a fault), and loads
+ * have no sibling — the LVQ forwards the leading load's value verbatim
+ * to the trailing copy, so a load-width swap would corrupt both copies
+ * identically and be undetectable by construction; those fall back to
+ * an immediate-bit flip (which the LVQ address check *does* see).
+ */
+Op
+decodeSibling(Op op)
+{
+    switch (op) {
+      case Op::Add: return Op::Sub;
+      case Op::Sub: return Op::Add;
+      case Op::Mul: return Op::Add;
+      case Op::Div: return Op::Sub;
+      case Op::AddI: return Op::SltI;
+      case Op::SltI: return Op::AddI;
+      case Op::MulI: return Op::AddI;
+      case Op::Slt: return Op::Sltu;
+      case Op::Sltu: return Op::Slt;
+      case Op::Cmpeq: return Op::Slt;
+      case Op::And: return Op::Or;
+      case Op::Or: return Op::And;
+      case Op::Xor: return Op::And;
+      case Op::AndI: return Op::OrI;
+      case Op::OrI: return Op::AndI;
+      case Op::XorI: return Op::AndI;
+      case Op::Sll: return Op::Srl;
+      case Op::Srl: return Op::Sll;
+      case Op::Sra: return Op::Srl;
+      case Op::SllI: return Op::SrlI;
+      case Op::SrlI: return Op::SllI;
+      case Op::Stb: return Op::Sth;
+      case Op::Sth: return Op::Stb;
+      case Op::Stw: return Op::Stq;
+      case Op::Stq: return Op::Stw;
+      case Op::Fst: return Op::Stw;
+      case Op::Beq: return Op::Bne;
+      case Op::Bne: return Op::Beq;
+      case Op::Blt: return Op::Bge;
+      case Op::Bge: return Op::Blt;
+      case Op::Fadd: return Op::Fsub;
+      case Op::Fsub: return Op::Fadd;
+      case Op::Fmul: return Op::Fadd;
+      case Op::Fdiv: return Op::Fsub;
+      case Op::Fsqrt: return Op::Fneg;
+      case Op::Fneg: return Op::Fsqrt;
+      case Op::Fcmplt: return Op::Fcmpeq;
+      case Op::Fcmpeq: return Op::Fcmplt;
+      case Op::CvtIF: return Op::CvtFI;
+      case Op::CvtFI: return Op::CvtIF;
+      default: return op;     // loads, control transfers without a safe
+                              // sibling, Nop/Halt/MemBar/...: imm flip
+    }
+}
+
 } // namespace
+
+void
+SmtCpu::applyDecodeStrike(ThreadState &t, StaticInst &si)
+{
+    t.decodeStrike = false;
+    if (t.decodeStrikeBit >= 48) {
+        const Op sibling = decodeSibling(si.op);
+        if (sibling != si.op) {
+            si.op = sibling;
+            return;
+        }
+        // No safe opcode sibling: degrade to an immediate strike.
+    }
+    si.imm = static_cast<std::int64_t>(flipBit(
+        static_cast<std::uint64_t>(si.imm), t.decodeStrikeBit % 48));
+}
 
 bool
 SmtCpu::trailingSlackGated(const ThreadState &t) const
@@ -166,6 +245,8 @@ SmtCpu::fetchLeadingChunks(ThreadId tid)
             inst->seq = t.nextSeq++;
             inst->fetchChunkAddr = start;
             inst->fetchCycle = now;
+            if (t.decodeStrike)
+                applyDecodeStrike(t, inst->si);
 
             if (si.isHalt()) {
                 inst->predNextPc = pc;
@@ -311,6 +392,8 @@ SmtCpu::fetchTrailingLpq(ThreadId tid)
             inst->seq = t.nextSeq++;
             inst->fetchChunkAddr = chunk.start;
             inst->fetchCycle = now;
+            if (t.decodeStrike)
+                applyDecodeStrike(t, inst->si);
             inst->leadHalf = chunk.leadHalf[i];
             // The LPQ stream is the prediction: within a chunk the flow
             // is sequential; a chunk-final control instruction's target
@@ -394,6 +477,8 @@ SmtCpu::fetchTrailingBoq(ThreadId tid)
             inst->seq = t.nextSeq++;
             inst->fetchChunkAddr = start;
             inst->fetchCycle = now;
+            if (t.decodeStrike)
+                applyDecodeStrike(t, inst->si);
             inst->predTaken = taken;
             inst->predNextPc =
                 si.isControl() && taken ? target : pc + instBytes;

@@ -8,6 +8,7 @@
 
 #include "cpu/smt_cpu.hh"
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace rmt
@@ -292,6 +293,24 @@ SmtCpu::releaseStores()
                 break;
             }
             mergeBuf.accept(paddr, now);
+            if (t.mergeStrike) {
+                // The functional write already happened at commit; a
+                // merge-buffer strike re-corrupts the coalescing copy
+                // of this store's bytes after the comparator is done
+                // with them.  ECC catches it; without ECC the flip
+                // reaches memory unobserved.
+                t.mergeStrike = false;
+                if (_params.merge_buffer_ecc) {
+                    ++statMergeEccCorrected;
+                } else {
+                    const unsigned size = entry->si.memSize();
+                    const unsigned b = t.mergeStrikeBit % (8 * size);
+                    const std::uint64_t data =
+                        t.mem->read(entry->effAddr, size);
+                    t.mem->write(entry->effAddr, size, flipBit(data, b));
+                    ++statMergeCorruptions;
+                }
+            }
             t.storeLifetime->sample(
                 static_cast<double>(now - entry->sqAllocCycle));
             t.storeLifetimeHist->sample(

@@ -62,7 +62,11 @@ SmtCpu::SmtCpu(const SmtParams &params, MemSystem &mem_system,
                       "instructions fetched from the LPQ chunk stream"),
       statFetchSrcBoq(statGroup, "fetch_src_boq",
                       "instructions fetched on the BOQ/shared-LP "
-                      "trailing front end")
+                      "trailing front end"),
+      statMergeEccCorrected(statGroup, "merge_ecc_corrected",
+                            "merge-buffer strikes corrected by ECC"),
+      statMergeCorruptions(statGroup, "merge_corruptions",
+                           "merge-buffer strikes written to memory")
 {
     if (params.num_threads == 0 || params.num_threads > 4)
         fatal("SmtCpu supports 1-4 hardware threads");
@@ -366,6 +370,62 @@ SmtCpu::injectRegBitFlip(ThreadId tid, RegIndex reg, unsigned bit)
     if (p == invalidPhysReg || p == 0)
         return;
     physRegs[p] = flipBit(physRegs[p], bit);
+}
+
+bool
+SmtCpu::injectSqBitFlip(ThreadId tid, unsigned bit, bool address)
+{
+    ThreadState &t = threads[tid];
+    if (!t.active)
+        return false;
+    for (auto &entry : t.sq) {
+        if (entry->squashed || entry->retired)
+            continue;
+        if (address) {
+            if (!entry->addrReady)
+                continue;
+            entry->effAddr = flipBit(entry->effAddr, bit);
+        } else {
+            if (!entry->dataReady)
+                continue;
+            const unsigned width = 8 * entry->si.memSize();
+            entry->storeData = flipBit(entry->storeData, bit % width);
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+SmtCpu::injectPcBitFlip(ThreadId tid, unsigned bit)
+{
+    ThreadState &t = threads[tid];
+    if (!t.active || t.fetchHalted)
+        return false;
+    t.fetchPc = flipBit(t.fetchPc, bit);
+    return true;
+}
+
+bool
+SmtCpu::armDecodeStrike(ThreadId tid, unsigned bit)
+{
+    ThreadState &t = threads[tid];
+    if (!t.active || t.fetchHalted)
+        return false;
+    t.decodeStrike = true;
+    t.decodeStrikeBit = bit;
+    return true;
+}
+
+bool
+SmtCpu::armMergeStrike(ThreadId tid, unsigned bit)
+{
+    ThreadState &t = threads[tid];
+    if (!t.active)
+        return false;
+    t.mergeStrike = true;
+    t.mergeStrikeBit = bit;
+    return true;
 }
 
 void

@@ -193,6 +193,27 @@ class SmtCpu
     /** Flip bit @p bit of arch register @p reg's current value. */
     void injectRegBitFlip(ThreadId tid, RegIndex reg, unsigned bit);
     RedundantPair *pairOf(ThreadId tid) { return threads[tid].pair; }
+    /**
+     * Flip one bit of the oldest unretired store-queue entry of @p tid
+     * whose victim field is valid (@p address selects the effective
+     * address latch, otherwise the data latch; data strikes are folded
+     * into the store's width).  @return false when no entry is resident
+     * yet, so the injector retries next cycle.
+     */
+    bool injectSqBitFlip(ThreadId tid, unsigned bit, bool address);
+    /** Flip bit @p bit of @p tid's next fetch pc. */
+    bool injectPcBitFlip(ThreadId tid, unsigned bit);
+    /** Corrupt the next instruction @p tid decodes: bit >= 48 swaps the
+     *  opcode for a same-class sibling, lower bits flip an immediate
+     *  bit (one-shot). */
+    bool armDecodeStrike(ThreadId tid, unsigned bit);
+    /** Flip a data bit of the next store @p tid releases into the merge
+     *  buffer (one-shot; corrected when merge_buffer_ecc is set). */
+    bool armMergeStrike(ThreadId tid, unsigned bit);
+    std::uint64_t mergeEccCorrections() const
+    {
+        return statMergeEccCorrected.value();
+    }
 
     // ------------------------------------------------------- recovery
     /** Flush all in-flight state of @p tid and restart it from the
@@ -244,6 +265,12 @@ class SmtCpu
         bool haveExpectedPc = false;
         Addr expectedPc = 0;
 
+        // One-shot armed fault strikes (fault injection).
+        bool decodeStrike = false;
+        unsigned decodeStrikeBit = 0;
+        bool mergeStrike = false;
+        unsigned mergeStrikeBit = 0;
+
         // Interrupts.
         struct PendingInterrupt
         {
@@ -283,6 +310,7 @@ class SmtCpu
 
     // ------------------------------------------------- stage functions
     void fetch();                           // ibox.cc
+    void applyDecodeStrike(ThreadState &t, StaticInst &si);  // ibox.cc
     void fetchLeadingChunks(ThreadId tid);  // ibox.cc
     void fetchTrailingLpq(ThreadId tid);    // ibox.cc
     void fetchTrailingBoq(ThreadId tid);    // ibox.cc
@@ -442,6 +470,8 @@ class SmtCpu
     Counter statFetchSrcLead;
     Counter statFetchSrcLpq;
     Counter statFetchSrcBoq;
+    Counter statMergeEccCorrected;
+    Counter statMergeCorruptions;
 };
 
 } // namespace rmt

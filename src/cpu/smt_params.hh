@@ -111,6 +111,10 @@ struct SmtParams
     // ------------------------------------------------------------ misc
     bool cosim = false;             ///< architectural co-simulation check
     std::uint64_t deadlock_cycles = 50000;  ///< watchdog: no-commit window
+    /** The merge buffer sits outside the sphere of replication: a strike
+     *  there is invisible to output comparison, so it carries ECC by
+     *  default (paper Section 2; disable to measure the exposure). */
+    bool merge_buffer_ecc = true;
 };
 
 } // namespace rmt

@@ -1,5 +1,6 @@
 #include "obs/report.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -281,6 +282,148 @@ formatReport(const CampaignReport &report, const ReportOptions &options)
                   "%u jobs (%u failed), degradation vs mode '%s'\n",
                   report.total_jobs, report.failed_jobs,
                   report.base_mode.c_str());
+    out += line;
+    return out;
+}
+
+CoverageReport
+buildCoverageReport(const std::vector<JsonValue> &records)
+{
+    CoverageReport report;
+    auto kindRow = [&](const std::string &kind) -> CoverageKindRow & {
+        for (CoverageKindRow &row : report.kinds) {
+            if (row.kind == kind)
+                return row;
+        }
+        report.kinds.emplace_back();
+        report.kinds.back().kind = kind;
+        return report.kinds.back();
+    };
+
+    for (const JsonValue &rec : records) {
+        ++report.total_jobs;
+
+        std::string kind = "none";
+        if (const JsonValue *faults = rec.find("faults");
+            faults && faults->isArray() && !faults->array().empty()) {
+            kind = faults->array().front().strOr("kind", "?");
+        }
+        CoverageKindRow &row = kindRow(kind);
+
+        if (rec.strOr("status", "failed") != "ok") {
+            ++row.failed;
+            continue;
+        }
+        const std::string verdict = rec.strOr("verdict", "");
+        if (verdict.empty()) {
+            ++report.unclassified;
+            continue;
+        }
+        ++row.trials;
+        if (verdict == "masked")
+            ++row.masked;
+        else if (verdict == "detected")
+            ++row.detected;
+        else if (verdict == "sdc")
+            ++row.sdc;
+        else if (verdict == "hang")
+            ++row.hang;
+
+        const double latency = rec.numberOr("detection_latency", -1);
+        if (latency >= 0) {
+            row.mean_latency =
+                (std::max(row.mean_latency, 0.0) * row.latency_n +
+                 latency) /
+                (row.latency_n + 1);
+            ++row.latency_n;
+            unsigned bucket = kCoverageHistogramSize - 1;
+            for (unsigned i = 0; i < kCoverageHistogramSize - 1; ++i) {
+                if (latency < kCoverageLatencyBuckets[i]) {
+                    bucket = i;
+                    break;
+                }
+            }
+            ++row.histogram[bucket];
+        }
+    }
+
+    for (CoverageKindRow &row : report.kinds) {
+        const unsigned unmasked = row.trials - row.masked;
+        if (unmasked)
+            row.detection_rate =
+                static_cast<double>(row.detected) / unmasked;
+    }
+    return report;
+}
+
+std::string
+formatCoverageReport(const CoverageReport &report)
+{
+    std::string out;
+    char line[200];
+
+    std::snprintf(line, sizeof(line),
+                  "%-6s %6s %5s %7s %9s %5s %5s %8s %9s\n", "kind",
+                  "trials", "fail", "masked", "detected", "sdc",
+                  "hang", "det-rate", "mean-lat");
+    out += line;
+    for (const CoverageKindRow &row : report.kinds) {
+        std::string rate = "-", lat = "-";
+        char buf[32];
+        if (row.detection_rate >= 0) {
+            std::snprintf(buf, sizeof(buf), "%.0f%%",
+                          row.detection_rate * 100);
+            rate = buf;
+        }
+        if (row.latency_n) {
+            std::snprintf(buf, sizeof(buf), "%.1f", row.mean_latency);
+            lat = buf;
+        }
+        std::snprintf(line, sizeof(line),
+                      "%-6s %6u %5u %7u %9u %5u %5u %8s %9s\n",
+                      row.kind.c_str(), row.trials, row.failed,
+                      row.masked, row.detected, row.sdc, row.hang,
+                      rate.c_str(), lat.c_str());
+        out += line;
+    }
+
+    // Latency histogram, one row per kind that has any latencies.
+    bool any_latency = false;
+    for (const CoverageKindRow &row : report.kinds)
+        any_latency = any_latency || row.latency_n > 0;
+    if (any_latency) {
+        out += "\ndetection-latency histogram (cycles)\n";
+        std::string header = "kind  ";
+        unsigned lo = 0;
+        for (unsigned i = 0; i < kCoverageHistogramSize; ++i) {
+            char buf[32];
+            if (i + 1 < kCoverageHistogramSize) {
+                std::snprintf(buf, sizeof(buf), " %5u-%-5u", lo,
+                              kCoverageLatencyBuckets[i] - 1);
+                lo = kCoverageLatencyBuckets[i];
+            } else {
+                std::snprintf(buf, sizeof(buf), " %5u+     ", lo);
+            }
+            header += buf;
+        }
+        out += header + "\n";
+        for (const CoverageKindRow &row : report.kinds) {
+            if (!row.latency_n)
+                continue;
+            std::snprintf(line, sizeof(line), "%-6s", row.kind.c_str());
+            out += line;
+            for (unsigned i = 0; i < kCoverageHistogramSize; ++i) {
+                std::snprintf(line, sizeof(line), " %11u",
+                              row.histogram[i]);
+                out += line;
+            }
+            out += "\n";
+        }
+    }
+
+    std::snprintf(line, sizeof(line),
+                  "%u jobs (%u without verdict)\n", report.total_jobs,
+                  report.unclassified);
     out += line;
     return out;
 }

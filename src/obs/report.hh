@@ -63,6 +63,38 @@ struct CampaignReport
     std::vector<ReportMixRow> mixes;        ///< mix-major order
 };
 
+/** Upper bounds (exclusive) of the detection-latency histogram; the
+ *  last bucket is open-ended. */
+inline constexpr unsigned kCoverageLatencyBuckets[] =
+    {64, 256, 1024, 4096, 16384};
+inline constexpr unsigned kCoverageHistogramSize =
+    sizeof(kCoverageLatencyBuckets) / sizeof(unsigned) + 1;
+
+/** Aggregate of all classified trials sharing one fault kind. */
+struct CoverageKindRow
+{
+    std::string kind;               ///< faults[0].kind ("reg", "sqd"...)
+    unsigned trials = 0;            ///< classified ok jobs
+    unsigned failed = 0;            ///< failed / rejected jobs
+    unsigned masked = 0;
+    unsigned detected = 0;
+    unsigned sdc = 0;
+    unsigned hang = 0;
+    /** detected / (trials - masked); negative when nothing unmasked. */
+    double detection_rate = -1;
+    /** Mean over trials with a valid latency; negative when none. */
+    double mean_latency = -1;
+    unsigned latency_n = 0;
+    unsigned histogram[kCoverageHistogramSize] = {};
+};
+
+struct CoverageReport
+{
+    unsigned total_jobs = 0;
+    unsigned unclassified = 0;      ///< ok jobs without a verdict field
+    std::vector<CoverageKindRow> kinds;     ///< first-seen order
+};
+
 /** Parse the lines of a .jsonl stream; malformed lines are skipped
  *  and counted in @p bad_lines. */
 std::vector<JsonValue> parseJsonlLines(
@@ -75,6 +107,20 @@ CampaignReport buildReport(const std::vector<JsonValue> &records,
 /** Render as aligned, human-readable tables. */
 std::string formatReport(const CampaignReport &report,
                          const ReportOptions &options);
+
+/**
+ * Aggregate fault-campaign records by the kind of their first fault:
+ * verdict tallies, detection rate over unmasked trials, mean detection
+ * latency and a fixed-bucket latency histogram.  Records without a
+ * "faults" array are counted under kind "none"; ok records without a
+ * "verdict" (campaign ran without a FaultOracle) are only counted in
+ * CoverageReport::unclassified.
+ */
+CoverageReport buildCoverageReport(
+    const std::vector<JsonValue> &records);
+
+/** Render the per-kind coverage table. */
+std::string formatCoverageReport(const CoverageReport &report);
 
 } // namespace rmt
 

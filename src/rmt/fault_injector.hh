@@ -2,14 +2,28 @@
  * @file
  * Deterministic fault injection (paper Sections 2, 4.5).
  *
- * Models the fault classes the paper's mechanisms are designed to
- * catch:
+ * Models one fault class per hardware structure of the sphere of
+ * replication and its boundary, so coverage can be measured per
+ * structure rather than asserted:
  *
  *  - transient single-bit flips in architectural register values inside
- *    the sphere of replication (cosmic-ray strike on a register file or
- *    latch) — caught by output comparison at the store comparator;
+ *    the sphere (cosmic-ray strike on a register file or latch) —
+ *    caught by output comparison at the store comparator;
  *  - transient flips in LVQ data — outside the redundant computation,
  *    so they must be caught (or corrected) by the LVQ's ECC;
+ *  - store-queue data/address strikes on an unretired entry — the
+ *    corrupted store is compared against the other copy's, so SRT/CRT
+ *    detect it while the base machine silently corrupts memory;
+ *  - LPQ chunk-address and BOQ outcome corruption — wrong predictions
+ *    steer the trailing fetch off the leading path, caught by the
+ *    committed-stream divergence check (or corrected by optional ECC);
+ *  - PC strikes on a thread's next-fetch address — control-flow faults
+ *    that end in divergence detection or a hang (watchdog territory);
+ *  - decode corruption (immediate bit flip or opcode substitution) of
+ *    the next instruction one thread decodes — a fetch/decode latch
+ *    strike inside the sphere;
+ *  - merge-buffer data strikes on a released (post-comparison) store —
+ *    outside the sphere, so the merge buffer must carry ECC;
  *  - permanent stuck-at faults in a functional unit — caught only when
  *    the redundant copies execute on *different* units, which is what
  *    preferential space redundancy guarantees.
@@ -19,6 +33,7 @@
 #define RMTSIM_RMT_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/random.hh"
@@ -37,12 +52,20 @@ struct FaultRecord
         TransientReg,       ///< flip one bit of one arch register value
         TransientLvq,       ///< flip one bit of a resident LVQ entry
         PermanentFu,        ///< stuck-at fault in one functional unit
+        TransientSqData,    ///< flip one data bit of an unretired SQ entry
+        TransientSqAddr,    ///< flip one address bit of an unretired SQ entry
+        TransientLpq,       ///< flip one bit of a resident LPQ chunk address
+        TransientBoq,       ///< flip one bit of the front BOQ outcome
+        TransientPc,        ///< flip one bit of a thread's next fetch pc
+        TransientDecode,    ///< corrupt the next decoded instruction
+        TransientMergeBuffer,   ///< flip one data bit of the next store
+                                ///< accepted into the merge buffer
     };
 
     Kind kind;
     Cycle when = 0;             ///< activation cycle
     CoreId core = 0;
-    ThreadId tid = 0;           ///< TransientReg: victim thread
+    ThreadId tid = 0;           ///< victim thread (most transient kinds)
     RegIndex reg = 0;           ///< TransientReg: victim register
     unsigned bit = 0;           ///< bit position to flip
     unsigned fuIndex = 0;       ///< PermanentFu: victim unit (global id)
@@ -51,12 +74,63 @@ struct FaultRecord
     bool applied = false;
 };
 
+/** Short stable name for a fault kind ("reg", "sqd", ...), used by the
+ *  CLI `--fault` syntax and the campaign JSONL. */
+const char *faultKindName(FaultRecord::Kind kind);
+
+/**
+ * Parse a CLI fault spec `kind:cycle:core:tid:reg:bit`, where trailing
+ * fields irrelevant to the kind may be omitted:
+ *
+ *   reg:CYCLE:CORE:TID:REG:BIT    register value strike
+ *   lvq:CYCLE:CORE:TID            LVQ data strike (pair of TID)
+ *   fu:CYCLE:CORE:UNIT:MASKBIT    permanent stuck-at FU fault
+ *   sqd:CYCLE:CORE:TID:BIT        store-queue data strike
+ *   sqa:CYCLE:CORE:TID:BIT        store-queue address strike
+ *   lpq:CYCLE:CORE:TID:BIT        LPQ chunk-address strike
+ *   boq:CYCLE:CORE:TID:BIT        BOQ outcome strike
+ *   pc:CYCLE:CORE:TID:BIT         fetch-pc strike
+ *   dec:CYCLE:CORE:TID:BIT        decode corruption (bit >= 48: opcode)
+ *   mb:CYCLE:CORE:TID:BIT         merge-buffer data strike
+ *
+ * The legacy 2-field forms `reg:CYCLE:TID:REG:BIT`, `lvq:CYCLE:TID`,
+ * and `fu:CYCLE:UNIT:MASKBIT` (implicit core 0) are still accepted.
+ * Throws std::invalid_argument on malformed input.
+ */
+FaultRecord parseFaultSpec(const std::string &spec);
+
+/**
+ * What the injector needs to know about the machine to validate fault
+ * records at schedule() time.  Filled in by Simulation once the chip is
+ * built; a default-constructed shape (cores == 0) disables the
+ * machine-dependent checks (bare-injector unit tests).
+ */
+struct FaultMachineShape
+{
+    unsigned cores = 0;
+    unsigned threads = 0;       ///< hardware contexts per core
+    unsigned pairs = 0;         ///< redundant pairs on the chip
+    unsigned int_units_per_half = 4;
+    unsigned logic_units_per_half = 4;
+    unsigned mem_units_per_half = 2;
+    unsigned fp_units_per_half = 2;
+};
+
 class FaultInjector
 {
   public:
     explicit FaultInjector(std::uint64_t seed = 1) : rng(seed) {}
 
-    void schedule(const FaultRecord &fault) { faults.push_back(fault); }
+    /** Provide the machine shape used to validate scheduled records. */
+    void configure(const FaultMachineShape &machine) { shape = machine; }
+
+    /**
+     * Schedule @p fault, validating it first (register index in range,
+     * bit < 64, FU index names an existing unit, core/thread/pair
+     * exist).  Throws std::invalid_argument with a descriptive message
+     * on a record that could never apply.
+     */
+    void schedule(const FaultRecord &fault);
 
     /**
      * Apply transient faults due at @p now to @p cpu (and its pairs).
@@ -77,8 +151,13 @@ class FaultInjector
 
     unsigned transientsApplied() const { return applied; }
 
+    const std::vector<FaultRecord> &scheduled() const { return faults; }
+
   private:
+    void validate(const FaultRecord &fault) const;
+
     std::vector<FaultRecord> faults;
+    FaultMachineShape shape;
     Random rng;
     unsigned applied = 0;
 };

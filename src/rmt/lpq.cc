@@ -1,19 +1,25 @@
 #include "rmt/lpq.hh"
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace rmt
 {
 
-Lpq::Lpq(unsigned capacity, std::string name)
+Lpq::Lpq(unsigned capacity, std::string name, bool ecc)
     : capacity(capacity),
+      eccProtected(ecc),
       statGroup(std::move(name)),
       statPushes(statGroup, "pushes", "chunks forwarded from retirement"),
       statAcks(statGroup, "acks", "chunks accepted by the address driver"),
       statRollbacks(statGroup, "rollbacks",
                     "active-head rollbacks (I-cache misses)"),
       statFullStalls(statGroup, "full_stalls",
-                     "leading retire stalls on full LPQ")
+                     "leading retire stalls on full LPQ"),
+      statEccCorrected(statGroup, "ecc_corrected",
+                       "injected strikes corrected by ECC"),
+      statCorruptions(statGroup, "corruptions",
+                      "injected strikes that corrupted a chunk address")
 {
 }
 
@@ -67,6 +73,20 @@ Lpq::rollback()
     if (activeOffset != 0)
         ++statRollbacks;
     activeOffset = 0;
+}
+
+bool
+Lpq::injectAddrBitFlip(unsigned bit)
+{
+    if (activeOffset >= chunks.size())
+        return false;
+    if (eccProtected) {
+        ++statEccCorrected;
+        return true;
+    }
+    chunks[activeOffset].start = flipBit(chunks[activeOffset].start, bit);
+    ++statCorruptions;
+    return true;
 }
 
 } // namespace rmt

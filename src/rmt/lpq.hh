@@ -44,7 +44,7 @@ struct LpqChunk
 class Lpq
 {
   public:
-    Lpq(unsigned capacity, std::string name);
+    Lpq(unsigned capacity, std::string name, bool ecc = false);
 
     // ------------------------------------------------- write (QBOX) side
     bool full() const { return chunks.size() >= capacity; }
@@ -80,10 +80,21 @@ class Lpq
     std::size_t unread() const { return chunks.size() - activeOffset; }
     std::size_t entries() const { return capacity; }
 
+    /**
+     * Fault injection: flip bit @p bit of the next unfetched chunk's
+     * start address, steering the trailing front end to the wrong line.
+     * ECC-protected queues correct the strike in place.  @return false
+     * when no unread chunk is resident (injector retries next cycle).
+     */
+    bool injectAddrBitFlip(unsigned bit);
+
+    std::uint64_t eccCorrections() const { return statEccCorrected.value(); }
+
     StatGroup &stats() { return statGroup; }
 
   private:
     unsigned capacity;
+    bool eccProtected;
     std::deque<LpqChunk> chunks;    ///< front = recovery head
     std::size_t activeOffset = 0;   ///< active head - recovery head
 
@@ -92,6 +103,8 @@ class Lpq
     Counter statAcks;
     Counter statRollbacks;
     Counter statFullStalls;
+    Counter statEccCorrected;
+    Counter statCorruptions;
 };
 
 } // namespace rmt

@@ -1,5 +1,6 @@
 #include "rmt/redundancy.hh"
 
+#include "common/bits.hh"
 #include "common/logging.hh"
 
 namespace rmt
@@ -19,7 +20,8 @@ pairName(LogicalId logical, const char *suffix)
 RedundantPair::RedundantPair(const RedundantPairParams &params)
     : lvq(params.lvq_entries, params.lvq_ecc, pairName(params.logical,
                                                        "lvq")),
-      lpq(params.lpq_entries, pairName(params.logical, "lpq")),
+      lpq(params.lpq_entries, pairName(params.logical, "lpq"),
+          params.lpq_ecc),
       comparator(pairName(params.logical, "storecmp")),
       _params(params),
       statGroup(pairName(params.logical, "pair")),
@@ -32,7 +34,11 @@ RedundantPair::RedundantPair(const RedundantPairParams &params)
       statFuSame(statGroup, "fu_same",
                  "pairs that used the same functional unit"),
       statPsrForced(statGroup, "psr_forced_same_half",
-                    "trailing instructions forced into the leading half")
+                    "trailing instructions forced into the leading half"),
+      statBoqEccCorrected(statGroup, "boq_ecc_corrected",
+                          "injected BOQ strikes corrected by ECC"),
+      statBoqCorruptions(statGroup, "boq_corruptions",
+                         "injected BOQ strikes that corrupted an outcome")
 {
 }
 
@@ -111,6 +117,20 @@ bool
 RedundantPair::boqFrontAvailable(Cycle now) const
 {
     return !boq.empty() && now >= boq.front().availableAt;
+}
+
+bool
+RedundantPair::injectBoqBitFlip(unsigned bit)
+{
+    if (boq.empty())
+        return false;
+    if (_params.boq_ecc) {
+        ++statBoqEccCorrected;
+        return true;
+    }
+    boq.front().target = flipBit(boq.front().target, bit);
+    ++statBoqCorruptions;
+    return true;
 }
 
 void

@@ -77,6 +77,8 @@ struct RedundantPairParams
     unsigned lpq_entries = 32;
     unsigned boq_entries = 512;
     bool lvq_ecc = true;
+    bool lpq_ecc = false;   ///< corruption is caught by divergence anyway
+    bool boq_ecc = false;
     unsigned forward_latency_lpq = 4;   ///< QBOX -> IBOX
     unsigned forward_latency_lvq = 2;   ///< QBOX -> MBOX
     unsigned cross_core_latency = 0;    ///< extra when leading/trailing
@@ -206,6 +208,19 @@ class RedundantPair
     void boqPop() { boq.pop_front(); }
     bool boqFull() const { return boq.size() >= _params.boq_entries; }
 
+    /**
+     * Fault injection: flip bit @p bit of the front BOQ entry's branch
+     * target, steering the trailing fetch off the leading path.  ECC
+     * corrects it in place.  @return false when the BOQ is empty (the
+     * injector retries next cycle).
+     */
+    bool injectBoqBitFlip(unsigned bit);
+
+    std::uint64_t boqEccCorrections() const
+    {
+        return statBoqEccCorrected.value();
+    }
+
     /** Flush every sphere-crossing structure and rewind the pair's
      *  counters to @p ckpt (fault recovery). */
     void resetForRecovery(const RecoveryCheckpoint &ckpt);
@@ -264,6 +279,8 @@ class RedundantPair
     Counter statFuPairs;
     Counter statFuSame;
     Counter statPsrForced;
+    Counter statBoqEccCorrected;
+    Counter statBoqCorruptions;
 };
 
 /** Registry of pairs for one chip; maps hardware threads to pairs. */

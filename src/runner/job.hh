@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "rmt/fault_injector.hh"
+#include "rmt/fault_oracle.hh"
 #include "sim/simulator.hh"
 
 namespace rmt
@@ -80,6 +81,11 @@ struct JobResult
     /** Extra named metrics from JobSpec::post_run (kept ordered so
      *  serialised output is deterministic). */
     std::vector<std::pair<std::string, double>> extra;
+
+    /** Fault-oracle classification (attachFaultOracle campaigns). */
+    bool has_verdict = false;
+    FaultVerdict verdict = FaultVerdict::Masked;
+    double detection_latency = -1;  ///< cycles; negative = no detection
 
     bool ok() const { return status == JobStatus::Ok; }
 };

@@ -80,6 +80,10 @@ optionsJson(const SimOptions &o)
        << ",\"frontend\":\"" << frontendName(o.trailing_fetch) << "\""
        << ",\"slack\":" << o.slack_fetch
        << ",\"lvq_ecc\":" << (o.lvq_ecc ? 1 : 0)
+       << ",\"lpq_ecc\":" << (o.lpq_ecc ? 1 : 0)
+       << ",\"boq_ecc\":" << (o.boq_ecc ? 1 : 0)
+       << ",\"merge_ecc\":" << (o.merge_buffer_ecc ? 1 : 0)
+       << ",\"hang\":" << o.hang_cycles
        << ",\"storeq\":" << o.cpu.store_queue_entries
        << ",\"lvq\":" << o.cpu.lvq_entries
        << ",\"lpq\":" << o.cpu.lpq_entries
@@ -117,6 +121,23 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
        << ",\"fingerprint\":\"" << fnvFingerprint(canon) << "\""
        << ",\"status\":\"" << (r.ok() ? "ok" : "failed") << "\""
        << ",\"attempts\":" << r.attempts;
+    if (!spec.faults.empty()) {
+        os << ",\"faults\":[";
+        for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+            const FaultRecord &f = spec.faults[i];
+            if (i)
+                os << ",";
+            os << "{\"kind\":\"" << faultKindName(f.kind) << "\""
+               << ",\"when\":" << f.when
+               << ",\"core\":" << unsigned(f.core)
+               << ",\"tid\":" << unsigned(f.tid)
+               << ",\"reg\":" << unsigned(f.reg)
+               << ",\"bit\":" << f.bit
+               << ",\"fu\":" << f.fuIndex
+               << ",\"pair\":" << unsigned(f.pairLogical) << "}";
+        }
+        os << "]";
+    }
     if (!r.ok()) {
         os << ",\"error\":\"" << jsonEscape(r.error) << "\""
            << ",\"timed_out\":" << (r.timed_out ? "true" : "false");
@@ -129,6 +150,7 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
     if (r.ok()) {
         const RunResult &run = r.run;
         os << ",\"completed\":" << (run.completed ? "true" : "false")
+           << ",\"outcome\":\"" << outcomeName(run.outcome) << "\""
            << ",\"total_cycles\":" << run.total_cycles
            << ",\"threads\":[";
         for (std::size_t i = 0; i < run.threads.size(); ++i) {
@@ -151,6 +173,13 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
            << ",\"lvq_full_stalls\":" << run.lvq_full_stalls
            << ",\"branch_mispredicts\":" << run.branch_mispredicts
            << ",\"line_mispredicts\":" << run.line_mispredicts;
+        if (r.has_verdict) {
+            os << ",\"verdict\":\"" << verdictName(r.verdict) << "\"";
+            if (r.detection_latency >= 0) {
+                os << ",\"detection_latency\":"
+                   << num(r.detection_latency);
+            }
+        }
         if (r.mean_efficiency >= 0) {
             os << ",\"mean_efficiency\":" << num(r.mean_efficiency)
                << ",\"efficiencies\":[";

@@ -133,6 +133,27 @@ executeJob(const JobSpec &spec, const RunnerConfig &config)
     return result;
 }
 
+void
+attachFaultOracle(JobSpec &spec, const FaultOracle *oracle)
+{
+    const FaultRecord fault =
+        spec.faults.empty() ? FaultRecord{} : spec.faults.front();
+    auto prev = std::move(spec.post_run);
+    spec.post_run = [oracle, fault, prev](Simulation &sim,
+                                          const RunResult &run,
+                                          JobResult &res) {
+        if (prev)
+            prev(sim, run, res);
+        const FaultTrialReport report = oracle->classify(sim, run, fault);
+        res.has_verdict = true;
+        res.verdict = report.verdict;
+        res.detection_latency =
+            report.latency_valid
+                ? static_cast<double>(report.detection_latency)
+                : -1;
+    };
+}
+
 std::vector<JobResult>
 runCampaign(const Campaign &campaign, const RunnerConfig &config)
 {

@@ -53,6 +53,15 @@ void validateJobSpec(const JobSpec &spec);
 /** Run one job inline (validation, guards, post_run, efficiency). */
 JobResult executeJob(const JobSpec &spec, const RunnerConfig &config);
 
+/**
+ * Chain a FaultOracle classification onto @p spec's post_run hook: the
+ * JobResult gains has_verdict/verdict/detection_latency, attributed to
+ * the spec's first scheduled fault.  Call *after* spec.faults is
+ * populated; @p oracle must outlive the campaign.  Any previously
+ * installed post_run hook still runs (first).
+ */
+void attachFaultOracle(JobSpec &spec, const FaultOracle *oracle);
+
 /** Run all jobs; returns results indexed by job id. */
 std::vector<JobResult> runCampaign(const Campaign &campaign,
                                    const RunnerConfig &config);

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/json.hh"
@@ -22,6 +23,18 @@ modeName(SimMode mode)
     return "?";
 }
 
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Completed:             return "completed";
+      case Outcome::Hang:                  return "hang";
+      case Outcome::DetectedUnrecoverable: return "detected_unrecoverable";
+      case Outcome::CapExceeded:           return "cap_exceeded";
+    }
+    return "?";
+}
+
 namespace
 {
 
@@ -35,7 +48,16 @@ coreParams(const SimOptions &opts)
     p.trailing_fetch = opts.trailing_fetch;
     p.slack_fetch = opts.slack_fetch;
     p.lvq_ecc = opts.lvq_ecc;
+    p.merge_buffer_ecc = opts.merge_buffer_ecc;
     p.cosim = opts.cosim;
+    // The simulation-level watchdog must fire before the core's
+    // process-killing deadlock backstop so a hang becomes a structured
+    // verdict, not a panic.
+    if (opts.hang_cycles) {
+        p.deadlock_cycles = std::max<std::uint64_t>(p.deadlock_cycles,
+                                                    opts.hang_cycles +
+                                                        10000);
+    }
     return p;
 }
 
@@ -75,6 +97,16 @@ Simulation::Simulation(const std::vector<std::string> &workload_names,
         buildCrt();
         break;
     }
+
+    FaultMachineShape shape;
+    shape.cores = _chip->numCores();
+    shape.threads = _chip->cpu(0).numThreads();
+    shape.pairs = static_cast<unsigned>(_chip->redundancy().numPairs());
+    shape.int_units_per_half = opts.cpu.int_units_per_half;
+    shape.logic_units_per_half = opts.cpu.logic_units_per_half;
+    shape.mem_units_per_half = opts.cpu.mem_units_per_half;
+    shape.fp_units_per_half = opts.cpu.fp_units_per_half;
+    injector.configure(shape);
 
     if (opts.timeline_interval > 0) {
         TimelineConfig tc;
@@ -162,6 +194,8 @@ Simulation::buildSrt()
         pp.lvq_entries = cp.cpu.lvq_entries;
         pp.lpq_entries = cp.cpu.lpq_entries;
         pp.lvq_ecc = cp.cpu.lvq_ecc;
+        pp.lpq_ecc = opts.lpq_ecc;
+        pp.boq_ecc = opts.boq_ecc;
         pp.forward_latency_lpq = cp.cpu.lpq_forward_latency;
         pp.forward_latency_lvq = cp.cpu.lvq_forward_latency;
         pp.cross_core_latency = 0;
@@ -227,6 +261,8 @@ Simulation::buildCrt()
         pp.lvq_entries = cp.cpu.lvq_entries;
         pp.lpq_entries = cp.cpu.lpq_entries;
         pp.lvq_ecc = cp.cpu.lvq_ecc;
+        pp.lpq_ecc = opts.lpq_ecc;
+        pp.boq_ecc = opts.boq_ecc;
         pp.forward_latency_lpq = cp.cpu.lpq_forward_latency;
         pp.forward_latency_lvq = cp.cpu.lvq_forward_latency;
         pp.cross_core_latency = cp.cpu.cross_core_latency;
@@ -288,16 +324,57 @@ Simulation::run()
         return true;
     };
 
+    // Forward-progress watchdog: every live hardware thread (including
+    // Base2 copies that have no placement entry) must commit within any
+    // hang_cycles window, else the run ends with a structured Hang
+    // verdict instead of spinning to the cap.
+    struct ProgressWatch
+    {
+        CoreId core;
+        ThreadId tid;
+        std::uint64_t committed;
+        Cycle last;
+    };
+    std::vector<ProgressWatch> watch;
+    if (opts.hang_cycles) {
+        for (unsigned c = 0; c < _chip->numCores(); ++c) {
+            SmtCpu &cpu = _chip->cpu(c);
+            for (unsigned t = 0; t < cpu.numThreads(); ++t) {
+                if (cpu.threadActive(static_cast<ThreadId>(t))) {
+                    watch.push_back(ProgressWatch{
+                        static_cast<CoreId>(c), static_cast<ThreadId>(t),
+                        cpu.committed(static_cast<ThreadId>(t)), 0});
+                }
+            }
+        }
+    }
+
     WallTimer run_timer;
     double warmup_seconds = 0;
     bool in_warmup = opts.warmup_insts > 0;
+    bool hung = false;
     Cycle n = 0;
-    while (n < cap && !_chip->allDone()) {
+    while (n < cap && !_chip->allDone() && !hung) {
         _chip->tick();
         ++n;
         if (in_warmup && pastWarmup()) {
             warmup_seconds = run_timer.lap();
             in_warmup = false;
+        }
+        for (auto &w : watch) {
+            SmtCpu &cpu = _chip->cpu(w.core);
+            if (cpu.threadDone(w.tid)) {
+                w.last = n;
+                continue;
+            }
+            const std::uint64_t done = cpu.committed(w.tid);
+            if (done != w.committed) {
+                w.committed = done;
+                w.last = n;
+            } else if (n - w.last >= opts.hang_cycles) {
+                hung = true;
+                break;
+            }
         }
     }
     // Drain: forwarded outputs may still be in flight (Chip::run).
@@ -314,7 +391,6 @@ Simulation::run()
     result.host.warmup_seconds = warmup_seconds;
     result.host.measure_seconds = measure_seconds;
     result.total_cycles = _chip->cycle();
-    result.completed = _chip->allDone();
 
     for (unsigned i = 0; i < workloads.size(); ++i) {
         const Placement &pl = placements[i];
@@ -361,6 +437,33 @@ Simulation::run()
     if (lifetime_n)
         result.avg_leading_store_lifetime = lifetime_sum / lifetime_n;
 
+    // Structured verdict.  "Reached" asks whether every logical thread
+    // hit its instruction target: a chip can be allDone() short of the
+    // target when a fault steered a thread into an early Halt, which is
+    // not a completed run.
+    bool reached = true;
+    for (const Placement &pl : placements) {
+        if (_chip->cpu(pl.lead_core).committed(pl.lead_tid) < per_thread)
+            reached = false;
+        if (pl.redundant &&
+            _chip->cpu(pl.trail_core).committed(pl.trail_tid) <
+                per_thread) {
+            reached = false;
+        }
+    }
+    if (hung) {
+        result.outcome = result.detections ? Outcome::DetectedUnrecoverable
+                                           : Outcome::Hang;
+    } else if (!_chip->allDone()) {
+        result.outcome = Outcome::CapExceeded;
+    } else if (reached) {
+        result.outcome = Outcome::Completed;
+    } else {
+        result.outcome = result.detections ? Outcome::DetectedUnrecoverable
+                                           : Outcome::Hang;
+    }
+    result.completed = result.outcome == Outcome::Completed;
+
     std::uint64_t committed_total = 0;
     for (unsigned c = 0; c < _chip->numCores(); ++c)
         committed_total += _chip->cpu(c).committedAll();
@@ -396,6 +499,7 @@ Simulation::statsJson(const RunResult &result)
     os << statsJsonPrefix
        << "\"total_cycles\":" << result.total_cycles
        << ",\"completed\":" << (result.completed ? "true" : "false")
+       << ",\"outcome\":\"" << outcomeName(result.outcome) << "\""
        << ",\"host\":" << result.host.json()
        << ",\"groups\":" << chipStatsJson(*_chip) << "}";
     return os.str();

@@ -50,6 +50,16 @@ struct SimOptions
         TrailingFetchMode::LinePredictionQueue;
     unsigned slack_fetch = 0;
     bool lvq_ecc = true;
+    bool lpq_ecc = false;                   ///< LPQ chunk-address ECC
+    bool boq_ecc = false;                   ///< BOQ outcome ECC
+    bool merge_buffer_ecc = true;           ///< out-of-sphere store path
+    /**
+     * Forward-progress watchdog: if any participating hardware thread
+     * goes this many cycles without committing while still live, the
+     * run aborts with Outcome::Hang instead of spinning to the safety
+     * cap.  0 disables the watchdog.
+     */
+    std::uint64_t hang_cycles = 20000;
     bool cosim = false;                     ///< architectural checking
     bool recovery = false;                  ///< checkpoint fault recovery
     RecoveryParams recovery_params{};       ///< when recovery is on
@@ -61,6 +71,22 @@ struct SimOptions
     std::size_t timeline_max_samples = 65536;   ///< ring cap (0 = unbounded)
     bool collect_stats_json = false;        ///< fill RunResult::stats_json
 };
+
+/**
+ * How a run ended.  Replaces the old completed/not-completed split with
+ * a structured verdict so fault campaigns never exit through the raw
+ * instruction cap without classification.
+ */
+enum class Outcome : std::uint8_t
+{
+    Completed,      ///< every logical thread reached its target
+    Hang,           ///< forward-progress watchdog fired, no detection
+    DetectedUnrecoverable,  ///< stopped short *with* a recorded detection
+    CapExceeded,    ///< safety cap hit with the watchdog disabled
+};
+
+/** Printable name of an outcome ("completed", "hang", ...). */
+const char *outcomeName(Outcome outcome);
 
 /** Outcome of one logical thread. */
 struct ThreadResult
@@ -76,6 +102,7 @@ struct RunResult
     std::vector<ThreadResult> threads;
     Cycle total_cycles = 0;
     bool completed = false;         ///< all threads reached their target
+    Outcome outcome = Outcome::CapExceeded;     ///< set by run()
 
     // RMT aggregates (Srt/Crt modes).
     std::uint64_t detections = 0;

@@ -1,12 +1,14 @@
 #!/bin/sh
 # Tier-1 gate plus the sanitizer and perf passes, in one command:
 #
-#   tools/check.sh            # build + full ctest, then TSan and ASan
-#                             # on the `sanitize`-labelled tests, then
-#                             # the perf smoke (KIPS regression gate)
-#   tools/check.sh --fast     # tier-1 only (skip sanitizers + perf)
+#   tools/check.sh            # build + full ctest, then TSan, ASan and
+#                             # UBSan on the `sanitize`-labelled tests,
+#                             # the perf smoke (KIPS regression gate),
+#                             # and the whole-sphere fault smoke
+#                             # (zero-SDC gate)
+#   tools/check.sh --fast     # tier-1 only (skip sanitizers + smokes)
 #
-# Uses build/ for the normal tree and build-tsan/ / build-asan/ for the
+# Uses build/ for the normal tree and build-{tsan,asan,ubsan}/ for the
 # instrumented ones so the configurations never fight over a cache.
 set -e
 
@@ -39,6 +41,13 @@ cmake --build build-asan -j "$jobs"
 echo "== sanitize: ctest -L sanitize (ASan, pool allocator) =="
 ctest --test-dir build-asan -j "$jobs" -L sanitize --output-on-failure
 
+echo "== sanitize: undefined-behavior-sanitizer build =="
+cmake -B build-ubsan -S . -DRMT_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$jobs"
+
+echo "== sanitize: ctest -L sanitize (UBSan) =="
+ctest --test-dir build-ubsan -j "$jobs" -L sanitize --output-on-failure
+
 echo "== perf: KIPS smoke vs BENCH_perf.json =="
 if [ -f BENCH_perf.json ]; then
     cmake --build build -j "$jobs" --target bench_perf >/dev/null
@@ -47,5 +56,11 @@ else
     echo "check.sh: BENCH_perf.json missing; run tools/bench_perf.sh" >&2
     exit 1
 fi
+
+echo "== fault smoke: whole-sphere zero-SDC gate (SRT + recovery) =="
+cmake --build build -j "$jobs" --target rmtsim_faultsmoke \
+    rmtsim_report >/dev/null
+./build/tools/rmtsim_faultsmoke --trials 2 --out build/fault_smoke.jsonl
+./build/tools/rmtsim_report --coverage build/fault_smoke.jsonl
 
 echo "check.sh: all checks OK"

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,10 +48,20 @@ usage()
         "  --nosc            disable store comparison (SRT+nosc)\n"
         "  --no-psr          disable preferential space redundancy\n"
         "  --no-ecc          disable LVQ ECC\n"
+        "  --lpq-ecc         ECC-protect the line-prediction queue\n"
+        "  --boq-ecc         ECC-protect the branch-outcome queue\n"
+        "  --no-merge-ecc    drop merge-buffer ECC (outside the "
+        "sphere!)\n"
+        "  --hang N          watchdog: abort after N cycles with no "
+        "commit (0 = off)\n"
         "  --frontend F      lpq | boq | sharedlp (trailing fetch)\n"
         "  --slack N         slack fetch distance\n"
-        "  --fault SPEC      reg:<cycle>:<tid>:<reg>:<bit> | "
-        "lvq:<cycle>:<tid> | fu:<cycle>:<unit>:<maskbit>\n"
+        "  --fault SPEC      reg:<cycle>:<core>:<tid>:<reg>:<bit> | "
+        "lvq:<cycle>:<core>:<tid> |\n"
+        "                    fu:<cycle>:<core>:<unit>:<maskbit> | "
+        "KIND:<cycle>:<core>:<tid>:<bit>\n"
+        "                    with KIND one of sqd sqa lpq boq pc dec "
+        "mb\n"
         "  --recover         checkpoint-based fault recovery\n"
         "  --recover-interval N   checkpoint cadence (insts)\n"
         "  --trace FILE      write the commit trace to FILE ('-' = "
@@ -77,41 +88,6 @@ splitCommas(const std::string &arg)
     while (std::getline(ss, item, ','))
         out.push_back(item);
     return out;
-}
-
-bool
-parseFault(const std::string &spec, FaultInjector &injector)
-{
-    const auto parts = splitCommas(spec);
-    (void)parts;
-    std::vector<std::string> f;
-    std::stringstream ss(spec);
-    std::string item;
-    while (std::getline(ss, item, ':'))
-        f.push_back(item);
-    if (f.empty())
-        return false;
-    FaultRecord rec;
-    if (f[0] == "reg" && f.size() == 5) {
-        rec.kind = FaultRecord::Kind::TransientReg;
-        rec.when = std::strtoull(f[1].c_str(), nullptr, 0);
-        rec.tid = static_cast<ThreadId>(std::atoi(f[2].c_str()));
-        rec.reg = static_cast<RegIndex>(std::atoi(f[3].c_str()));
-        rec.bit = static_cast<unsigned>(std::atoi(f[4].c_str()));
-    } else if (f[0] == "lvq" && f.size() == 3) {
-        rec.kind = FaultRecord::Kind::TransientLvq;
-        rec.when = std::strtoull(f[1].c_str(), nullptr, 0);
-        rec.tid = static_cast<ThreadId>(std::atoi(f[2].c_str()));
-    } else if (f[0] == "fu" && f.size() == 4) {
-        rec.kind = FaultRecord::Kind::PermanentFu;
-        rec.when = std::strtoull(f[1].c_str(), nullptr, 0);
-        rec.fuIndex = static_cast<unsigned>(std::atoi(f[2].c_str()));
-        rec.mask = std::uint64_t{1} << std::atoi(f[3].c_str());
-    } else {
-        return false;
-    }
-    injector.schedule(rec);
-    return true;
 }
 
 /**
@@ -188,6 +164,15 @@ main(int argc, char **argv)
             opts.preferential_space_redundancy = false;
         } else if (arg == "--no-ecc") {
             opts.lvq_ecc = false;
+        } else if (arg == "--lpq-ecc") {
+            opts.lpq_ecc = true;
+        } else if (arg == "--boq-ecc") {
+            opts.boq_ecc = true;
+        } else if (arg == "--no-merge-ecc") {
+            opts.merge_buffer_ecc = false;
+        } else if (arg == "--hang") {
+            opts.hang_cycles =
+                std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--slack") {
             opts.slack_fetch =
                 static_cast<unsigned>(std::atoi(next().c_str()));
@@ -251,8 +236,11 @@ main(int argc, char **argv)
             sim.chip().cpu(c).setCommitTrace(os, trace_max);
     }
     for (const auto &spec : fault_specs) {
-        if (!parseFault(spec, sim.faultInjector()))
-            fatal("bad --fault spec '%s'", spec.c_str());
+        try {
+            sim.faultInjector().schedule(parseFaultSpec(spec));
+        } catch (const std::invalid_argument &e) {
+            fatal("bad --fault spec '%s': %s", spec.c_str(), e.what());
+        }
     }
 
     const RunResult r = sim.run();
@@ -264,9 +252,9 @@ main(int argc, char **argv)
                     t.ipc, static_cast<unsigned long long>(t.committed),
                     static_cast<unsigned long long>(t.cycles));
     }
-    std::printf("total cycles %llu, completed %s\n",
+    std::printf("total cycles %llu, completed %s, outcome %s\n",
                 static_cast<unsigned long long>(r.total_cycles),
-                r.completed ? "yes" : "NO");
+                r.completed ? "yes" : "NO", outcomeName(r.outcome));
     if (opts.mode == SimMode::Srt || opts.mode == SimMode::Crt) {
         std::printf("store pairs compared %llu, mismatches %llu, "
                     "detections %llu, recoveries %llu\n",

@@ -8,6 +8,10 @@
  *                --out results.jsonl
  *   rmtsim_report results.jsonl
  *   rmtsim_report --per-mix --base lockstep results.jsonl
+ *
+ * With --coverage the stream is treated as a fault campaign instead:
+ * trials are grouped by fault kind and summarised as verdict tallies,
+ * detection rate, and detection-latency statistics.
  */
 
 #include <cstdio>
@@ -34,7 +38,10 @@ usage()
         "\n"
         "  --base MODE       degradation reference mode (default "
         "base)\n"
-        "  --per-mix         also print the per-workload-mix table\n");
+        "  --per-mix         also print the per-workload-mix table\n"
+        "  --coverage        fault-campaign mode: per-fault-kind "
+        "verdicts,\n"
+        "                    detection rate and latency histogram\n");
 }
 
 } // namespace
@@ -44,6 +51,7 @@ main(int argc, char **argv)
 {
     ReportOptions opts;
     std::string path;
+    bool coverage = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -60,6 +68,8 @@ main(int argc, char **argv)
             opts.base_mode = argv[++i];
         } else if (arg == "--per-mix") {
             opts.per_mix = true;
+        } else if (arg == "--coverage") {
+            coverage = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             usage();
             std::fprintf(stderr,
@@ -107,6 +117,11 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (coverage) {
+        const CoverageReport report = buildCoverageReport(records);
+        std::fputs(formatCoverageReport(report).c_str(), stdout);
+        return 0;
+    }
     const CampaignReport report = buildReport(records, opts);
     std::fputs(formatReport(report, opts).c_str(), stdout);
     return 0;
