@@ -19,9 +19,12 @@
  * workloads are committed-instruction weighted.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +54,17 @@ struct ModePerf
     std::vector<WorkloadPerf> workloads;
 };
 
+/** Snapshot-forked vs from-scratch fault-campaign wall time. */
+struct FaultCampaignPerf
+{
+    std::vector<std::string> workloads;
+    unsigned trials = 0;            ///< per workload
+    double from_scratch_seconds = 0;
+    double forked_seconds = 0;
+    double speedup = 0;
+    bool verdicts_match = false;
+};
+
 std::vector<std::string>
 splitList(const std::string &arg)
 {
@@ -70,13 +84,94 @@ usage()
         stderr,
         "usage: bench_perf [--json FILE] [--baseline FILE]\n"
         "                  [--max-regress PCT] [--repeat N]\n"
-        "                  [--insts N] [--warmup N] [--workloads a,b,c]\n");
+        "                  [--insts N] [--warmup N] [--workloads a,b,c]\n"
+        "                  [--fault-trials N] [--min-fork-speedup X]\n");
+}
+
+/**
+ * Time one SRT fault campaign (transient-reg trials over the given
+ * workloads, oracle-classified) twice — from scratch and forked from
+ * cached snapshots — and check the two produce identical per-trial
+ * verdicts.  Serial execution, so the wall-clock ratio is the honest
+ * per-trial saving including the producer runs.
+ */
+FaultCampaignPerf
+benchFaultCampaign(const std::vector<std::string> &workloads,
+                   unsigned trials, std::uint64_t warmup,
+                   std::uint64_t measure)
+{
+    using Clock = std::chrono::steady_clock;
+
+    FaultCampaignPerf perf;
+    perf.workloads = workloads;
+    perf.trials = trials;
+
+    SimOptions base;
+    base.mode = SimMode::Srt;
+    base.warmup_insts = warmup;
+    base.measure_insts = measure;
+    // Dense barriers: trial faults land at (warmup+measure)/12 cycles
+    // or later, so a cadence below that means every trial can fork.
+    base.snapshot_every =
+        std::max<std::uint64_t>(1, (warmup + measure) / 16);
+
+    CampaignBuilder builder("perf-faults", 0x52'4d'54ull);
+    builder.base(base)
+        .modes({SimMode::Srt})
+        .workloads(workloads)
+        .transientRegTrials(trials, 15);
+    Campaign campaign = builder.build();
+
+    std::map<std::string, std::unique_ptr<FaultOracle>> oracles;
+    for (JobSpec &job : campaign.jobs) {
+        if (job.faults.empty())
+            continue;
+        auto &oracle = oracles[job.workloads.front()];
+        if (!oracle) {
+            oracle = std::make_unique<FaultOracle>(
+                FaultOracle::goldenImage(job.workloads, job.options));
+        }
+        attachFaultOracle(job, oracle.get());
+    }
+
+    auto timeCampaign = [&campaign](SnapshotCache *snapshots, double &s) {
+        RunnerConfig cfg;
+        cfg.jobs = 1;
+        cfg.max_attempts = 1;
+        cfg.snapshots = snapshots;
+        const auto t0 = Clock::now();
+        auto results = runCampaign(campaign, cfg);
+        s = std::chrono::duration<double>(Clock::now() - t0).count();
+        return results;
+    };
+
+    double scratch_s = 0, forked_s = 0;
+    const auto scratch = timeCampaign(nullptr, scratch_s);
+    SnapshotCache cache;
+    const auto forked = timeCampaign(&cache, forked_s);
+
+    perf.from_scratch_seconds = scratch_s;
+    perf.forked_seconds = forked_s;
+    perf.speedup = forked_s > 0 ? scratch_s / forked_s : 0;
+
+    perf.verdicts_match = scratch.size() == forked.size();
+    for (std::size_t i = 0;
+         perf.verdicts_match && i < scratch.size(); ++i) {
+        perf.verdicts_match =
+            scratch[i].ok() && forked[i].ok() &&
+            scratch[i].has_verdict == forked[i].has_verdict &&
+            scratch[i].verdict == forked[i].verdict &&
+            scratch[i].detection_latency == forked[i].detection_latency &&
+            scratch[i].run.total_cycles == forked[i].run.total_cycles;
+    }
+    return perf;
 }
 
 std::string
 perfJson(const std::vector<ModePerf> &modes, std::uint64_t warmup,
          std::uint64_t measure, unsigned repeats,
-         const std::vector<std::string> &workloads)
+         const std::vector<std::string> &workloads,
+         const FaultCampaignPerf &faults)
 {
     std::ostringstream os;
     os << "{\"schema\":\"rmtsim-bench-perf-v1\""
@@ -103,7 +198,18 @@ perfJson(const std::vector<ModePerf> &modes, std::uint64_t warmup,
         }
         os << "]}";
     }
-    os << "]}\n";
+    os << "],\"fault_campaign\":{\"workloads\":[";
+    for (std::size_t i = 0; i < faults.workloads.size(); ++i) {
+        os << (i ? "," : "") << "\"" << jsonEscape(faults.workloads[i])
+           << "\"";
+    }
+    os << "],\"trials\":" << faults.trials
+       << ",\"from_scratch_seconds\":"
+       << jsonNum(faults.from_scratch_seconds)
+       << ",\"forked_seconds\":" << jsonNum(faults.forked_seconds)
+       << ",\"speedup\":" << jsonNum(faults.speedup)
+       << ",\"verdicts_match\":"
+       << (faults.verdicts_match ? "true" : "false") << "}}\n";
     return os.str();
 }
 
@@ -121,6 +227,8 @@ main(int argc, char **argv)
     std::uint64_t measure = 20000;
     std::uint64_t warmup = 2000;
     std::vector<std::string> workloads = {"gcc", "swim", "compress"};
+    unsigned fault_trials = 16;
+    double min_fork_speedup = 1.5;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -145,6 +253,10 @@ main(int argc, char **argv)
             warmup = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--workloads") {
             workloads = splitList(next());
+        } else if (arg == "--fault-trials") {
+            fault_trials = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--min-fork-speedup") {
+            min_fork_speedup = std::atof(next());
         } else {
             usage();
             return 2;
@@ -213,8 +325,33 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(mp.committed));
     }
 
+    // Snapshot-forked fault campaign vs from-scratch (two workloads,
+    // serial).  Verdict identity is a hard correctness gate; the
+    // speedup gate can be relaxed with --min-fork-speedup 0.  The
+    // campaign runs a larger budget than the KIPS sweep: forking saves
+    // the pre-fault prefix, which the short KIPS budget would hide
+    // behind per-trial constants (build + oracle classification).
+    const FaultCampaignPerf faults = benchFaultCampaign(
+        {"gcc", "compress"}, fault_trials, warmup, 4 * measure);
+    std::printf("fault campaign (%u trials x %zu workloads): "
+                "%.2fs scratch, %.2fs forked, %.2fx, verdicts %s\n",
+                faults.trials, faults.workloads.size(),
+                faults.from_scratch_seconds, faults.forked_seconds,
+                faults.speedup,
+                faults.verdicts_match ? "match" : "DIFFER");
+    if (!faults.verdicts_match)
+        fatal("bench_perf: snapshot-forked fault campaign verdicts "
+              "differ from the from-scratch run");
+    if (faults.speedup < min_fork_speedup) {
+        std::fprintf(stderr,
+                     "bench_perf: forked fault campaign speedup %.2fx "
+                     "below the %.2fx gate\n",
+                     faults.speedup, min_fork_speedup);
+        return 1;
+    }
+
     const std::string doc =
-        perfJson(modes, warmup, measure, repeats, workloads);
+        perfJson(modes, warmup, measure, repeats, workloads, faults);
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         if (!out)

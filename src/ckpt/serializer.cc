@@ -1,0 +1,357 @@
+#include "ckpt/serializer.hh"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace rmt
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'R', 'M', 'T', 'S', 'N', 'A', 'P', '\0'};
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+Serializer::put(const void *data, std::size_t size)
+{
+    if (!inSection)
+        throw SnapshotError("serializer: write outside a section");
+    cur.append(static_cast<const char *>(data), size);
+}
+
+void
+Serializer::u16(std::uint16_t v)
+{
+    const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                               static_cast<std::uint8_t>(v >> 8)};
+    put(b, 2);
+}
+
+void
+Serializer::u32(std::uint32_t v)
+{
+    const std::uint8_t b[4] = {static_cast<std::uint8_t>(v),
+                               static_cast<std::uint8_t>(v >> 8),
+                               static_cast<std::uint8_t>(v >> 16),
+                               static_cast<std::uint8_t>(v >> 24)};
+    put(b, 4);
+}
+
+void
+Serializer::u64(std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    put(b, 8);
+}
+
+void
+Serializer::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+Serializer::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    put(s.data(), s.size());
+}
+
+void
+Serializer::blob(const void *data, std::size_t size)
+{
+    u64(size);
+    put(data, size);
+}
+
+void
+Serializer::beginSection(const std::string &name)
+{
+    if (inSection)
+        throw SnapshotError("serializer: section '" + curName +
+                            "' still open");
+    inSection = true;
+    curName = name;
+    cur.clear();
+}
+
+namespace
+{
+
+void
+appendLe32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+appendLe64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+} // namespace
+
+void
+Serializer::endSection()
+{
+    if (!inSection)
+        throw SnapshotError("serializer: no section open");
+    appendLe32(body, static_cast<std::uint32_t>(curName.size()));
+    body += curName;
+    appendLe64(body, cur.size());
+    body += cur;
+    appendLe32(body, crc32(cur.data(), cur.size()));
+    cur.clear();
+    inSection = false;
+    ++sections;
+}
+
+std::string
+Serializer::finish(std::uint64_t fingerprint) const
+{
+    if (inSection)
+        throw SnapshotError("serializer: section '" + curName +
+                            "' still open at finish");
+    std::string out;
+    out.reserve(8 + 4 + 8 + 4 + body.size());
+    out.append(kMagic, sizeof(kMagic));
+    appendLe32(out, formatVersion);
+    appendLe64(out, fingerprint);
+    appendLe32(out, sections);
+    out += body;
+    return out;
+}
+
+Deserializer::Deserializer(std::string image,
+                           std::uint64_t expect_fingerprint)
+    : data(std::move(image))
+{
+    if (data.size() < 8 + 4 + 8 + 4)
+        throw SnapshotError("snapshot: image truncated (no header)");
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
+        throw SnapshotError("snapshot: bad magic (not a snapshot file)");
+    auto le32 = [&](std::size_t at) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<std::uint8_t>(data[at + i]))
+                 << (8 * i);
+        return v;
+    };
+    auto le64 = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(data[at + i]))
+                 << (8 * i);
+        return v;
+    };
+    const std::uint32_t version = le32(8);
+    if (version != Serializer::formatVersion) {
+        throw SnapshotError(
+            "snapshot: format version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(Serializer::formatVersion) + ")");
+    }
+    fp = le64(12);
+    if (fp != expect_fingerprint) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "%016llx, expected %016llx",
+                      static_cast<unsigned long long>(fp),
+                      static_cast<unsigned long long>(expect_fingerprint));
+        throw SnapshotError(
+            std::string("snapshot: options fingerprint mismatch: "
+                        "image was taken under ") + buf +
+            " (run with the same configuration it was saved with)");
+    }
+    sectionsLeft = le32(20);
+    nextSection = 24;
+}
+
+void
+Deserializer::fail(const std::string &why) const
+{
+    throw SnapshotError("snapshot: " + why);
+}
+
+void
+Deserializer::need(std::size_t n) const
+{
+    if (pos + n > payloadEnd) {
+        fail("section '" + curName + "' truncated (needs " +
+             std::to_string(n) + " more bytes)");
+    }
+}
+
+void
+Deserializer::beginSection(const std::string &name)
+{
+    if (inSection)
+        fail("section '" + curName + "' still open");
+    if (sectionsLeft == 0)
+        fail("expected section '" + name + "' but image is exhausted");
+    std::size_t at = nextSection;
+    auto avail = [&](std::size_t n) {
+        if (at + n > data.size())
+            fail("image truncated in section header");
+    };
+    avail(4);
+    std::uint32_t name_len = 0;
+    for (int i = 0; i < 4; ++i)
+        name_len |= static_cast<std::uint32_t>(
+                        static_cast<std::uint8_t>(data[at + i]))
+                    << (8 * i);
+    at += 4;
+    avail(name_len);
+    curName.assign(data, at, name_len);
+    at += name_len;
+    avail(8);
+    std::uint64_t payload_len = 0;
+    for (int i = 0; i < 8; ++i)
+        payload_len |= static_cast<std::uint64_t>(
+                           static_cast<std::uint8_t>(data[at + i]))
+                       << (8 * i);
+    at += 8;
+    avail(payload_len + 4);
+    if (curName != name) {
+        fail("expected section '" + name + "' but found '" + curName +
+             "'");
+    }
+    std::uint32_t stored_crc = 0;
+    for (int i = 0; i < 4; ++i)
+        stored_crc |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+                          data[at + payload_len + i]))
+                      << (8 * i);
+    const std::uint32_t actual =
+        crc32(data.data() + at, static_cast<std::size_t>(payload_len));
+    if (stored_crc != actual)
+        fail("section '" + curName + "' failed its CRC check");
+    pos = at;
+    payloadEnd = at + static_cast<std::size_t>(payload_len);
+    nextSection = payloadEnd + 4;
+    inSection = true;
+    --sectionsLeft;
+}
+
+void
+Deserializer::endSection()
+{
+    if (!inSection)
+        fail("no section open");
+    if (pos != payloadEnd) {
+        fail("section '" + curName + "' has " +
+             std::to_string(payloadEnd - pos) + " unconsumed bytes");
+    }
+    inSection = false;
+}
+
+std::uint8_t
+Deserializer::u8()
+{
+    need(1);
+    return static_cast<std::uint8_t>(data[pos++]);
+}
+
+std::uint16_t
+Deserializer::u16()
+{
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+        v = static_cast<std::uint16_t>(
+            v | static_cast<std::uint16_t>(
+                    static_cast<std::uint8_t>(data[pos + i]))
+                    << (8 * i));
+    pos += 2;
+    return v;
+}
+
+std::uint32_t
+Deserializer::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data[pos + i]))
+             << (8 * i);
+    pos += 4;
+    return v;
+}
+
+std::uint64_t
+Deserializer::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data[pos + i]))
+             << (8 * i);
+    pos += 8;
+    return v;
+}
+
+double
+Deserializer::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+Deserializer::str()
+{
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(data, pos, n);
+    pos += n;
+    return s;
+}
+
+std::vector<std::uint8_t>
+Deserializer::blob()
+{
+    const std::uint64_t n = u64();
+    need(static_cast<std::size_t>(n));
+    std::vector<std::uint8_t> out(
+        data.begin() + static_cast<std::ptrdiff_t>(pos),
+        data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += static_cast<std::size_t>(n);
+    return out;
+}
+
+} // namespace rmt

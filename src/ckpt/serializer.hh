@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Versioned, tagged-chunk binary snapshot format (checkpoint/restore).
+ *
+ * A snapshot image is
+ *
+ *     header:   magic "RMTSNAP\0" | u32 format version |
+ *               u64 SimOptions fingerprint | u32 section count
+ *     sections: u32 name length | name bytes |
+ *               u64 payload length | payload bytes | u32 CRC32(payload)
+ *
+ * All integers are little-endian regardless of host byte order, so an
+ * image written on one machine restores on any other.  Every section
+ * carries its own CRC; the Deserializer verifies the CRC, the section
+ * name, and exact payload consumption, and throws SnapshotError on the
+ * first disagreement — a truncated, corrupted, or mismatched image can
+ * never restore into a half-written machine.
+ *
+ * The header fingerprint pins the image to one simulator configuration:
+ * restoring under different SimOptions (which would change the barrier
+ * schedule and the machine shape) is rejected up front.
+ */
+
+#ifndef RMTSIM_CKPT_SERIALIZER_HH
+#define RMTSIM_CKPT_SERIALIZER_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rmt
+{
+
+/** Any structural failure while reading or writing a snapshot image:
+ *  bad magic, version or fingerprint mismatch, CRC failure, truncated
+ *  or trailing data, or machine-shape disagreement at load. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** CRC32 (IEEE 802.3 polynomial) of @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** Builds a snapshot image section by section. */
+class Serializer
+{
+  public:
+    static constexpr std::uint32_t formatVersion = 1;
+
+    /** Open a new tagged section; primitives go to it until end(). */
+    void beginSection(const std::string &name);
+    /** Seal the open section (appends the payload CRC). */
+    void endSection();
+
+    void u8(std::uint8_t v) { put(&v, 1); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v);
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    void str(const std::string &s);
+    /** Raw byte blob, length-prefixed. */
+    void blob(const void *data, std::size_t size);
+
+    /** Complete image: header (with @p fingerprint) + all sections.
+     *  Must be called with no section open. */
+    std::string finish(std::uint64_t fingerprint) const;
+
+  private:
+    void put(const void *data, std::size_t size);
+
+    std::string body;           ///< sealed sections
+    std::string cur;            ///< open section payload
+    std::string curName;
+    bool inSection = false;
+    std::uint32_t sections = 0;
+};
+
+/** Reads a snapshot image produced by Serializer, validating as it
+ *  goes.  Sections must be consumed in write order. */
+class Deserializer
+{
+  public:
+    /** Parse the header; throws SnapshotError unless magic, version
+     *  and fingerprint all match. */
+    Deserializer(std::string image, std::uint64_t expect_fingerprint);
+
+    /** Enter the next section; throws unless its name is @p name and
+     *  its payload CRC verifies. */
+    void beginSection(const std::string &name);
+    /** Leave the section; throws unless the payload was consumed
+     *  exactly. */
+    void endSection();
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    bool boolean() { return u8() != 0; }
+    std::string str();
+    std::vector<std::uint8_t> blob();
+
+    /** Fingerprint carried in the image header. */
+    std::uint64_t fingerprint() const { return fp; }
+
+  private:
+    void need(std::size_t n) const;
+    [[noreturn]] void fail(const std::string &why) const;
+
+    std::string data;
+    std::size_t pos = 0;        ///< cursor within the current payload
+    std::size_t payloadEnd = 0; ///< one past the current payload
+    std::size_t nextSection = 0;///< offset of the next section header
+    std::uint32_t sectionsLeft = 0;
+    bool inSection = false;
+    std::string curName;
+    std::uint64_t fp = 0;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_CKPT_SERIALIZER_HH

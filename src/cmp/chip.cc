@@ -100,6 +100,88 @@ Chip::run(Cycle max_cycles)
     return n;
 }
 
+void
+Chip::setDraining(bool d)
+{
+    for (auto &core : cores)
+        core->setDraining(d);
+}
+
+bool
+Chip::quiescedForSnapshot() const
+{
+    for (const auto &core : cores) {
+        if (!core->drainedForSnapshot())
+            return false;
+    }
+    for (std::size_t i = 0; i < rmgr.numPairs(); ++i) {
+        if (!rmgr.pair(i).drainedForSnapshot())
+            return false;
+    }
+    return true;
+}
+
+void
+Chip::saveState(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(cores.size()));
+    for (const auto &core : cores)
+        core->saveState(s);
+
+    mem.l2().saveState(s);
+    mem.mainMemory().saveState(s);
+    // Pending L1 fills (MSHR entries; fills install lazily, so these
+    // can be non-empty at a quiesce point).  Fixed walk order: per core,
+    // I-cache then D-cache.
+    for (const auto &core : cores) {
+        for (Cache *l1 : {&core->icache(), &core->dcache()}) {
+            const auto fills = mem.exportPending(l1);
+            s.u32(static_cast<std::uint32_t>(fills.size()));
+            for (const auto &[block, ready] : fills) {
+                s.u64(block);
+                s.u64(ready);
+            }
+        }
+    }
+
+    dev.saveState(s);
+
+    s.u32(static_cast<std::uint32_t>(rmgr.numPairs()));
+    for (std::size_t i = 0; i < rmgr.numPairs(); ++i)
+        rmgr.pair(i).saveState(s);
+}
+
+void
+Chip::loadState(Deserializer &d)
+{
+    if (d.u32() != cores.size())
+        throw SnapshotError("chip: core count mismatch");
+    for (auto &core : cores)
+        core->loadState(d);
+
+    mem.l2().loadState(d);
+    mem.mainMemory().loadState(d);
+    for (auto &core : cores) {
+        for (Cache *l1 : {&core->icache(), &core->dcache()}) {
+            const std::uint32_t n = d.u32();
+            std::vector<std::pair<Addr, Cycle>> fills;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const Addr block = d.u64();
+                const Cycle ready = d.u64();
+                fills.emplace_back(block, ready);
+            }
+            mem.importPending(l1, fills);
+        }
+    }
+
+    dev.loadState(d);
+
+    if (d.u32() != rmgr.numPairs())
+        throw SnapshotError("chip: pair count mismatch");
+    for (std::size_t i = 0; i < rmgr.numPairs(); ++i)
+        rmgr.pair(i).loadState(d);
+}
+
 bool
 Chip::allDone() const
 {

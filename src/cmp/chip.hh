@@ -70,6 +70,22 @@ class Chip
     /** Post-completion drain window (in-flight verifications land). */
     static constexpr Cycle drainCycles = 128;
 
+    // --------------------------------------------------- checkpointing
+    /** Enter/leave the snapshot drain on every core. */
+    void setDraining(bool d);
+
+    /** All cores drained, all pairs' sphere-crossing queues empty. */
+    bool quiescedForSnapshot() const;
+
+    /**
+     * Whole-chip state at a quiesce point: every core, the shared L2 /
+     * main memory / per-L1 MSHRs, the device write log, and every
+     * redundant pair.  Data memories and statistics are handled by the
+     * Simulation (which owns them).
+     */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+
   private:
     ChipParams _params;
     MemSystem mem;

@@ -107,6 +107,19 @@ Histogram::jsonFields(std::ostream &os) const
 }
 
 void
+Histogram::restore(const std::vector<std::uint64_t> &bucket_counts,
+                   std::uint64_t overflow_count, std::uint64_t samples,
+                   double total)
+{
+    if (bucket_counts.size() != buckets.size())
+        return;     // layout mismatch: caller validates bucket count
+    buckets = bucket_counts;
+    overflow = overflow_count;
+    count = samples;
+    sum = total;
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets)

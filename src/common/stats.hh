@@ -98,7 +98,16 @@ class Average : public StatBase
     }
 
     double mean() const { return _count ? _sum / _count : 0.0; }
+    double sum() const { return _sum; }
     std::uint64_t samples() const { return _count; }
+
+    /** Overwrite the accumulated state (checkpoint restore). */
+    void
+    restore(double sum, std::uint64_t count)
+    {
+        _sum = sum;
+        _count = count;
+    }
 
     const char *kind() const override { return "average"; }
     void print(std::ostream &os) const override;
@@ -127,6 +136,14 @@ class Histogram : public StatBase
     std::uint64_t overflowCount() const { return overflow; }
     std::uint64_t samples() const { return count; }
     double mean() const { return count ? sum / count : 0.0; }
+    double total() const { return sum; }
+
+    /** Overwrite the accumulated state (checkpoint restore).  The
+     *  bucket layout is fixed at construction; @p bucket_counts must
+     *  match numBuckets(). */
+    void restore(const std::vector<std::uint64_t> &bucket_counts,
+                 std::uint64_t overflow_count, std::uint64_t samples,
+                 double total);
 
     const char *kind() const override { return "histogram"; }
     void print(std::ostream &os) const override;

@@ -144,13 +144,23 @@ SmtCpu::canFetch(ThreadId tid) const
         return false;
     if (t.rmb.size() + chunkSize > _params.rmb_chunks * chunkSize)
         return false;
+    // Snapshot drain: freeze every fetch stream except trailing threads,
+    // which still have to consume what their leading partners committed.
+    if (draining && t.role != Role::Trailing)
+        return false;
     if (t.role == Role::Trailing) {
-        if (trailingSlackGated(t))
+        // The slack gate wedges once the trailing thread closes within
+        // slack of a frozen leading thread, so it is bypassed while
+        // draining; the BOQ-style front ends get an exact per-
+        // instruction cap instead (they only fetch the committed path).
+        if (!draining && trailingSlackGated(t))
             return false;
         if (_params.trailing_fetch ==
             TrailingFetchMode::LinePredictionQueue) {
             return t.pair->lpq.available(now);
         }
+        if (draining && t.pair->trailFetched >= t.pair->leadRetired)
+            return false;
         // BOQ-style front ends fetch down their own line-predicted path.
         return true;
     }
@@ -357,7 +367,7 @@ SmtCpu::fetchTrailingLpq(ThreadId tid)
             break;
         if (!pair.lpq.available(now))
             break;
-        if (trailingSlackGated(t))
+        if (!draining && trailingSlackGated(t))
             break;
 
         const LpqChunk chunk = pair.lpq.activeChunk();
@@ -427,7 +437,7 @@ SmtCpu::fetchTrailingBoq(ThreadId tid)
             break;
         if (t.rmb.size() + chunkSize > _params.rmb_chunks * chunkSize)
             break;
-        if (trailingSlackGated(t))
+        if (!draining && trailingSlackGated(t))
             break;
 
         const Addr start = t.fetchPc;
@@ -447,6 +457,11 @@ SmtCpu::fetchTrailingBoq(ThreadId tid)
         Addr pc = start;
         unsigned fetched_here = 0;
         while (pc < frame_end) {
+            // Drain cap: never run ahead of the frozen leading thread.
+            if (draining && pair.trailFetched >= pair.leadRetired) {
+                starved = true;
+                break;
+            }
             const StaticInst &si = t.program->fetch(pc);
 
             bool taken = false;

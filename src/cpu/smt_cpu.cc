@@ -517,4 +517,146 @@ SmtCpu::forEachStatGroup(
     fn("storesets", storeSets.stats());
 }
 
+bool
+SmtCpu::drainedForSnapshot() const
+{
+    if (robOccupancy != 0 || !iq.empty() || !calendar.empty() ||
+        !waitingLoads.empty()) {
+        return false;
+    }
+    for (const ThreadState &t : threads) {
+        if (!t.active)
+            continue;
+        if (!t.rmb.empty() || !t.rob.empty() || !t.lq.empty() ||
+            !t.sq.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+SmtCpu::saveState(Serializer &s) const
+{
+    s.u64(now);
+    s.u32(mapRr);
+    s.u32(commitRr);
+    s.u32(fetchRr);
+    s.u64(lastCommitCycle);
+
+    s.u32(static_cast<std::uint32_t>(threads.size()));
+    for (const ThreadState &t : threads) {
+        s.boolean(t.active);
+        if (!t.active)
+            continue;
+        s.u64(t.fetchPc);
+        s.u64(t.fetchStallUntil);
+        s.boolean(t.fetchHalted);
+        s.u64(t.nextSeq);
+        for (unsigned r = 0; r < numArchRegs; ++r)
+            s.u64(t.archRegs[r]);
+        s.u64(t.committed);
+        s.u64(t.target);
+        s.u64(t.measureSkip);
+        s.u64(t.startCycle);
+        s.u64(t.finishCycle);
+        s.boolean(t.done);
+        s.boolean(t.halted);
+        s.boolean(t.haveExpectedPc);
+        s.u64(t.expectedPc);
+        s.u64(t.intReturnPc);
+        s.u64(t.nextCommitPc);
+        s.boolean(t.decodeStrike);
+        s.u32(t.decodeStrikeBit);
+        s.boolean(t.mergeStrike);
+        s.u32(t.mergeStrikeBit);
+        s.u32(static_cast<std::uint32_t>(t.pendingInterrupts.size()));
+        for (const ThreadState::PendingInterrupt &pi : t.pendingInterrupts) {
+            s.u64(pi.when);
+            s.u64(pi.vector);
+        }
+    }
+
+    l1i.saveState(s);
+    l1d.saveState(s);
+    mergeBuf.saveState(s);
+    bpred.saveState(s);
+    linePred.saveState(s);
+    indirect.saveState(s);
+    storeSets.saveState(s);
+    s.u32(static_cast<std::uint32_t>(ras.size()));
+    for (const ReturnAddressStack &r : ras)
+        r.saveState(s);
+}
+
+void
+SmtCpu::loadState(Deserializer &d)
+{
+    if (!drainedForSnapshot())
+        throw SnapshotError("core: restore target is not quiesced");
+
+    now = d.u64();
+    mapRr = d.u32();
+    commitRr = d.u32();
+    fetchRr = d.u32();
+    lastCommitCycle = d.u64();
+
+    if (d.u32() != threads.size())
+        throw SnapshotError("core: thread count mismatch");
+    for (ThreadState &t : threads) {
+        if (d.boolean() != t.active)
+            throw SnapshotError("core: thread topology mismatch");
+        if (!t.active)
+            continue;
+        t.fetchPc = d.u64();
+        t.fetchStallUntil = d.u64();
+        t.fetchHalted = d.boolean();
+        t.nextSeq = d.u64();
+        for (unsigned r = 0; r < numArchRegs; ++r) {
+            t.archRegs[r] = d.u64();
+            // Committed values flow back in through the current rename
+            // map, exactly as fault recovery does (recoverThread).
+            const PhysRegIndex p = t.renameMap[r];
+            writePhys(p, t.archRegs[r]);
+            if (p != invalidPhysReg)
+                readyAt[p] = now;
+        }
+        t.committed = d.u64();
+        t.target = d.u64();
+        t.measureSkip = d.u64();
+        t.startCycle = d.u64();
+        t.finishCycle = d.u64();
+        t.done = d.boolean();
+        t.halted = d.boolean();
+        t.haveExpectedPc = d.boolean();
+        t.expectedPc = d.u64();
+        t.intReturnPc = d.u64();
+        t.nextCommitPc = d.u64();
+        t.decodeStrike = d.boolean();
+        t.decodeStrikeBit = d.u32();
+        t.mergeStrike = d.boolean();
+        t.mergeStrikeBit = d.u32();
+        const std::uint32_t n_int = d.u32();
+        t.pendingInterrupts.clear();
+        for (std::uint32_t i = 0; i < n_int; ++i) {
+            ThreadState::PendingInterrupt pi;
+            pi.when = d.u64();
+            pi.vector = d.u64();
+            t.pendingInterrupts.push_back(pi);
+        }
+    }
+
+    l1i.loadState(d);
+    l1d.loadState(d);
+    mergeBuf.loadState(d);
+    bpred.loadState(d);
+    linePred.loadState(d);
+    indirect.loadState(d);
+    storeSets.loadState(d);
+    if (d.u32() != ras.size())
+        throw SnapshotError("core: RAS count mismatch");
+    for (ReturnAddressStack &r : ras)
+        r.loadState(d);
+}
+
 } // namespace rmt

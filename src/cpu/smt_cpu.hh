@@ -37,7 +37,7 @@
 namespace rmt
 {
 
-class SmtCpu
+class SmtCpu : public Snapshottable
 {
   public:
     SmtCpu(const SmtParams &params, MemSystem &mem_system, CoreId core_id);
@@ -219,6 +219,26 @@ class SmtCpu
     /** Flush all in-flight state of @p tid and restart it from the
      *  checkpoint (fault recovery; incompatible with cosim). */
     void recoverThread(ThreadId tid, const RecoveryCheckpoint &ckpt);
+
+    // --------------------------------------------------- checkpointing
+    /**
+     * Enter/leave the snapshot drain: non-trailing fetch freezes while
+     * trailing threads keep consuming what their (frozen) leading
+     * partners already committed, until the pipeline empties.
+     */
+    void setDraining(bool d) { draining = d; }
+    bool isDraining() const { return draining; }
+
+    /** True iff nothing is in flight anywhere in the core. */
+    bool drainedForSnapshot() const;
+
+    /**
+     * Architectural + timing-relevant microarchitectural state.  Valid
+     * only at a quiesce point (drainedForSnapshot()); statistics are
+     * restored separately through the chip stat walk.
+     */
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     // ------------------------------------------------- internal types
@@ -437,6 +457,9 @@ class SmtCpu
 
     // Watchdog.
     Cycle lastCommitCycle = 0;
+
+    // Snapshot drain (see setDraining()).
+    bool draining = false;
 
     // Commit tracing.
     std::ostream *traceOut = nullptr;

@@ -126,4 +126,51 @@ Cache::flushAll()
         line.valid = false;
 }
 
+void
+Cache::saveState(Serializer &s) const
+{
+    // Only valid lines are stored: an invalid line's tag and LRU stamp
+    // are dead state (lookups test valid first, and victim selection
+    // takes the first invalid way by position), so a snapshot that
+    // resets them to zero restores a behavior-identical cache at a
+    // fraction of the full tag-array size.
+    s.u64(lines.size());
+    std::uint64_t valid = 0;
+    for (const Line &line : lines)
+        valid += line.valid ? 1 : 0;
+    s.u64(valid);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (!lines[i].valid)
+            continue;
+        s.u64(i);
+        s.u64(lines[i].tag);
+        s.u64(lines[i].lru);
+    }
+    s.u64(stamp);
+}
+
+void
+Cache::loadState(Deserializer &d)
+{
+    const std::uint64_t n = d.u64();
+    if (n != lines.size())
+        throw SnapshotError("cache: line-array size mismatch");
+    for (Line &line : lines) {
+        line.tag = 0;
+        line.valid = false;
+        line.lru = 0;
+    }
+    const std::uint64_t valid = d.u64();
+    for (std::uint64_t i = 0; i < valid; ++i) {
+        const std::uint64_t idx = d.u64();
+        if (idx >= lines.size())
+            throw SnapshotError("cache: line index out of range");
+        Line &line = lines[idx];
+        line.valid = true;
+        line.tag = d.u64();
+        line.lru = d.u64();
+    }
+    stamp = d.u64();
+}
+
 } // namespace rmt

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -29,7 +30,7 @@ struct CacheParams
     unsigned block_bytes = 64;
 };
 
-class Cache
+class Cache : public Snapshottable
 {
   public:
     explicit Cache(const CacheParams &params);
@@ -62,6 +63,11 @@ class Cache
     std::uint64_t misses() const { return statMisses.value(); }
 
     StatGroup &stats() { return statGroup; }
+
+    /** Tag/valid/LRU arrays plus the LRU stamp (stats are restored
+     *  separately via the chip stat walk). */
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     struct Line

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -31,7 +32,7 @@ struct DeviceParams
     std::uint64_t seed = 0xDEC0DE;
 };
 
-class Device
+class Device : public Snapshottable
 {
   public:
     explicit Device(const DeviceParams &params)
@@ -80,6 +81,31 @@ class Device
     std::uint64_t writes() const { return statWrites.value(); }
 
     StatGroup &stats() { return statGroup; }
+
+    /** Write log only; the read ordinal feeding read() values is the
+     *  `reads` counter, restored through the chip stat walk. */
+    void
+    saveState(Serializer &s) const override
+    {
+        s.u64(log.size());
+        for (const WriteRecord &w : log) {
+            s.u64(w.addr);
+            s.u64(w.data);
+        }
+    }
+
+    void
+    loadState(Deserializer &d) override
+    {
+        const std::uint64_t n = d.u64();
+        log.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            WriteRecord w{};
+            w.addr = d.u64();
+            w.data = d.u64();
+            log.push_back(w);
+        }
+    }
 
   private:
     DeviceParams _params;

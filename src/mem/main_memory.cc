@@ -30,4 +30,22 @@ MainMemory::access(Cycle now)
     return start + latency;
 }
 
+void
+MainMemory::saveState(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(channelFree.size()));
+    for (const Cycle c : channelFree)
+        s.u64(c);
+}
+
+void
+MainMemory::loadState(Deserializer &d)
+{
+    const std::uint32_t n = d.u32();
+    if (n != channelFree.size())
+        throw SnapshotError("main memory: channel count mismatch");
+    for (Cycle &c : channelFree)
+        c = d.u64();
+}
+
 } // namespace rmt

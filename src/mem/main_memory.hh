@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -27,7 +28,7 @@ struct MainMemoryParams
     unsigned issue_interval = 4;    ///< min cycles between issues/channel
 };
 
-class MainMemory
+class MainMemory : public Snapshottable
 {
   public:
     explicit MainMemory(const MainMemoryParams &params);
@@ -40,6 +41,10 @@ class MainMemory
 
     StatGroup &stats() { return statGroup; }
     std::uint64_t requests() const { return statRequests.value(); }
+
+    /** Per-channel next-free cycles (channel arbitration phase). */
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     unsigned latency;

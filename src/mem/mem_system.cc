@@ -1,5 +1,7 @@
 #include "mem/mem_system.hh"
 
+#include <algorithm>
+
 namespace rmt
 {
 
@@ -59,6 +61,29 @@ void
 MemSystem::writeback(Addr addr)
 {
     _l2.fill(_l2.blockAlign(addr));
+}
+
+std::vector<std::pair<Addr, Cycle>>
+MemSystem::exportPending(const Cache *l1) const
+{
+    std::vector<std::pair<Addr, Cycle>> fills;
+    auto it = pending.find(l1);
+    if (it != pending.end()) {
+        for (const auto &[block, p] : it->second)
+            fills.emplace_back(block, p.ready);
+    }
+    std::sort(fills.begin(), fills.end());
+    return fills;
+}
+
+void
+MemSystem::importPending(const Cache *l1,
+                         const std::vector<std::pair<Addr, Cycle>> &fills)
+{
+    auto &l1_pending = pending[l1];
+    l1_pending.clear();
+    for (const auto &[block, ready] : fills)
+        l1_pending.emplace(block, Pending{ready});
 }
 
 } // namespace rmt

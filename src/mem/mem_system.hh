@@ -25,6 +25,8 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "mem/cache.hh"
 #include "mem/main_memory.hh"
@@ -75,8 +77,21 @@ class MemSystem
     void writeback(Addr addr);
 
     Cache &l2() { return _l2; }
+    const Cache &l2() const { return _l2; }
     MainMemory &mainMemory() { return _mem; }
+    const MainMemory &mainMemory() const { return _mem; }
     unsigned checkerPenalty() const { return _checkerPenalty; }
+
+    /**
+     * In-flight (or completed-but-uninstalled: fills are lazy) block
+     * fills for one L1, sorted by block address so snapshot images are
+     * independent of hash-map iteration order.
+     */
+    std::vector<std::pair<Addr, Cycle>> exportPending(const Cache *l1) const;
+
+    /** Replace the pending-fill set for one L1 (checkpoint restore). */
+    void importPending(const Cache *l1,
+                       const std::vector<std::pair<Addr, Cycle>> &fills);
 
   private:
     /** Service a miss below one L1: L2 then memory. */

@@ -57,4 +57,29 @@ MergeBuffer::drain(Cycle now, Addr &drained_addr)
     return true;
 }
 
+void
+MergeBuffer::saveState(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const Entry &e : entries) {
+        s.u64(e.block);
+        s.u64(e.ready);
+    }
+    s.u64(lastDrain);
+}
+
+void
+MergeBuffer::loadState(Deserializer &d)
+{
+    const std::uint32_t n = d.u32();
+    entries.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.block = d.u64();
+        e.ready = d.u64();
+        entries.push_back(e);
+    }
+    lastDrain = d.u64();
+}
+
 } // namespace rmt

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -31,7 +32,7 @@ struct MergeBufferParams
     unsigned drain_interval = 2;    ///< cycles between drains to the cache
 };
 
-class MergeBuffer
+class MergeBuffer : public Snapshottable
 {
   public:
     explicit MergeBuffer(const MergeBufferParams &params);
@@ -58,6 +59,11 @@ class MergeBuffer
     void noteFullReject() { ++statFullRejects; }
 
     StatGroup &stats() { return statGroup; }
+
+    /** Entries (empty at a quiesce point, but the format does not
+     *  assume it) plus the drain-cadence phase. */
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     Addr blockAlign(Addr a) const

@@ -428,4 +428,77 @@ formatCoverageReport(const CoverageReport &report)
     return out;
 }
 
+SnapshotReport
+buildSnapshotReport(const std::vector<JsonValue> &records)
+{
+    SnapshotReport report;
+    double saved_sum = 0, bytes_sum = 0;
+    for (const JsonValue &rec : records) {
+        ++report.total_jobs;
+        const JsonValue *extra = rec.find("extra");
+        if (!extra || !extra->isObject())
+            continue;
+        const double hit = extra->numberOr("snapshot_hit", -1);
+        if (hit < 0)
+            continue;
+        ++report.fork_eligible;
+        if (hit > 0.5) {
+            ++report.hits;
+            saved_sum += extra->numberOr("snapshot_saved_cycles", 0);
+            bytes_sum += extra->numberOr("snapshot_bytes", 0);
+        }
+    }
+    if (report.fork_eligible) {
+        report.hit_rate = static_cast<double>(report.hits) /
+                          report.fork_eligible;
+    }
+    report.total_saved_cycles = saved_sum;
+    if (report.hits) {
+        report.mean_saved_cycles = saved_sum / report.hits;
+        report.mean_bytes = bytes_sum / report.hits;
+    }
+    return report;
+}
+
+std::string
+formatSnapshotReport(const SnapshotReport &report)
+{
+    std::string out;
+    char line[160];
+
+    if (!report.fork_eligible) {
+        std::snprintf(line, sizeof(line),
+                      "%u jobs, none fork-eligible (run the campaign "
+                      "with --snapshot-every)\n",
+                      report.total_jobs);
+        out += line;
+        return out;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-10s %8s %9s %13s %13s %11s\n", "eligible", "hits",
+                  "hit-rate", "saved-cycles", "mean-saved", "mean-bytes");
+    out += line;
+    char rate[32], mean_saved[32], mean_bytes[32];
+    std::snprintf(rate, sizeof(rate), "%.0f%%", report.hit_rate * 100);
+    if (report.hits) {
+        std::snprintf(mean_saved, sizeof(mean_saved), "%.0f",
+                      report.mean_saved_cycles);
+        std::snprintf(mean_bytes, sizeof(mean_bytes), "%.0f",
+                      report.mean_bytes);
+    } else {
+        std::snprintf(mean_saved, sizeof(mean_saved), "-");
+        std::snprintf(mean_bytes, sizeof(mean_bytes), "-");
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-10u %8u %9s %13.0f %13s %11s\n",
+                  report.fork_eligible, report.hits, rate,
+                  report.total_saved_cycles, mean_saved, mean_bytes);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "%u jobs, %u fork-eligible fault trials\n",
+                  report.total_jobs, report.fork_eligible);
+    out += line;
+    return out;
+}
+
 } // namespace rmt

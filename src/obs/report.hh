@@ -95,6 +95,21 @@ struct CoverageReport
     std::vector<CoverageKindRow> kinds;     ///< first-seen order
 };
 
+/**
+ * Aggregate of the snapshot-forking fields fault campaigns record in
+ * each job's "extra" object (runner with a SnapshotCache attached).
+ */
+struct SnapshotReport
+{
+    unsigned total_jobs = 0;
+    unsigned fork_eligible = 0;     ///< jobs that carried a snapshot_hit
+    unsigned hits = 0;              ///< trials restored from a snapshot
+    double hit_rate = -1;           ///< hits / eligible; negative if none
+    double total_saved_cycles = 0;  ///< sum of pre-fork prefix cycles
+    double mean_saved_cycles = -1;  ///< over hits
+    double mean_bytes = -1;         ///< snapshot image size, over hits
+};
+
 /** Parse the lines of a .jsonl stream; malformed lines are skipped
  *  and counted in @p bad_lines. */
 std::vector<JsonValue> parseJsonlLines(
@@ -121,6 +136,13 @@ CoverageReport buildCoverageReport(
 
 /** Render the per-kind coverage table. */
 std::string formatCoverageReport(const CoverageReport &report);
+
+/** Aggregate the snapshot-forking metrics of a fault campaign run with
+ *  --snapshot-every: hit rate, cycles saved, snapshot image sizes. */
+SnapshotReport buildSnapshotReport(const std::vector<JsonValue> &records);
+
+/** Render the snapshot-forking summary. */
+std::string formatSnapshotReport(const SnapshotReport &report);
 
 } // namespace rmt
 

@@ -74,4 +74,39 @@ BranchPredictor::update(ThreadId tid, Addr pc, bool taken_dir,
     train(b, taken_dir);
 }
 
+void
+BranchPredictor::saveState(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(gshare.size()));
+    for (const std::uint8_t c : gshare)
+        s.u8(c);
+    s.u32(static_cast<std::uint32_t>(bimodal.size()));
+    for (const std::uint8_t c : bimodal)
+        s.u8(c);
+    s.u32(static_cast<std::uint32_t>(chooser.size()));
+    for (const std::uint8_t c : chooser)
+        s.u8(c);
+    s.u32(static_cast<std::uint32_t>(histories.size()));
+    for (const HistorySnapshot h : histories)
+        s.u64(h);
+}
+
+void
+BranchPredictor::loadState(Deserializer &d)
+{
+    auto counters = [&d](std::vector<std::uint8_t> &vec) {
+        if (d.u32() != vec.size())
+            throw SnapshotError("branch predictor: table size mismatch");
+        for (std::uint8_t &c : vec)
+            c = d.u8();
+    };
+    counters(gshare);
+    counters(bimodal);
+    counters(chooser);
+    if (d.u32() != histories.size())
+        throw SnapshotError("branch predictor: history count mismatch");
+    for (HistorySnapshot &h : histories)
+        h = d.u64();
+}
+
 } // namespace rmt

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -33,7 +34,7 @@ struct BranchPredictorParams
     unsigned max_threads = 4;
 };
 
-class BranchPredictor
+class BranchPredictor : public Snapshottable
 {
   public:
     explicit BranchPredictor(const BranchPredictorParams &params);
@@ -76,6 +77,10 @@ class BranchPredictor
 
     /** Record a resolved misprediction (for statistics). */
     void noteMispredict() { ++statMispredicts; }
+
+    /** All three counter tables plus per-thread histories. */
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     std::size_t gshareIndex(ThreadId tid, Addr pc,

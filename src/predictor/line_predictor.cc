@@ -66,4 +66,27 @@ LinePredictor::train(ThreadId tid, Addr chunk_addr, Addr next_chunk)
     e.hysteresis = false;
 }
 
+void
+LinePredictor::saveState(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(table.size()));
+    for (const Entry &e : table) {
+        s.u64(e.target);
+        s.boolean(e.valid);
+        s.boolean(e.hysteresis);
+    }
+}
+
+void
+LinePredictor::loadState(Deserializer &d)
+{
+    if (d.u32() != table.size())
+        throw SnapshotError("line predictor: table size mismatch");
+    for (Entry &e : table) {
+        e.target = d.u64();
+        e.valid = d.boolean();
+        e.hysteresis = d.boolean();
+    }
+}
+
 } // namespace rmt

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -28,7 +29,7 @@ struct LinePredictorParams
     unsigned entries = 28 * 1024;
 };
 
-class LinePredictor
+class LinePredictor : public Snapshottable
 {
   public:
     explicit LinePredictor(const LinePredictorParams &params);
@@ -46,6 +47,9 @@ class LinePredictor
     std::uint64_t lookups() const { return statLookups.value(); }
     std::uint64_t mispredicts() const { return statMispredicts.value(); }
     void noteMispredict() { ++statMispredicts; }
+
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     struct Entry

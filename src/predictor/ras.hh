@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/types.hh"
 
 namespace rmt
@@ -63,6 +64,26 @@ class ReturnAddressStack
 
     Addr peek() const { return stack[tos % stack.size()]; }
 
+    void
+    saveState(Serializer &s) const
+    {
+        s.u32(static_cast<std::uint32_t>(stack.size()));
+        for (const Addr a : stack)
+            s.u64(a);
+        s.u32(tos);
+    }
+
+    void
+    loadState(Deserializer &d)
+    {
+        const std::uint32_t n = d.u32();
+        if (n != stack.size())
+            throw SnapshotError("return address stack: depth mismatch");
+        for (Addr &a : stack)
+            a = d.u64();
+        tos = d.u32();
+    }
+
   private:
     std::vector<Addr> stack;
     unsigned tos = 0;   ///< wraps modulo depth; underflow is benign
@@ -87,6 +108,24 @@ class IndirectPredictor
     update(ThreadId tid, Addr pc, Addr target)
     {
         targets[index(tid, pc)] = target;
+    }
+
+    void
+    saveState(Serializer &s) const
+    {
+        s.u32(static_cast<std::uint32_t>(targets.size()));
+        for (const Addr t : targets)
+            s.u64(t);
+    }
+
+    void
+    loadState(Deserializer &d)
+    {
+        const std::uint32_t n = d.u32();
+        if (n != targets.size())
+            throw SnapshotError("indirect predictor: table size mismatch");
+        for (Addr &t : targets)
+            t = d.u64();
     }
 
   private:

@@ -102,4 +102,36 @@ StoreSets::squashThread(ThreadId tid)
     }
 }
 
+void
+StoreSets::saveState(Serializer &s) const
+{
+    s.u32(static_cast<std::uint32_t>(ssit.size()));
+    for (const std::uint32_t set : ssit)
+        s.u32(set);
+    s.u32(static_cast<std::uint32_t>(lfst.size()));
+    for (const LfstEntry &e : lfst) {
+        s.u64(e.seq);
+        s.u8(static_cast<std::uint8_t>(e.tid));
+    }
+    s.u32(nextSetId);
+    s.u64(lastClear);
+}
+
+void
+StoreSets::loadState(Deserializer &d)
+{
+    if (d.u32() != ssit.size())
+        throw SnapshotError("store sets: SSIT size mismatch");
+    for (std::uint32_t &set : ssit)
+        set = d.u32();
+    if (d.u32() != lfst.size())
+        throw SnapshotError("store sets: LFST size mismatch");
+    for (LfstEntry &e : lfst) {
+        e.seq = d.u64();
+        e.tid = static_cast<ThreadId>(d.u8());
+    }
+    nextSetId = d.u32();
+    lastClear = d.u64();
+}
+
 } // namespace rmt

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -33,7 +34,7 @@ struct StoreSetsParams
     Cycle clear_interval = 30000;
 };
 
-class StoreSets
+class StoreSets : public Snapshottable
 {
   public:
     static constexpr std::uint32_t invalidSet = ~std::uint32_t{0};
@@ -66,6 +67,11 @@ class StoreSets
     void tick(Cycle now);
 
     StatGroup &stats() { return statGroup; }
+
+    /** SSIT, LFST (stale in-flight entries included: they affect
+     *  loadDependence timing), set allocator, clearing phase. */
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     std::size_t ssitIndex(ThreadId tid, Addr pc) const;

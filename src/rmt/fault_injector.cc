@@ -209,6 +209,15 @@ void
 FaultInjector::schedule(const FaultRecord &fault)
 {
     validate(fault);
+    if (restoredCycle && fault.when <= restoredCycle) {
+        std::ostringstream os;
+        os << "fault " << faultKindName(fault.kind) << "@" << fault.when
+           << ": injection cycle is not after the restored snapshot "
+              "(cycle "
+           << restoredCycle
+           << "); fork from an earlier snapshot or run from scratch";
+        throw std::invalid_argument(os.str());
+    }
     faults.push_back(fault);
 }
 

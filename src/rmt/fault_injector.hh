@@ -125,6 +125,15 @@ class FaultInjector
     void configure(const FaultMachineShape &machine) { shape = machine; }
 
     /**
+     * The simulation was restored from a snapshot taken at @p cycle:
+     * schedule() rejects faults whose activation cycle is not strictly
+     * after it (tick applies faults with when <= now, so such a fault
+     * would fire immediately instead of at its nominal cycle — the trial
+     * must fork from an earlier snapshot or run from scratch).
+     */
+    void setRestoredCycle(Cycle cycle) { restoredCycle = cycle; }
+
+    /**
      * Schedule @p fault, validating it first (register index in range,
      * bit < 64, FU index names an existing unit, core/thread/pair
      * exist).  Throws std::invalid_argument with a descriptive message
@@ -160,6 +169,7 @@ class FaultInjector
     FaultMachineShape shape;
     Random rng;
     unsigned applied = 0;
+    Cycle restoredCycle = 0;
 };
 
 } // namespace rmt

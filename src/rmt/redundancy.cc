@@ -207,6 +207,55 @@ RedundancyManager::pairFor(CoreId core, ThreadId tid)
     return nullptr;
 }
 
+bool
+RedundantPair::drainedForSnapshot() const
+{
+    return lvq.size() == 0 && lpq.size() == 0 &&
+           comparator.pendingTrailing() == 0 && boq.empty() &&
+           uncachedLoads.empty() && uncachedLeadStores.empty() &&
+           uncachedTrailStores.empty() && interruptBoundaries.empty() &&
+           leadFuTrace.empty() && aggregationEmpty();
+}
+
+void
+RedundantPair::saveState(Serializer &s) const
+{
+    s.u64(leadLoadTag);
+    s.u64(trailLoadTag);
+    s.u64(leadStoreIdx);
+    s.u64(trailStoreIdx);
+    s.u64(leadRetired);
+    s.u64(trailFetched);
+    s.boolean(detected);
+    s.u32(static_cast<std::uint32_t>(events.size()));
+    for (const DetectionEvent &e : events) {
+        s.u8(static_cast<std::uint8_t>(e.kind));
+        s.u64(e.cycle);
+    }
+}
+
+void
+RedundantPair::loadState(Deserializer &d)
+{
+    if (!drainedForSnapshot())
+        throw SnapshotError("pair: restore target is not quiesced");
+    leadLoadTag = d.u64();
+    trailLoadTag = d.u64();
+    leadStoreIdx = d.u64();
+    trailStoreIdx = d.u64();
+    leadRetired = d.u64();
+    trailFetched = d.u64();
+    detected = d.boolean();
+    const std::uint32_t n = d.u32();
+    events.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        DetectionEvent e;
+        e.kind = static_cast<DetectionKind>(d.u8());
+        e.cycle = d.u64();
+        events.push_back(e);
+    }
+}
+
 Role
 RedundancyManager::roleFor(CoreId core, ThreadId tid) const
 {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "rmt/lpq.hh"
@@ -86,7 +87,7 @@ struct RedundantPairParams
     unsigned idle_flush_cycles = 8;     ///< aggregation timeout flush
 };
 
-class RedundantPair
+class RedundantPair : public Snapshottable
 {
   public:
     explicit RedundantPair(const RedundantPairParams &params);
@@ -252,6 +253,17 @@ class RedundantPair
     void notePsrForcedSameHalf() { ++statPsrForced; }
 
     StatGroup &stats() { return statGroup; }
+
+    /** True iff every sphere-crossing structure (LVQ, LPQ, BOQ, store
+     *  comparator, uncached queues, interrupt boundaries, FU trace,
+     *  chunk aggregation) is empty — the pair's quiesce condition. */
+    bool drainedForSnapshot() const;
+
+    /** Tag counters + detection record.  Queue contents are NOT
+     *  serialized: a snapshot is taken only at a quiesce point, where
+     *  drainedForSnapshot() holds; loadState enforces this. */
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   private:
     struct ChunkAgg

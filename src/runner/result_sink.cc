@@ -12,23 +12,20 @@ namespace rmt
 namespace
 {
 
-const char *
-frontendName(TrailingFetchMode mode)
-{
-    switch (mode) {
-      case TrailingFetchMode::LinePredictionQueue: return "lpq";
-      case TrailingFetchMode::BranchOutcomeQueue:  return "boq";
-      case TrailingFetchMode::SharedLinePredictor: return "sharedlp";
-    }
-    return "?";
-}
-
 // jsonEscape comes from common/json.hh, as does the round-trip
 // double format used everywhere in this file.
 std::string
 num(double v)
 {
     return jsonNum(v);
+}
+
+std::string
+fingerprintHex(std::uint64_t h)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
 }
 
 /**
@@ -38,19 +35,6 @@ num(double v)
  * byte-identical across runs and across -j levels.  The member is a
  * flat object, so scanning to the next '}' is sufficient.
  */
-std::string
-fnvFingerprint(const std::string &canon)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;     // FNV-1a 64
-    for (const char c : canon) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ull;
-    }
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
-    return buf;
-}
-
 std::string
 stripHostMember(std::string stats)
 {
@@ -69,35 +53,15 @@ stripHostMember(std::string stats)
 std::string
 optionsJson(const SimOptions &o)
 {
-    std::ostringstream os;
-    os << "{\"mode\":\"" << modeName(o.mode) << "\""
-       << ",\"warmup_insts\":" << o.warmup_insts
-       << ",\"measure_insts\":" << o.measure_insts
-       << ",\"checker_penalty\":" << o.checker_penalty
-       << ",\"ptsq\":" << (o.per_thread_store_queues ? 1 : 0)
-       << ",\"store_comparison\":" << (o.store_comparison ? 1 : 0)
-       << ",\"psr\":" << (o.preferential_space_redundancy ? 1 : 0)
-       << ",\"frontend\":\"" << frontendName(o.trailing_fetch) << "\""
-       << ",\"slack\":" << o.slack_fetch
-       << ",\"lvq_ecc\":" << (o.lvq_ecc ? 1 : 0)
-       << ",\"lpq_ecc\":" << (o.lpq_ecc ? 1 : 0)
-       << ",\"boq_ecc\":" << (o.boq_ecc ? 1 : 0)
-       << ",\"merge_ecc\":" << (o.merge_buffer_ecc ? 1 : 0)
-       << ",\"hang\":" << o.hang_cycles
-       << ",\"storeq\":" << o.cpu.store_queue_entries
-       << ",\"lvq\":" << o.cpu.lvq_entries
-       << ",\"lpq\":" << o.cpu.lpq_entries
-       << ",\"rob\":" << o.cpu.rob_entries
-       << ",\"iq\":" << o.cpu.iq_entries
-       << ",\"recovery\":" << (o.recovery ? 1 : 0)
-       << "}";
-    return os.str();
+    // The sim layer owns the canonical form: snapshots and baseline
+    // caches key on the same pre-image the campaign records carry.
+    return optionsCanonicalJson(o);
 }
 
 std::string
 optionsFingerprint(const SimOptions &o)
 {
-    return fnvFingerprint(optionsJson(o));
+    return fingerprintHex(optionsFingerprintU64(o));
 }
 
 std::string
@@ -118,7 +82,7 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
     const std::string canon = optionsJson(spec.options);
     os << "]"
        << ",\"options\":" << canon
-       << ",\"fingerprint\":\"" << fnvFingerprint(canon) << "\""
+       << ",\"fingerprint\":\"" << optionsFingerprint(spec.options) << "\""
        << ",\"status\":\"" << (r.ok() ? "ok" : "failed") << "\""
        << ",\"attempts\":" << r.attempts;
     if (!spec.faults.empty()) {

@@ -91,7 +91,35 @@ executeJob(const JobSpec &spec, const RunnerConfig &config)
         ++result.attempts;
         try {
             validateJobSpec(spec);
-            Simulation sim(spec.workloads, cappedOptions(spec, config));
+            const SimOptions capped = cappedOptions(spec, config);
+            Simulation sim(spec.workloads, capped);
+
+            // Fault trials fork from the latest snapshot strictly
+            // before the first fault; the restore happens before any
+            // fault is scheduled so the injector can validate that the
+            // snapshot really pre-dates every injection cycle.
+            bool snapshot_hit = false;
+            Cycle snapshot_cycle = 0;
+            double snapshot_bytes = 0;
+            const bool want_fork = config.snapshots &&
+                                   capped.snapshot_every &&
+                                   !spec.faults.empty();
+            if (want_fork) {
+                Cycle first_fault = spec.faults.front().when;
+                for (const FaultRecord &f : spec.faults)
+                    first_fault = std::min(first_fault, f.when);
+                const auto set =
+                    config.snapshots->snapshots(spec.workloads, capped);
+                if (const CachedSnapshot *snap =
+                        SnapshotCache::latestBefore(*set, first_fault)) {
+                    sim.restoreSnapshotBuffer(*snap->image);
+                    snapshot_hit = true;
+                    snapshot_cycle = snap->cycle;
+                    snapshot_bytes =
+                        static_cast<double>(snap->image->size());
+                }
+            }
+
             for (const FaultRecord &f : spec.faults)
                 sim.faultInjector().schedule(f);
             const RunResult run = sim.run();
@@ -116,6 +144,20 @@ executeJob(const JobSpec &spec, const RunnerConfig &config)
                     config.baseline->efficiencies(run);
                 result.mean_efficiency =
                     meanEfficiency(result.efficiencies);
+            }
+            if (want_fork) {
+                result.extra.emplace_back("snapshot_hit",
+                                          snapshot_hit ? 1.0 : 0.0);
+                if (snapshot_hit) {
+                    result.extra.emplace_back(
+                        "snapshot_cycle",
+                        static_cast<double>(snapshot_cycle));
+                    result.extra.emplace_back(
+                        "snapshot_saved_cycles",
+                        static_cast<double>(snapshot_cycle));
+                    result.extra.emplace_back("snapshot_bytes",
+                                              snapshot_bytes);
+                }
             }
             if (spec.post_run)
                 spec.post_run(sim, run, result);

@@ -21,6 +21,7 @@
 #include "runner/campaign.hh"
 #include "runner/job.hh"
 #include "runner/result_sink.hh"
+#include "runner/snapshot_cache.hh"
 #include "sim/metrics.hh"
 
 namespace rmt
@@ -36,6 +37,13 @@ struct RunnerConfig
     /** When set, mean_efficiency / efficiencies are filled from this
      *  cache (single-thread baselines simulated once per workload). */
     BaselineCache *baseline = nullptr;
+
+    /** When set (and a job's options place snapshot barriers), fault
+     *  trials fork from the latest cached snapshot strictly before the
+     *  first fault's activation cycle instead of running the common
+     *  prefix from scratch.  The per-job "extra" metrics record the
+     *  hit and the cycles saved. */
+    SnapshotCache *snapshots = nullptr;
 
     /** When set, receives each JobResult as it completes. */
     ResultSink *sink = nullptr;

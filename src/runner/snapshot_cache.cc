@@ -1,0 +1,103 @@
+#include "runner/snapshot_cache.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace rmt
+{
+
+namespace
+{
+
+std::string
+cacheKey(const std::vector<std::string> &workloads,
+         const SimOptions &options)
+{
+    std::string key;
+    for (const auto &w : workloads) {
+        key += w;
+        key += '\n';
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                  optionsFingerprintU64(options));
+    key += buf;
+    return key;
+}
+
+std::shared_ptr<const SnapshotSet>
+produce(const std::vector<std::string> &workloads,
+        const SimOptions &options)
+{
+    auto set = std::make_shared<SnapshotSet>();
+    Simulation sim(workloads, options);
+    sim.setSnapshotHook([&set](Cycle cycle, Simulation &s) {
+        set->push_back({cycle, std::make_shared<const std::string>(
+                                   s.saveSnapshotBuffer())});
+    });
+    sim.run();
+    // The hook fires at barriers in cycle order; no sort needed.
+    return set;
+}
+
+} // namespace
+
+std::shared_ptr<const SnapshotSet>
+SnapshotCache::snapshots(const std::vector<std::string> &workloads,
+                         const SimOptions &options)
+{
+    const std::string key = cacheKey(workloads, options);
+
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        auto [it, inserted] = cache.try_emplace(key);
+        if (inserted)
+            break;              // we own the placeholder
+        if (it->second.ready)
+            return it->second.set;
+        cv.wait(lock);
+    }
+
+    // We inserted the placeholder, so we are the single flight that
+    // runs the producer; everyone else blocks above.
+    lock.unlock();
+    std::shared_ptr<const SnapshotSet> set;
+    try {
+        set = produce(workloads, options);
+    } catch (...) {
+        // Unpublish so waiters do not hang; the next caller retries.
+        lock.lock();
+        cache.erase(key);
+        cv.notify_all();
+        throw;
+    }
+    lock.lock();
+    Entry &entry = cache.at(key);
+    entry.set = std::move(set);
+    entry.ready = true;
+    ++runs;
+    cv.notify_all();
+    return entry.set;
+}
+
+const CachedSnapshot *
+SnapshotCache::latestBefore(const SnapshotSet &set, Cycle cycle)
+{
+    const CachedSnapshot *best = nullptr;
+    for (const CachedSnapshot &snap : set) {
+        if (snap.cycle >= cycle)
+            break;
+        best = &snap;
+    }
+    return best;
+}
+
+std::uint64_t
+SnapshotCache::producerRuns() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return runs;
+}
+
+} // namespace rmt

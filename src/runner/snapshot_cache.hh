@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared snapshot store for fault campaigns (src/ckpt/ exploitation).
+ *
+ * A fault campaign runs many trials of the *same* (workload mix,
+ * options) point, differing only in the injected fault.  Everything
+ * before the injection cycle is identical across trials, so the runner
+ * can fork each trial from a periodic snapshot instead of re-simulating
+ * the common prefix: one fault-free producer run per distinct
+ * (mix, options-fingerprint) collects a snapshot at every barrier, and
+ * each trial restores the latest snapshot strictly before its first
+ * fault's activation cycle.
+ *
+ * Thread-safe with single-flight semantics, exactly like BaselineCache:
+ * when N workers ask for the same point's snapshots at once, one runs
+ * the producer simulation while the rest block until it publishes.
+ */
+
+#ifndef RMTSIM_RUNNER_SNAPSHOT_CACHE_HH
+#define RMTSIM_RUNNER_SNAPSHOT_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace rmt
+{
+
+/** One periodic snapshot: the barrier cycle and the serialized image
+ *  (shared so trials on many workers alias one copy). */
+struct CachedSnapshot
+{
+    Cycle cycle = 0;
+    std::shared_ptr<const std::string> image;
+};
+
+/** All snapshots of one producer run, sorted by ascending cycle. */
+using SnapshotSet = std::vector<CachedSnapshot>;
+
+class SnapshotCache
+{
+  public:
+    /**
+     * Snapshots for (@p workloads, @p options), producing them on first
+     * use with one fault-free run.  @p options must have snapshot_every
+     * set and must be the exact options the trials run under (the
+     * snapshot fingerprint check enforces this at restore time).
+     * Returns an empty set when the producer run placed no barriers
+     * (budget shorter than snapshot_every).
+     */
+    std::shared_ptr<const SnapshotSet>
+    snapshots(const std::vector<std::string> &workloads,
+              const SimOptions &options);
+
+    /**
+     * The latest snapshot in @p set strictly before @p cycle, or
+     * nullptr.  Strictly: the injector applies a fault when
+     * now >= fault.when, so a snapshot taken *at* the fault cycle
+     * already post-dates the nominal injection point.
+     */
+    static const CachedSnapshot *
+    latestBefore(const SnapshotSet &set, Cycle cycle);
+
+    /** Producer simulations actually executed (the single-flight
+     *  invariant: one per distinct key). */
+    std::uint64_t producerRuns() const;
+
+  private:
+    struct Entry
+    {
+        bool ready = false;
+        std::shared_ptr<const SnapshotSet> set;
+    };
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, Entry> cache;
+    std::uint64_t runs = 0;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_RUNNER_SNAPSHOT_CACHE_HH

@@ -1,7 +1,57 @@
 #include "sim/metrics.hh"
 
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+
 namespace rmt
 {
+
+namespace
+{
+
+/** Parse `"ipc":<number>` out of a stored baseline record; false on a
+ *  missing/garbled file (the caller falls back to simulating). */
+bool
+loadStoredIpc(const std::string &path, double &value)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+    if (doc.find("\"schema\":\"rmtsim-baseline-v1\"") == std::string::npos)
+        return false;
+    const auto pos = doc.find("\"ipc\":");
+    if (pos == std::string::npos)
+        return false;
+    try {
+        value = std::stod(doc.substr(pos + 6));
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+void
+writeStoredIpc(const std::string &path, const std::string &workload,
+               const std::string &fingerprint, double value)
+{
+    std::ofstream out(path);
+    if (!out)
+        return;     // a read-only store degrades to in-memory caching
+    out << "{\"schema\":\"rmtsim-baseline-v1\""
+        << ",\"workload\":\"" << jsonEscape(workload) << "\""
+        << ",\"fingerprint\":\"" << fingerprint << "\""
+        << ",\"ipc\":" << jsonNum(value) << "}\n";
+}
+
+} // namespace
 
 double
 smtEfficiency(double mode_ipc, double single_thread_ipc)
@@ -20,6 +70,25 @@ meanEfficiency(const std::vector<double> &efficiencies)
     return sum / static_cast<double>(efficiencies.size());
 }
 
+void
+BaselineCache::setStore(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    store_dir = dir;
+    std::filesystem::create_directories(dir);
+}
+
+std::string
+BaselineCache::storePath(const std::string &workload) const
+{
+    if (store_dir.empty())
+        return "";
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                  optionsFingerprintU64(opts));
+    return store_dir + "/baseline-" + buf + "-" + workload + ".json";
+}
+
 double
 BaselineCache::ipc(const std::string &workload)
 {
@@ -35,26 +104,38 @@ BaselineCache::ipc(const std::string &workload)
         // re-claims the entry and retries the simulation).
         cv.wait(lock);
     }
+    const std::string path = storePath(workload);
 
     // We inserted the placeholder, so we are the single flight that
-    // simulates this workload; everyone else blocks above.
+    // resolves this workload; everyone else blocks above.  An attached
+    // on-disk store is consulted first — a hit skips the simulation.
     lock.unlock();
     double value = 0;
-    try {
-        value = singleThreadIpc(workload, opts);
-    } catch (...) {
-        // Unpublish so waiters do not hang on a value that will never
-        // arrive; the next caller retries the simulation.
-        lock.lock();
-        cache.erase(workload);
-        cv.notify_all();
-        throw;
+    bool loaded = !path.empty() && loadStoredIpc(path, value);
+    if (!loaded) {
+        try {
+            value = singleThreadIpc(workload, opts);
+        } catch (...) {
+            // Unpublish so waiters do not hang on a value that will
+            // never arrive; the next caller retries the simulation.
+            lock.lock();
+            cache.erase(workload);
+            cv.notify_all();
+            throw;
+        }
+        if (!path.empty()) {
+            char buf[20];
+            std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                          optionsFingerprintU64(opts));
+            writeStoredIpc(path, workload, buf, value);
+        }
     }
     lock.lock();
     Entry &entry = cache.at(workload);
     entry.value = value;
     entry.ready = true;
-    ++sims;
+    if (!loaded)
+        ++sims;
     cv.notify_all();
     return value;
 }

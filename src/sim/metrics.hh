@@ -42,6 +42,16 @@ class BaselineCache
   public:
     explicit BaselineCache(const SimOptions &options) : opts(options) {}
 
+    /**
+     * Attach an on-disk store: baselines are read from
+     * `DIR/baseline-<options fingerprint>-<workload>.json` when
+     * present and written there after each simulation, so repeated
+     * campaigns under the same options skip the baseline runs
+     * entirely.  The directory is created if needed.  A missing or
+     * unparsable file falls back to simulating (and rewrites it).
+     */
+    void setStore(const std::string &dir);
+
     /** Single-thread IPC of @p workload (simulated once, then cached). */
     double ipc(const std::string &workload);
 
@@ -62,7 +72,11 @@ class BaselineCache
         double value = 0;
     };
 
+    /** Store path for @p workload, or "" when no store is attached. */
+    std::string storePath(const std::string &workload) const;
+
     SimOptions opts;
+    std::string store_dir;
     mutable std::mutex mu;
     std::condition_variable cv;
     std::unordered_map<std::string, Entry> cache;

@@ -1,8 +1,12 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "ckpt/serializer.hh"
+#include "ckpt/snapshot.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "obs/stats_json.hh"
@@ -38,6 +42,17 @@ outcomeName(Outcome outcome)
 namespace
 {
 
+const char *
+frontendName(TrailingFetchMode mode)
+{
+    switch (mode) {
+      case TrailingFetchMode::LinePredictionQueue: return "lpq";
+      case TrailingFetchMode::BranchOutcomeQueue:  return "boq";
+      case TrailingFetchMode::SharedLinePredictor: return "sharedlp";
+    }
+    return "?";
+}
+
 SmtParams
 coreParams(const SimOptions &opts)
 {
@@ -70,6 +85,14 @@ Simulation::Simulation(const std::vector<std::string> &workload_names,
     WallTimer build_timer;
     if (workload_names.empty())
         fatal("Simulation needs at least one workload");
+    if (opts.snapshot_every) {
+        // Snapshots capture timing state only; the cosim reference model
+        // and the recovery engine's checkpoint log are not serialized.
+        if (opts.cosim)
+            fatal("snapshots are incompatible with cosim");
+        if (opts.recovery)
+            fatal("snapshots are incompatible with recovery");
+    }
 
     for (const auto &name : workload_names) {
         workloads.push_back(buildWorkload(name));
@@ -354,7 +377,11 @@ Simulation::run()
     bool in_warmup = opts.warmup_insts > 0;
     bool hung = false;
     Cycle n = 0;
-    while (n < cap && !_chip->allDone() && !hung) {
+
+    // One simulated cycle with warmup/watchdog accounting; shared by
+    // the main loop and the snapshot-barrier drain so a drained cycle
+    // is indistinguishable from any other.
+    auto tickOnce = [&]() {
         _chip->tick();
         ++n;
         if (in_warmup && pastWarmup()) {
@@ -375,6 +402,38 @@ Simulation::run()
                 hung = true;
                 break;
             }
+        }
+    };
+
+    // Snapshot barriers key off the *absolute* chip cycle so a restored
+    // run executes the same freeze-drain schedule as an unbroken one.
+    const std::uint64_t snap_every = opts.snapshot_every;
+    Cycle next_barrier = 0;
+    if (snap_every)
+        next_barrier = (_chip->cycle() / snap_every + 1) * snap_every;
+
+    while (n < cap && !_chip->allDone() && !hung) {
+        tickOnce();
+        if (snap_every && !hung && !_chip->allDone() &&
+            _chip->cycle() >= next_barrier) {
+            // Freeze-drain: stop non-trailing fetch, let everything in
+            // flight commit, then (quiesced) hand control to the hook.
+            _chip->setDraining(true);
+            const Cycle drain_start = _chip->cycle();
+            while (!_chip->quiescedForSnapshot() && n < cap && !hung) {
+                tickOnce();
+                if (_chip->cycle() - drain_start > maxSnapshotDrainCycles) {
+                    fatal("snapshot barrier at cycle %llu did not quiesce "
+                          "within %llu cycles",
+                          static_cast<unsigned long long>(next_barrier),
+                          static_cast<unsigned long long>(
+                              maxSnapshotDrainCycles));
+                }
+            }
+            _chip->setDraining(false);
+            if (!hung && _chip->quiescedForSnapshot() && snapshotHook)
+                snapshotHook(_chip->cycle(), *this);
+            next_barrier = (_chip->cycle() / snap_every + 1) * snap_every;
         }
     }
     // Drain: forwarded outputs may still be in flight (Chip::run).
@@ -503,6 +562,218 @@ Simulation::statsJson(const RunResult &result)
        << ",\"host\":" << result.host.json()
        << ",\"groups\":" << chipStatsJson(*_chip) << "}";
     return os.str();
+}
+
+std::string
+optionsCanonicalJson(const SimOptions &o)
+{
+    std::ostringstream os;
+    os << "{\"mode\":\"" << modeName(o.mode) << "\""
+       << ",\"warmup_insts\":" << o.warmup_insts
+       << ",\"measure_insts\":" << o.measure_insts
+       << ",\"checker_penalty\":" << o.checker_penalty
+       << ",\"ptsq\":" << (o.per_thread_store_queues ? 1 : 0)
+       << ",\"store_comparison\":" << (o.store_comparison ? 1 : 0)
+       << ",\"psr\":" << (o.preferential_space_redundancy ? 1 : 0)
+       << ",\"frontend\":\"" << frontendName(o.trailing_fetch) << "\""
+       << ",\"slack\":" << o.slack_fetch
+       << ",\"lvq_ecc\":" << (o.lvq_ecc ? 1 : 0)
+       << ",\"lpq_ecc\":" << (o.lpq_ecc ? 1 : 0)
+       << ",\"boq_ecc\":" << (o.boq_ecc ? 1 : 0)
+       << ",\"merge_ecc\":" << (o.merge_buffer_ecc ? 1 : 0)
+       << ",\"hang\":" << o.hang_cycles
+       << ",\"storeq\":" << o.cpu.store_queue_entries
+       << ",\"lvq\":" << o.cpu.lvq_entries
+       << ",\"lpq\":" << o.cpu.lpq_entries
+       << ",\"rob\":" << o.cpu.rob_entries
+       << ",\"iq\":" << o.cpu.iq_entries
+       << ",\"recovery\":" << (o.recovery ? 1 : 0)
+       << ",\"snapshot_every\":" << o.snapshot_every
+       << "}";
+    return os.str();
+}
+
+std::uint64_t
+optionsFingerprintU64(const SimOptions &options)
+{
+    const std::string canon = optionsCanonicalJson(options);
+    std::uint64_t h = 0xcbf29ce484222325ull;     // FNV-1a 64
+    for (const char c : canon) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace
+{
+
+/**
+ * Data images are huge and almost entirely zero (the workloads touch a
+ * small fraction of their address space), so the "memory" section stores
+ * only the nonzero 4 KiB pages: total size, page size, page count, then
+ * (page index, page bytes) per stored page.  Restore zero-fills first,
+ * which is exact — the saved state fully defines the image.
+ */
+constexpr std::size_t snapshotPageBytes = 4096;
+
+void
+saveSparseMemory(Serializer &s, const DataMemory &m)
+{
+    const std::uint8_t *bytes = m.data();
+    const std::size_t size = m.size();
+    const std::size_t pages =
+        (size + snapshotPageBytes - 1) / snapshotPageBytes;
+
+    static const std::uint8_t zero[snapshotPageBytes] = {};
+    const auto pageLen = [size](std::size_t p) {
+        return std::min(snapshotPageBytes, size - p * snapshotPageBytes);
+    };
+
+    std::uint32_t nonzero = 0;
+    for (std::size_t p = 0; p < pages; ++p) {
+        if (std::memcmp(bytes + p * snapshotPageBytes, zero, pageLen(p)))
+            ++nonzero;
+    }
+
+    s.u64(size);
+    s.u32(static_cast<std::uint32_t>(snapshotPageBytes));
+    s.u32(nonzero);
+    for (std::size_t p = 0; p < pages; ++p) {
+        if (std::memcmp(bytes + p * snapshotPageBytes, zero, pageLen(p))) {
+            s.u32(static_cast<std::uint32_t>(p));
+            s.blob(bytes + p * snapshotPageBytes, pageLen(p));
+        }
+    }
+}
+
+void
+loadSparseMemory(Deserializer &d, DataMemory &m)
+{
+    if (d.u64() != m.size())
+        throw SnapshotError("snapshot: memory image size mismatch");
+    if (d.u32() != snapshotPageBytes)
+        throw SnapshotError("snapshot: memory page size mismatch");
+
+    std::fill_n(m.data(), m.size(), std::uint8_t{0});
+    const std::uint32_t stored = d.u32();
+    for (std::uint32_t i = 0; i < stored; ++i) {
+        const std::uint64_t off =
+            std::uint64_t{d.u32()} * snapshotPageBytes;
+        const std::vector<std::uint8_t> page = d.blob();
+        if (off + page.size() > m.size())
+            throw SnapshotError("snapshot: memory page out of range");
+        std::copy(page.begin(), page.end(), m.data() + off);
+    }
+}
+
+} // namespace
+
+std::string
+Simulation::saveSnapshotBuffer() const
+{
+    if (opts.cosim)
+        throw SnapshotError("snapshots are incompatible with cosim");
+    if (opts.recovery)
+        throw SnapshotError("snapshots are incompatible with recovery");
+    if (!_chip->quiescedForSnapshot()) {
+        throw SnapshotError(
+            "snapshot requires a quiesced chip (save from the snapshot "
+            "hook or after the run finished)");
+    }
+
+    Serializer s;
+    s.beginSection("meta");
+    s.u64(_chip->cycle());
+    s.u32(static_cast<std::uint32_t>(workloads.size()));
+    for (const Workload &w : workloads)
+        s.str(w.name);
+    s.endSection();
+
+    s.beginSection("chip");
+    _chip->saveState(s);
+    s.endSection();
+
+    s.beginSection("memory");
+    s.u32(static_cast<std::uint32_t>(memories.size()));
+    for (const auto &m : memories)
+        saveSparseMemory(s, *m);
+    s.u32(static_cast<std::uint32_t>(copyMemories.size()));
+    for (const auto &m : copyMemories)
+        saveSparseMemory(s, *m);
+    s.endSection();
+
+    saveChipStats(s, *_chip);
+    return s.finish(optionsFingerprintU64(opts));
+}
+
+void
+Simulation::restoreSnapshotBuffer(const std::string &image)
+{
+    if (opts.cosim)
+        throw SnapshotError("snapshots are incompatible with cosim");
+    if (opts.recovery)
+        throw SnapshotError("snapshots are incompatible with recovery");
+    if (_chip->cycle() != 0) {
+        throw SnapshotError(
+            "restore requires a freshly built simulation");
+    }
+
+    Deserializer d(image, optionsFingerprintU64(opts));
+
+    d.beginSection("meta");
+    const Cycle cyc = d.u64();
+    if (d.u32() != workloads.size())
+        throw SnapshotError("snapshot: workload count mismatch");
+    for (const Workload &w : workloads) {
+        if (d.str() != w.name)
+            throw SnapshotError("snapshot: workload set mismatch");
+    }
+    d.endSection();
+
+    d.beginSection("chip");
+    _chip->loadState(d);
+    d.endSection();
+
+    d.beginSection("memory");
+    if (d.u32() != memories.size())
+        throw SnapshotError("snapshot: memory image count mismatch");
+    for (auto &m : memories)
+        loadSparseMemory(d, *m);
+    if (d.u32() != copyMemories.size())
+        throw SnapshotError("snapshot: memory image count mismatch");
+    for (auto &m : copyMemories)
+        loadSparseMemory(d, *m);
+    d.endSection();
+
+    loadChipStats(d, *_chip);
+
+    restoredAt = cyc;
+    injector.setRestoredCycle(cyc);
+}
+
+void
+Simulation::saveSnapshot(const std::string &path) const
+{
+    const std::string image = saveSnapshotBuffer();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw SnapshotError("cannot open snapshot file: " + path);
+    out.write(image.data(),
+              static_cast<std::streamsize>(image.size()));
+    if (!out)
+        throw SnapshotError("cannot write snapshot file: " + path);
+}
+
+void
+Simulation::restoreSnapshot(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SnapshotError("cannot open snapshot file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    restoreSnapshotBuffer(buf.str());
 }
 
 RunResult

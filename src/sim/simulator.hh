@@ -12,6 +12,7 @@
 #ifndef RMTSIM_SIM_SIMULATOR_HH
 #define RMTSIM_SIM_SIMULATOR_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,7 +71,28 @@ struct SimOptions
     Cycle timeline_interval = 0;            ///< 0 = no timeline probe
     std::size_t timeline_max_samples = 65536;   ///< ring cap (0 = unbounded)
     bool collect_stats_json = false;        ///< fill RunResult::stats_json
+
+    /**
+     * Checkpointing (src/ckpt/): place a snapshot barrier every N
+     * cycles (0 = none).  At each barrier the chip drains to a quiesce
+     * point before the snapshot hook runs; the drain is part of the
+     * simulation's timing, so two runs with the same snapshot_every are
+     * cycle-identical whether or not either one actually saves or was
+     * restored from a snapshot.  Part of the options fingerprint for
+     * exactly that reason.  Incompatible with cosim and recovery.
+     */
+    std::uint64_t snapshot_every = 0;
 };
+
+/**
+ * Canonical one-line JSON of every timing-relevant option: the
+ * pre-image of the options fingerprint used to key snapshots, baseline
+ * caches, and campaign records.
+ */
+std::string optionsCanonicalJson(const SimOptions &options);
+
+/** FNV-1a-64 hash of optionsCanonicalJson(). */
+std::uint64_t optionsFingerprintU64(const SimOptions &options);
 
 /**
  * How a run ended.  Replaces the old completed/not-completed split with
@@ -180,6 +202,44 @@ class Simulation
      *  comparison in fault-coverage experiments). */
     DataMemory &memory(unsigned logical) { return *memories.at(logical); }
 
+    // --------------------------------------------- checkpoint/restore
+    /**
+     * Called at every snapshot barrier, after the chip has quiesced;
+     * typically calls saveSnapshotBuffer()/saveSnapshot().
+     */
+    using SnapshotHook = std::function<void(Cycle, Simulation &)>;
+    void setSnapshotHook(SnapshotHook hook)
+    {
+        snapshotHook = std::move(hook);
+    }
+
+    /**
+     * Serialize the whole simulation (chip, data memories, statistics)
+     * into a snapshot image.  Only valid at a quiesce point — i.e. from
+     * the snapshot hook, or after run() returned — and throws
+     * SnapshotError otherwise.
+     */
+    std::string saveSnapshotBuffer() const;
+
+    /**
+     * Restore a snapshot image into this freshly built (never run)
+     * simulation.  The image must have been taken under the same
+     * workloads and options (fingerprint-checked); run() then continues
+     * from the saved cycle, byte-identical to an unbroken run.
+     */
+    void restoreSnapshotBuffer(const std::string &image);
+
+    /** File wrappers around the buffer API. */
+    void saveSnapshot(const std::string &path) const;
+    void restoreSnapshot(const std::string &path);
+
+    /** Cycle this simulation was restored at (0 = not restored). */
+    Cycle restoredCycle() const { return restoredAt; }
+
+    /** Upper bound on the freeze-drain length at a snapshot barrier
+     *  before the run dies with a clear fatal (a wedge, not a drain). */
+    static constexpr Cycle maxSnapshotDrainCycles = 30000;
+
   private:
     void buildBase(bool base2);
     void buildSrt();
@@ -195,6 +255,8 @@ class Simulation
     std::vector<Placement> placements;
     std::unique_ptr<TimelineProbe> probe;
     double buildSeconds = 0;
+    SnapshotHook snapshotHook;
+    Cycle restoredAt = 0;
 };
 
 /** Convenience: build + run in one call. */

@@ -63,4 +63,32 @@ cmake --build build -j "$jobs" --target rmtsim_faultsmoke \
 ./build/tools/rmtsim_faultsmoke --trials 2 --out build/fault_smoke.jsonl
 ./build/tools/rmtsim_report --coverage build/fault_smoke.jsonl
 
+echo "== ckpt: snapshot round-trip determinism gate =="
+cmake --build build -j "$jobs" --target rmtsim_cli rmtsim_batch >/dev/null
+ckpt_args="--mode srt --workloads gcc --warmup 2000 --insts 8000
+           --snapshot-every 1500"
+./build/tools/rmtsim $ckpt_args > build/ckpt_straight.txt
+./build/tools/rmtsim $ckpt_args --save-snapshot build/ckpt.bin \
+    > build/ckpt_save.txt
+./build/tools/rmtsim $ckpt_args --restore-snapshot build/ckpt.bin \
+    > build/ckpt_restore.txt
+diff build/ckpt_straight.txt build/ckpt_save.txt
+diff build/ckpt_straight.txt build/ckpt_restore.txt
+
+echo "== ckpt: snapshot-forked fault campaign vs from-scratch =="
+# rmtsim_faultsmoke runs with recovery on, which snapshots refuse, so
+# the forked smoke goes through rmtsim_batch.  Records must match the
+# from-scratch control byte-for-byte once the snapshot bookkeeping
+# ("extra") is stripped, and at least one trial must actually fork.
+ckpt_batch="--modes srt --workloads gcc,compress --fault-trials 2
+            --warmup 500 --insts 5000 --snapshot-every 1500
+            --no-timing --quiet"
+./build/tools/rmtsim_batch $ckpt_batch --out build/ckpt_forked.jsonl
+./build/tools/rmtsim_batch $ckpt_batch --no-snapshot-fork \
+    --out build/ckpt_scratch.jsonl
+sed 's/,"extra":{[^}]*}//' build/ckpt_forked.jsonl \
+    > build/ckpt_forked_stripped.jsonl
+diff build/ckpt_forked_stripped.jsonl build/ckpt_scratch.jsonl
+grep -q '"snapshot_hit":1' build/ckpt_forked.jsonl
+
 echo "check.sh: all checks OK"

@@ -14,10 +14,13 @@
  * byte-for-byte diffable).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -51,10 +54,19 @@ usage()
         "checker storeq lvq lpq rob iq insts warmup ptsq nosc psr ecc "
         "frontend\n"
         "  --fault-trials N  N seeded transient-reg strikes per grid "
-        "point\n"
+        "point (each trial gets an oracle verdict vs a golden run)\n"
         "  --max-reg N       victim register bound for fault trials "
         "(default 31)\n"
         "  --seed S          campaign seed (default 1)\n"
+        "\n"
+        "checkpointing:\n"
+        "  --snapshot-every N  place a snapshot barrier every N cycles; "
+        "fault trials fork from the latest snapshot before their "
+        "strike\n"
+        "  --no-snapshot-fork  keep the barriers but run every trial "
+        "from scratch (timing-identical control for the forked run)\n"
+        "  --baseline-cache DIR  persist --efficiency baselines to DIR "
+        "keyed by options fingerprint\n"
         "\n"
         "budgets:\n"
         "  --insts N         measured instructions/thread (default "
@@ -111,8 +123,10 @@ main(int argc, char **argv)
 
     RunnerConfig cfg;
     std::string out_path = "-";
+    std::string baseline_dir;
     bool want_efficiency = false;
     bool list_only = false;
+    bool snapshot_fork = true;
     JsonlSink::Options sink_opts;
 
     try {
@@ -175,6 +189,12 @@ main(int argc, char **argv)
                 want_efficiency = true;
             } else if (arg == "--embed-stats") {
                 base.collect_stats_json = true;
+            } else if (arg == "--snapshot-every") {
+                base.snapshot_every = std::stoull(next());
+            } else if (arg == "--no-snapshot-fork") {
+                snapshot_fork = false;
+            } else if (arg == "--baseline-cache") {
+                baseline_dir = next();
             } else if (arg == "--no-timing") {
                 sink_opts.include_timing = false;
             } else if (arg == "--quiet") {
@@ -211,6 +231,46 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Every fault trial gets an oracle verdict: one golden (fault-free)
+    // run per distinct (mix, effective options) point, shared by all of
+    // that point's trials.  The golden uses the same capped budgets the
+    // trials will actually run under, or the memory comparison would
+    // flag the budget difference as corruption.
+    std::map<std::string, std::unique_ptr<FaultOracle>> oracles;
+    if (fault_trials) {
+        try {
+            for (JobSpec &job : campaign.jobs) {
+                if (job.faults.empty())
+                    continue;
+                SimOptions o = job.options;
+                if (cfg.max_insts) {
+                    o.warmup_insts =
+                        std::min(o.warmup_insts, cfg.max_insts);
+                    o.measure_insts = std::min(
+                        o.measure_insts, cfg.max_insts - o.warmup_insts);
+                }
+                std::string key;
+                for (const auto &w : job.workloads)
+                    key += w + "+";
+                key += optionsFingerprint(o);
+                auto it = oracles.find(key);
+                if (it == oracles.end()) {
+                    it = oracles
+                             .emplace(key,
+                                      std::make_unique<FaultOracle>(
+                                          FaultOracle::goldenImage(
+                                              job.workloads, o)))
+                             .first;
+                }
+                attachFaultOracle(job, it->second.get());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "rmtsim_batch: golden run failed: %s\n",
+                         e.what());
+            return 2;
+        }
+    }
+
     if (list_only) {
         for (const JobSpec &j : campaign.jobs)
             std::printf("%6llu  %s\n",
@@ -237,8 +297,17 @@ main(int argc, char **argv)
     // The baseline cache is shared across workers (single-flight);
     // baselines use the campaign's budgets but the base machine.
     BaselineCache baseline(base);
+    if (!baseline_dir.empty()) {
+        baseline.setStore(baseline_dir);
+        want_efficiency = true;     // a store implies --efficiency
+    }
     if (want_efficiency)
         cfg.baseline = &baseline;
+
+    // Snapshot store for forked fault trials, shared across workers.
+    SnapshotCache snapshots;
+    if (base.snapshot_every && snapshot_fork)
+        cfg.snapshots = &snapshots;
 
     const auto results = runCampaign(campaign, cfg);
 
@@ -250,6 +319,9 @@ main(int argc, char **argv)
         if (want_efficiency)
             note = " (" + std::to_string(baseline.simulations()) +
                    " baseline sims)";
+        if (cfg.snapshots)
+            note += " (" + std::to_string(snapshots.producerRuns()) +
+                    " snapshot producers)";
         std::fprintf(stderr, "%zu jobs, %llu failed%s\n",
                      results.size(),
                      static_cast<unsigned long long>(failed),

@@ -76,7 +76,13 @@ usage()
         "  --timeline FILE   cycle-sampled queue/slack timeline as "
         "JSONL ('-' = stdout)\n"
         "  --timeline-interval N  cycles between samples (default "
-        "1000)\n");
+        "1000)\n"
+        "  --snapshot-every N     place a snapshot barrier every N "
+        "cycles\n"
+        "  --save-snapshot FILE   save a snapshot at each barrier "
+        "(FILE holds the last one; needs --snapshot-every)\n"
+        "  --restore-snapshot FILE  restore FILE, then run to the "
+        "budget\n");
 }
 
 std::vector<std::string>
@@ -122,6 +128,8 @@ main(int argc, char **argv)
     std::uint64_t trace_max = 10000;
     std::string stats_json_file;
     std::string timeline_file;
+    std::string save_snapshot_file;
+    std::string restore_snapshot_file;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -212,6 +220,13 @@ main(int argc, char **argv)
         } else if (arg == "--timeline-interval") {
             opts.timeline_interval =
                 std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--snapshot-every") {
+            opts.snapshot_every =
+                std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--save-snapshot") {
+            save_snapshot_file = next();
+        } else if (arg == "--restore-snapshot") {
+            restore_snapshot_file = next();
         } else {
             usage();
             fatal("unknown argument '%s'", arg.c_str());
@@ -228,8 +243,27 @@ main(int argc, char **argv)
     if (!timeline_file.empty() && opts.timeline_interval == 0)
         opts.timeline_interval = 1000;
 
+    if (!save_snapshot_file.empty() && opts.snapshot_every == 0)
+        fatal("--save-snapshot needs --snapshot-every to place the "
+              "barriers it saves at");
+
     std::vector<std::unique_ptr<std::ofstream>> owned_streams;
     Simulation sim(workloads, opts);
+    if (!restore_snapshot_file.empty()) {
+        try {
+            sim.restoreSnapshot(restore_snapshot_file);
+        } catch (const std::exception &e) {
+            fatal("cannot restore '%s': %s",
+                  restore_snapshot_file.c_str(), e.what());
+        }
+    }
+    if (!save_snapshot_file.empty()) {
+        // Overwrite at every barrier: the file ends up holding the
+        // last snapshot of the run.
+        sim.setSnapshotHook([&save_snapshot_file](Cycle, Simulation &s) {
+            s.saveSnapshot(save_snapshot_file);
+        });
+    }
     if (!trace_file.empty()) {
         std::ostream *os = openOut(trace_file, owned_streams);
         for (unsigned c = 0; c < sim.chip().numCores(); ++c)

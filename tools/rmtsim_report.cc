@@ -41,7 +41,10 @@ usage()
         "  --per-mix         also print the per-workload-mix table\n"
         "  --coverage        fault-campaign mode: per-fault-kind "
         "verdicts,\n"
-        "                    detection rate and latency histogram\n");
+        "                    detection rate and latency histogram\n"
+        "  --snapshots       snapshot-forking summary: hit rate, "
+        "cycles\n"
+        "                    saved, snapshot image sizes\n");
 }
 
 } // namespace
@@ -52,6 +55,7 @@ main(int argc, char **argv)
     ReportOptions opts;
     std::string path;
     bool coverage = false;
+    bool snapshots = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -70,6 +74,8 @@ main(int argc, char **argv)
             opts.per_mix = true;
         } else if (arg == "--coverage") {
             coverage = true;
+        } else if (arg == "--snapshots") {
+            snapshots = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             usage();
             std::fprintf(stderr,
@@ -117,6 +123,14 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (snapshots) {
+        const SnapshotReport report = buildSnapshotReport(records);
+        std::fputs(formatSnapshotReport(report).c_str(), stdout);
+        if (coverage)
+            std::fputs("\n", stdout);
+        else
+            return 0;
+    }
     if (coverage) {
         const CoverageReport report = buildCoverageReport(records);
         std::fputs(formatCoverageReport(report).c_str(), stdout);
