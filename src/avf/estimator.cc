@@ -1,0 +1,136 @@
+#include "avf/estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmt
+{
+
+double
+normalQuantile(double p)
+{
+    // Acklam's inverse-normal-CDF approximation: one rational
+    // polynomial for each tail and one for the central region.
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    static const double p_low = 0.02425;
+
+    if (p <= 0)
+        return -1e308;      // sentinel; callers pass p in (0, 1)
+    if (p >= 1)
+        return 1e308;
+
+    if (p < p_low) {
+        const double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p > 1 - p_low) {
+        const double q = std::sqrt(-2 * std::log(1 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+            r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+            r + 1);
+}
+
+double
+confidenceZ(double confidence)
+{
+    const double c = std::clamp(confidence, 1e-6, 1 - 1e-12);
+    return normalQuantile(1 - (1 - c) / 2);
+}
+
+Interval
+wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+               double confidence)
+{
+    if (trials == 0)
+        return {0, 1};
+
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z = confidenceZ(confidence);
+    const double z2 = z * z;
+
+    const double denom = 1 + z2 / n;
+    const double centre = (p + z2 / (2 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom;
+
+    Interval ci;
+    ci.low = std::max(0.0, centre - half);
+    ci.high = std::min(1.0, centre + half);
+    return ci;
+}
+
+RollupEstimate
+rollupEstimate(const std::vector<StratumCounts> &counts,
+               const std::vector<double> &weights, double confidence)
+{
+    RollupEstimate out;
+
+    // Normalise the weights over strata that actually sampled; an
+    // unsampled stratum contributes no estimate (and the roll-up says
+    // so through `strata` vs the caller's stratum count).
+    double weight_sum = 0;
+    const std::size_t n = std::min(counts.size(), weights.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (counts[i].trials)
+            weight_sum += weights[i];
+    }
+    if (weight_sum <= 0)
+        return out;
+
+    const double z = confidenceZ(confidence);
+    double avf = 0, avf_var = 0, sdc = 0, sdc_var = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const StratumCounts &s = counts[i];
+        if (!s.trials)
+            continue;
+        const double w = weights[i] / weight_sum;
+        const double ni = static_cast<double>(s.trials);
+        const double pa = s.avf();
+        const double ps = s.sdcRate();
+        avf += w * pa;
+        sdc += w * ps;
+        avf_var += w * w * pa * (1 - pa) / ni;
+        sdc_var += w * w * ps * (1 - ps) / ni;
+        out.trials += s.trials;
+        ++out.strata;
+    }
+    out.avf = avf;
+    out.sdc_rate = sdc;
+    out.avf_ci = {std::max(0.0, avf - z * std::sqrt(avf_var)),
+                  std::min(1.0, avf + z * std::sqrt(avf_var))};
+    out.sdc_ci = {std::max(0.0, sdc - z * std::sqrt(sdc_var)),
+                  std::min(1.0, sdc + z * std::sqrt(sdc_var))};
+    return out;
+}
+
+} // namespace rmt

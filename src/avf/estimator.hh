@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Statistical machinery for fault campaigns: binomial point estimates
+ * with Wilson-score confidence intervals, and stratified roll-ups.
+ *
+ * A fault campaign is a sampling experiment: each trial draws a fault
+ * uniformly from a stratum (kind x cycle-window) and observes a
+ * Bernoulli outcome (unmasked?  silently corrupting?).  The per-stratum
+ * AVF (architectural vulnerability factor) is the unmasked fraction;
+ * the SDC rate is the silently-corrupting fraction.  Wilson-score
+ * intervals behave sanely at the extremes campaigns actually hit
+ * (p ~ 0 for SDC under RMT, small n while sampling ramps up), unlike
+ * the naive Wald interval which collapses to a width of zero there.
+ *
+ * Whole-sphere roll-ups combine per-stratum estimates with fixed
+ * nominal weights (see stratum.hh) using the standard stratified
+ * estimator: p = sum w_i p_i with normal-approximation variance
+ * sum w_i^2 p_i (1 - p_i) / n_i.
+ */
+
+#ifndef RMTSIM_AVF_ESTIMATOR_HH
+#define RMTSIM_AVF_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rmt
+{
+
+/** Two-sided confidence interval on a proportion. */
+struct Interval
+{
+    double low = 0;
+    double high = 1;
+
+    double width() const { return high - low; }
+
+    /** Do two intervals share any probability mass? */
+    bool overlaps(const Interval &other) const
+    {
+        return low <= other.high && other.low <= high;
+    }
+};
+
+/**
+ * Standard-normal quantile Phi^-1(p) for p in (0, 1) (Acklam's
+ * rational approximation, |relative error| < 1.2e-9 — far below any
+ * campaign's sampling noise).
+ */
+double normalQuantile(double p);
+
+/** z-score of a two-sided interval at @p confidence (0.95 -> 1.96). */
+double confidenceZ(double confidence);
+
+/**
+ * Wilson-score interval for @p successes out of @p trials at
+ * @p confidence.  trials == 0 yields the vacuous [0, 1].
+ */
+Interval wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                        double confidence);
+
+/** Verdict tallies of one stratum's classified trials. */
+struct StratumCounts
+{
+    std::uint64_t trials = 0;       ///< classified (ok) trials
+    std::uint64_t failed = 0;       ///< failed jobs (excluded from n)
+    std::uint64_t masked = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t hang = 0;
+
+    std::uint64_t unmasked() const { return trials - masked; }
+
+    /** Unmasked fraction: the stratum's AVF point estimate. */
+    double avf() const
+    {
+        return trials ? static_cast<double>(unmasked()) / trials : 0;
+    }
+
+    /** Silent-corruption fraction. */
+    double sdcRate() const
+    {
+        return trials ? static_cast<double>(sdc) / trials : 0;
+    }
+
+    Interval avfInterval(double confidence) const
+    {
+        return wilsonInterval(unmasked(), trials, confidence);
+    }
+
+    Interval sdcInterval(double confidence) const
+    {
+        return wilsonInterval(sdc, trials, confidence);
+    }
+
+    /**
+     * Sampling-resolution check used for sequential early termination:
+     * both the AVF and the SDC interval are narrower than @p width.
+     */
+    bool resolved(double width, double confidence) const
+    {
+        return trials > 0 &&
+               avfInterval(confidence).width() <= width &&
+               sdcInterval(confidence).width() <= width;
+    }
+};
+
+/** Weighted whole-sphere estimate across strata. */
+struct RollupEstimate
+{
+    double avf = 0;
+    Interval avf_ci;
+    double sdc_rate = 0;
+    Interval sdc_ci;
+    std::uint64_t trials = 0;       ///< total classified trials
+    unsigned strata = 0;            ///< strata with at least one trial
+};
+
+/**
+ * Stratified roll-up of @p counts with @p weights (same length;
+ * weights are normalised over the strata that have trials).  The
+ * interval is the normal approximation p +- z * se clamped to [0, 1];
+ * strata with no trials contribute nothing.
+ */
+RollupEstimate rollupEstimate(const std::vector<StratumCounts> &counts,
+                              const std::vector<double> &weights,
+                              double confidence);
+
+} // namespace rmt
+
+#endif // RMTSIM_AVF_ESTIMATOR_HH

@@ -21,6 +21,14 @@ struct Job
     double efficiency = -1;
 };
 
+/** Stratified campaigns append one summary object after the per-trial
+ *  records; every table skips it rather than misreading it as a job. */
+bool
+isSummaryRecord(const JsonValue &rec)
+{
+    return rec.find("avf_summary") != nullptr;
+}
+
 Job
 reduceRecord(const JsonValue &rec)
 {
@@ -87,8 +95,10 @@ buildReport(const std::vector<JsonValue> &records,
 
     std::vector<Job> jobs;
     jobs.reserve(records.size());
-    for (const JsonValue &rec : records)
-        jobs.push_back(reduceRecord(rec));
+    for (const JsonValue &rec : records) {
+        if (!isSummaryRecord(rec))
+            jobs.push_back(reduceRecord(rec));
+    }
 
     // Baseline IPC per cell: mean over ok base-mode jobs.
     std::map<std::string, std::pair<double, unsigned>> base_cells;
@@ -287,9 +297,11 @@ formatReport(const CampaignReport &report, const ReportOptions &options)
 }
 
 CoverageReport
-buildCoverageReport(const std::vector<JsonValue> &records)
+buildCoverageReport(const std::vector<JsonValue> &records,
+                    double confidence)
 {
     CoverageReport report;
+    report.confidence = confidence;
     auto kindRow = [&](const std::string &kind) -> CoverageKindRow & {
         for (CoverageKindRow &row : report.kinds) {
             if (row.kind == kind)
@@ -299,8 +311,22 @@ buildCoverageReport(const std::vector<JsonValue> &records)
         report.kinds.back().kind = kind;
         return report.kinds.back();
     };
+    auto modeKindRow = [&](const std::string &mode,
+                           const std::string &kind)
+        -> CoverageModeKindRow & {
+        for (CoverageModeKindRow &row : report.mode_kinds) {
+            if (row.mode == mode && row.kind == kind)
+                return row;
+        }
+        report.mode_kinds.emplace_back();
+        report.mode_kinds.back().mode = mode;
+        report.mode_kinds.back().kind = kind;
+        return report.mode_kinds.back();
+    };
 
     for (const JsonValue &rec : records) {
+        if (isSummaryRecord(rec))
+            continue;
         ++report.total_jobs;
 
         std::string kind = "none";
@@ -329,6 +355,18 @@ buildCoverageReport(const std::vector<JsonValue> &records)
         else if (verdict == "hang")
             ++row.hang;
 
+        std::string mode;
+        if (const JsonValue *options = rec.find("options"))
+            mode = options->strOr("mode", "");
+        if (!mode.empty()) {
+            CoverageModeKindRow &mk = modeKindRow(mode, kind);
+            ++mk.trials;
+            if (verdict == "masked")
+                ++mk.masked;
+            else if (verdict == "sdc")
+                ++mk.sdc;
+        }
+
         const double latency = rec.numberOr("detection_latency", -1);
         if (latency >= 0) {
             row.mean_latency =
@@ -352,20 +390,82 @@ buildCoverageReport(const std::vector<JsonValue> &records)
         if (unmasked)
             row.detection_rate =
                 static_cast<double>(row.detected) / unmasked;
+        if (row.trials) {
+            StratumCounts counts;
+            counts.trials = row.trials;
+            counts.masked = row.masked;
+            counts.sdc = row.sdc;
+            row.avf = counts.avf();
+            row.avf_ci = counts.avfInterval(confidence);
+            row.sdc_rate = counts.sdcRate();
+            row.sdc_ci = counts.sdcInterval(confidence);
+        }
     }
+    for (CoverageModeKindRow &row : report.mode_kinds) {
+        StratumCounts counts;
+        counts.trials = row.trials;
+        counts.masked = row.masked;
+        counts.sdc = row.sdc;
+        row.avf = counts.avf();
+        row.avf_ci = counts.avfInterval(confidence);
+        row.sdc_rate = counts.sdcRate();
+        row.sdc_ci = counts.sdcInterval(confidence);
+    }
+    // A kind is "not yet separated" when its AVF interval under one
+    // mode still overlaps the same kind's interval under another.
+    for (CoverageModeKindRow &a : report.mode_kinds) {
+        for (const CoverageModeKindRow &b : report.mode_kinds) {
+            if (a.kind == b.kind && a.mode != b.mode &&
+                a.avf_ci.overlaps(b.avf_ci)) {
+                a.overlaps_other_mode = true;
+            }
+        }
+    }
+    // Kind-major presentation: all modes of one kind adjacent.
+    std::stable_sort(report.mode_kinds.begin(),
+                     report.mode_kinds.end(),
+                     [&](const CoverageModeKindRow &a,
+                         const CoverageModeKindRow &b) {
+                         auto pos = [&](const std::string &kind) {
+                             std::size_t i = 0;
+                             for (; i < report.kinds.size(); ++i) {
+                                 if (report.kinds[i].kind == kind)
+                                     break;
+                             }
+                             return i;
+                         };
+                         return pos(a.kind) < pos(b.kind);
+                     });
     return report;
 }
+
+namespace
+{
+
+std::string
+intervalCell(double point, const Interval &ci, bool valid)
+{
+    if (!valid)
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f [%.3f,%.3f]", point, ci.low,
+                  ci.high);
+    return buf;
+}
+
+} // namespace
 
 std::string
 formatCoverageReport(const CoverageReport &report)
 {
     std::string out;
-    char line[200];
+    char line[240];
 
     std::snprintf(line, sizeof(line),
-                  "%-6s %6s %5s %7s %9s %5s %5s %8s %9s\n", "kind",
-                  "trials", "fail", "masked", "detected", "sdc",
-                  "hang", "det-rate", "mean-lat");
+                  "%-6s %6s %5s %7s %9s %5s %5s %8s %9s  %-19s %-19s\n",
+                  "kind", "trials", "fail", "masked", "detected", "sdc",
+                  "hang", "det-rate", "mean-lat", "AVF [CI]",
+                  "SDC [CI]");
     out += line;
     for (const CoverageKindRow &row : report.kinds) {
         std::string rate = "-", lat = "-";
@@ -379,12 +479,46 @@ formatCoverageReport(const CoverageReport &report)
             std::snprintf(buf, sizeof(buf), "%.1f", row.mean_latency);
             lat = buf;
         }
-        std::snprintf(line, sizeof(line),
-                      "%-6s %6u %5u %7u %9u %5u %5u %8s %9s\n",
-                      row.kind.c_str(), row.trials, row.failed,
-                      row.masked, row.detected, row.sdc, row.hang,
-                      rate.c_str(), lat.c_str());
+        const bool valid = row.trials > 0;
+        std::snprintf(
+            line, sizeof(line),
+            "%-6s %6u %5u %7u %9u %5u %5u %8s %9s  %-19s %-19s\n",
+            row.kind.c_str(), row.trials, row.failed, row.masked,
+            row.detected, row.sdc, row.hang, rate.c_str(), lat.c_str(),
+            intervalCell(row.avf, row.avf_ci, valid).c_str(),
+            intervalCell(row.sdc_rate, row.sdc_ci, valid).c_str());
         out += line;
+    }
+
+    // Mode comparison: only worth a table when the stream actually
+    // mixes modes.
+    bool multi_mode = false;
+    for (const CoverageModeKindRow &row : report.mode_kinds) {
+        multi_mode = multi_mode ||
+                     row.mode != report.mode_kinds.front().mode;
+    }
+    if (multi_mode) {
+        std::snprintf(line, sizeof(line),
+                      "\nper-mode AVF at %.0f%% confidence "
+                      "('~' = interval overlaps another mode)\n",
+                      report.confidence * 100);
+        out += line;
+        std::snprintf(line, sizeof(line),
+                      "%-6s %-10s %6s  %-19s %-19s %s\n", "kind",
+                      "mode", "trials", "AVF [CI]", "SDC [CI]",
+                      "sep");
+        out += line;
+        for (const CoverageModeKindRow &row : report.mode_kinds) {
+            std::snprintf(
+                line, sizeof(line), "%-6s %-10s %6u  %-19s %-19s %s\n",
+                row.kind.c_str(), row.mode.c_str(), row.trials,
+                intervalCell(row.avf, row.avf_ci, row.trials > 0)
+                    .c_str(),
+                intervalCell(row.sdc_rate, row.sdc_ci, row.trials > 0)
+                    .c_str(),
+                row.overlaps_other_mode ? "~" : "yes");
+            out += line;
+        }
     }
 
     // Latency histogram, one row per kind that has any latencies.
@@ -434,6 +568,8 @@ buildSnapshotReport(const std::vector<JsonValue> &records)
     SnapshotReport report;
     double saved_sum = 0, bytes_sum = 0;
     for (const JsonValue &rec : records) {
+        if (isSummaryRecord(rec))
+            continue;
         ++report.total_jobs;
         const JsonValue *extra = rec.find("extra");
         if (!extra || !extra->isObject())

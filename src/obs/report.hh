@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "avf/estimator.hh"
 #include "common/json.hh"
 
 namespace rmt
@@ -86,13 +87,42 @@ struct CoverageKindRow
     double mean_latency = -1;
     unsigned latency_n = 0;
     unsigned histogram[kCoverageHistogramSize] = {};
+    /** Unmasked fraction with its Wilson interval at the report's
+     *  confidence; avf is negative when no trial classified. */
+    double avf = -1;
+    Interval avf_ci;
+    double sdc_rate = -1;
+    Interval sdc_ci;
+};
+
+/** Per-(mode, kind) AVF cell for comparing protection modes. */
+struct CoverageModeKindRow
+{
+    std::string mode;               ///< options.mode of the records
+    std::string kind;
+    unsigned trials = 0;
+    unsigned masked = 0;
+    unsigned sdc = 0;
+    double avf = -1;
+    Interval avf_ci;
+    double sdc_rate = -1;
+    Interval sdc_ci;
+    /** True when this kind's AVF interval still overlaps the same
+     *  kind's interval under some other mode — the campaign has not
+     *  yet separated the modes statistically at this stratum. */
+    bool overlaps_other_mode = false;
 };
 
 struct CoverageReport
 {
     unsigned total_jobs = 0;
     unsigned unclassified = 0;      ///< ok jobs without a verdict field
+    double confidence = 0.95;       ///< interval confidence used
     std::vector<CoverageKindRow> kinds;     ///< first-seen order
+    /** Kind-major (mode within kind), first-seen order; only the
+     *  kinds/modes actually present.  Empty when records carry no
+     *  options.mode. */
+    std::vector<CoverageModeKindRow> mode_kinds;
 };
 
 /**
@@ -129,10 +159,14 @@ std::string formatReport(const CampaignReport &report,
  * latency and a fixed-bucket latency histogram.  Records without a
  * "faults" array are counted under kind "none"; ok records without a
  * "verdict" (campaign ran without a FaultOracle) are only counted in
- * CoverageReport::unclassified.
+ * CoverageReport::unclassified.  Every kind row carries its AVF and
+ * SDC-rate Wilson intervals at @p confidence; when the stream mixes
+ * modes, per-(mode, kind) rows compare them and flag kinds whose AVF
+ * intervals still overlap between modes.  The trailing "avf_summary"
+ * object a stratified campaign appends is skipped.
  */
 CoverageReport buildCoverageReport(
-    const std::vector<JsonValue> &records);
+    const std::vector<JsonValue> &records, double confidence = 0.95);
 
 /** Render the per-kind coverage table. */
 std::string formatCoverageReport(const CoverageReport &report);

@@ -216,7 +216,7 @@ FaultInjector::schedule(const FaultRecord &fault)
               "(cycle "
            << restoredCycle
            << "); fork from an earlier snapshot or run from scratch";
-        throw std::invalid_argument(os.str());
+        throw SnapshotOrderError(os.str());
     }
     faults.push_back(fault);
 }

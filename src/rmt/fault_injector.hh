@@ -33,6 +33,7 @@
 #define RMTSIM_RMT_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,22 @@ namespace rmt
 
 class SmtCpu;
 class RedundantPair;
+
+/**
+ * schedule() rejected a fault because its activation cycle is at or
+ * before the cycle the simulation was restored at.  Distinct from the
+ * plain std::invalid_argument validation failures so executors can
+ * recover (rebuild the trial from scratch instead of recording a
+ * failure): the fault itself is fine — only the snapshot choice is
+ * too late for it.
+ */
+struct SnapshotOrderError : std::invalid_argument
+{
+    explicit SnapshotOrderError(const std::string &what)
+        : std::invalid_argument(what)
+    {
+    }
+};
 
 struct FaultRecord
 {

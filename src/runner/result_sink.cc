@@ -4,6 +4,11 @@
 #include <cstdio>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "runner/campaign.hh"
 
 namespace rmt
@@ -205,6 +210,8 @@ JsonlSink::record(const JobSpec &spec, const JobResult &result)
     } else {
         out << line << "\n";
     }
+    if (opts.flush_each)
+        out.flush();
     if (opts.progress) {
         std::fprintf(stderr,
                      "\r[%" PRIu64 "/%" PRIu64 "] %s%s (%.0f ms)%s",
@@ -235,6 +242,16 @@ JsonlSink::end()
         out << line << "\n";
     pending.clear();
     out.flush();
+
+#if defined(__unix__) || defined(__APPLE__)
+    if (!opts.fsync_path.empty()) {
+        const int fd = ::open(opts.fsync_path.c_str(), O_WRONLY);
+        if (fd >= 0) {
+            ::fsync(fd);
+            ::close(fd);
+        }
+    }
+#endif
 }
 
 } // namespace rmt

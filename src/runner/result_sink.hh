@@ -60,6 +60,21 @@ struct JsonlSinkOptions
     bool ordered = true;        ///< emit in job-id order
     bool include_timing = true; ///< wall_ms field
     bool progress = true;       ///< progress line on stderr
+
+    /**
+     * Flush the stream after every emitted line.  Fork-based executors
+     * set this so (a) no buffered half-line can be duplicated into a
+     * child's address space at fork() time and (b) a campaign killed
+     * mid-run leaves only whole lines behind, never a torn record.
+     */
+    bool flush_each = false;
+
+    /**
+     * When non-empty, end() fsync()s this path (the file the stream
+     * writes to) after the final flush, so a completed campaign's
+     * records survive a machine crash.  POSIX only; ignored elsewhere.
+     */
+    std::string fsync_path;
 };
 
 class JsonlSink : public ResultSink

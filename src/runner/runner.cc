@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "runner/thread_pool.hh"
@@ -35,7 +36,8 @@ maxLogicalThreads(SimMode mode)
     return 1;
 }
 
-/** Apply the runner-level instruction cap to a copy of the options. */
+} // namespace
+
 SimOptions
 cappedOptions(const JobSpec &spec, const RunnerConfig &config)
 {
@@ -48,7 +50,34 @@ cappedOptions(const JobSpec &spec, const RunnerConfig &config)
     return o;
 }
 
-} // namespace
+void
+finalizeJobResult(const JobSpec &spec, const RunnerConfig &config,
+                  Simulation &sim, const RunResult &run,
+                  const SnapshotForkInfo &snap, JobResult &result)
+{
+    result.status = JobStatus::Ok;
+    result.run = run;
+    if (config.baseline) {
+        result.efficiencies = config.baseline->efficiencies(run);
+        result.mean_efficiency = meanEfficiency(result.efficiencies);
+    }
+    if (snap.enabled) {
+        result.extra.emplace_back("snapshot_hit",
+                                  snap.hit ? 1.0 : 0.0);
+        if (snap.hit) {
+            result.extra.emplace_back(
+                "snapshot_cycle", static_cast<double>(snap.cycle));
+            result.extra.emplace_back(
+                "snapshot_saved_cycles",
+                static_cast<double>(snap.cycle));
+            result.extra.emplace_back("snapshot_bytes", snap.bytes);
+        }
+        if (snap.scratch_fallback)
+            result.extra.emplace_back("snapshot_scratch_fallback", 1.0);
+    }
+    if (spec.post_run)
+        spec.post_run(sim, run, result);
+}
 
 void
 validateJobSpec(const JobSpec &spec)
@@ -92,37 +121,50 @@ executeJob(const JobSpec &spec, const RunnerConfig &config)
         try {
             validateJobSpec(spec);
             const SimOptions capped = cappedOptions(spec, config);
-            Simulation sim(spec.workloads, capped);
+            std::optional<Simulation> sim;
+            sim.emplace(spec.workloads, capped);
 
             // Fault trials fork from the latest snapshot strictly
             // before the first fault; the restore happens before any
             // fault is scheduled so the injector can validate that the
             // snapshot really pre-dates every injection cycle.
-            bool snapshot_hit = false;
-            Cycle snapshot_cycle = 0;
-            double snapshot_bytes = 0;
-            const bool want_fork = config.snapshots &&
-                                   capped.snapshot_every &&
-                                   !spec.faults.empty();
-            if (want_fork) {
+            SnapshotForkInfo snap;
+            snap.enabled = config.snapshots && capped.snapshot_every &&
+                           !spec.faults.empty();
+            if (snap.enabled) {
                 Cycle first_fault = spec.faults.front().when;
                 for (const FaultRecord &f : spec.faults)
                     first_fault = std::min(first_fault, f.when);
                 const auto set =
                     config.snapshots->snapshots(spec.workloads, capped);
-                if (const CachedSnapshot *snap =
+                if (const CachedSnapshot *cached =
                         SnapshotCache::latestBefore(*set, first_fault)) {
-                    sim.restoreSnapshotBuffer(*snap->image);
-                    snapshot_hit = true;
-                    snapshot_cycle = snap->cycle;
-                    snapshot_bytes =
-                        static_cast<double>(snap->image->size());
+                    sim->restoreSnapshotBuffer(*cached->image);
+                    snap.hit = true;
+                    snap.cycle = cached->cycle;
+                    snap.bytes =
+                        static_cast<double>(cached->image->size());
                 }
             }
 
-            for (const FaultRecord &f : spec.faults)
-                sim.faultInjector().schedule(f);
-            const RunResult run = sim.run();
+            try {
+                for (const FaultRecord &f : spec.faults)
+                    sim->faultInjector().schedule(f);
+            } catch (const SnapshotOrderError &) {
+                // The chosen snapshot post-dates a fault's activation
+                // cycle (a strike before the first barrier, or a stale
+                // cache entry): the trial is still runnable, just not
+                // from this snapshot.  Rebuild fresh and run the whole
+                // prefix from scratch.
+                sim.emplace(spec.workloads, capped);
+                snap.hit = false;
+                snap.cycle = 0;
+                snap.bytes = 0;
+                snap.scratch_fallback = true;
+                for (const FaultRecord &f : spec.faults)
+                    sim->faultInjector().schedule(f);
+            }
+            const RunResult run = sim->run();
 
             result.wall_seconds =
                 std::chrono::duration<double>(Clock::now() - job_start)
@@ -137,30 +179,7 @@ executeJob(const JobSpec &spec, const RunnerConfig &config)
                 return result;
             }
 
-            result.status = JobStatus::Ok;
-            result.run = run;
-            if (config.baseline) {
-                result.efficiencies =
-                    config.baseline->efficiencies(run);
-                result.mean_efficiency =
-                    meanEfficiency(result.efficiencies);
-            }
-            if (want_fork) {
-                result.extra.emplace_back("snapshot_hit",
-                                          snapshot_hit ? 1.0 : 0.0);
-                if (snapshot_hit) {
-                    result.extra.emplace_back(
-                        "snapshot_cycle",
-                        static_cast<double>(snapshot_cycle));
-                    result.extra.emplace_back(
-                        "snapshot_saved_cycles",
-                        static_cast<double>(snapshot_cycle));
-                    result.extra.emplace_back("snapshot_bytes",
-                                              snapshot_bytes);
-                }
-            }
-            if (spec.post_run)
-                spec.post_run(sim, run, result);
+            finalizeJobResult(spec, config, *sim, run, snap, result);
             return result;
         } catch (const std::exception &e) {
             result.status = JobStatus::Failed;

@@ -61,6 +61,30 @@ void validateJobSpec(const JobSpec &spec);
 /** Run one job inline (validation, guards, post_run, efficiency). */
 JobResult executeJob(const JobSpec &spec, const RunnerConfig &config);
 
+/** Apply the runner-level instruction cap to a copy of the options. */
+SimOptions cappedOptions(const JobSpec &spec, const RunnerConfig &config);
+
+/** Snapshot bookkeeping a fault trial records in its "extra" block. */
+struct SnapshotForkInfo
+{
+    bool enabled = false;   ///< trial was eligible to fork (record extras)
+    bool hit = false;       ///< a snapshot was actually restored
+    bool scratch_fallback = false;  ///< restore rejected; rebuilt fresh
+    Cycle cycle = 0;        ///< barrier cycle of the restored snapshot
+    double bytes = 0;       ///< serialized image size
+};
+
+/**
+ * Finish a successful run exactly the way executeJob does: set status,
+ * store the RunResult, fill efficiencies from config.baseline, append
+ * the snapshot "extra" metrics, then invoke spec.post_run while @p sim
+ * is still alive.  Shared with ForkExecutor so the forked and
+ * in-process paths cannot drift apart.
+ */
+void finalizeJobResult(const JobSpec &spec, const RunnerConfig &config,
+                       Simulation &sim, const RunResult &run,
+                       const SnapshotForkInfo &snap, JobResult &result);
+
 /**
  * Chain a FaultOracle classification onto @p spec's post_run hook: the
  * JobResult gains has_verdict/verdict/detection_latency, attributed to

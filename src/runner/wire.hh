@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pipe wire protocol between a forked trial child and its parent.
+ *
+ * Each child streams exactly one record back: a length-prefixed frame
+ * (magic + payload length + payload) whose payload is a versioned
+ * little-endian serialisation of the JobResult.  Length prefixing means
+ * a child killed mid-write is detected as a truncated frame rather than
+ * silently yielding a short record; the magic word catches a child that
+ * wrote garbage (e.g. a stray stdio flush) before the record; the
+ * payload cap bounds the parent's buffering against a corrupt length.
+ *
+ * The codec covers every JobResult field (including the embedded
+ * RunResult, host timings and stats_json) so a forked trial's record is
+ * byte-identical to the same trial executed in-process.
+ */
+
+#ifndef RMTSIM_RUNNER_WIRE_HH
+#define RMTSIM_RUNNER_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "runner/job.hh"
+
+namespace rmt
+{
+namespace wire
+{
+
+/** Any framing/codec violation (bad magic, truncation, bad version). */
+struct WireError : std::runtime_error
+{
+    explicit WireError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Frame header magic ("RMTW", little-endian). */
+constexpr std::uint32_t frameMagic = 0x57544D52u;
+
+/** Hard cap on one frame's payload (a JobResult with a full stats doc
+ *  is ~10 KiB; anything near this cap is corruption). */
+constexpr std::uint32_t maxPayloadBytes = 64u << 20;
+
+/** Codec version carried in every payload. */
+constexpr std::uint8_t codecVersion = 1;
+
+/** Serialise a JobResult into a codec payload (no frame header). */
+std::string encodeJobResult(const JobResult &result);
+
+/** Inverse of encodeJobResult; throws WireError on malformed input. */
+JobResult decodeJobResult(const std::string &payload);
+
+/** Wrap a payload in a frame: magic + u32 length + bytes. */
+std::string frame(const std::string &payload);
+
+/**
+ * Incremental frame parser for the parent's read loop.  feed() bytes
+ * as they arrive; next() yields complete payloads.  Throws WireError
+ * as soon as the stream is provably corrupt (wrong magic, payload
+ * above the cap).  After EOF, truncated() tells a cleanly-closed
+ * stream from one cut mid-frame.
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const char *data, std::size_t len)
+    {
+        buf.append(data, len);
+    }
+
+    /** Extract the next complete payload into @p payload. */
+    bool next(std::string &payload);
+
+    /** Bytes of an incomplete frame still buffered? */
+    bool truncated() const { return !buf.empty(); }
+
+  private:
+    std::string buf;
+};
+
+} // namespace wire
+} // namespace rmt
+
+#endif // RMTSIM_RUNNER_WIRE_HH

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Statistical AVF engine (src/avf/) properties:
+ *
+ *  - Wilson-score intervals match the closed form (including the
+ *    k = 0 / k = n extremes where the Wald interval collapses) and
+ *    always contain the point estimate;
+ *  - the stratified roll-up combines per-stratum estimates with the
+ *    textbook weighted mean and normal-approximation variance, and
+ *    renormalises weights over the strata that actually have trials;
+ *  - buildStrata tiles the strike range contiguously with equal
+ *    weights, and drawFault is a pure function of (stratum, rng);
+ *  - the StratifiedSampler issues trials whose parameters depend only
+ *    on (cell, stratum, trial index) — not on batch size or round
+ *    boundaries — tallies verdicts, and terminates a stratum early
+ *    once its Wilson interval is tighter than the requested width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "avf/estimator.hh"
+#include "avf/sampler.hh"
+#include "avf/stratum.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+/** Closed-form Wilson interval, written independently of the
+ *  implementation under test. */
+Interval
+wilsonReference(double k, double n, double z)
+{
+    const double p = k / n;
+    const double z2 = z * z;
+    const double centre = (p + z2 / (2 * n)) / (1 + z2 / n);
+    const double half = z / (1 + z2 / n) *
+                        std::sqrt(p * (1 - p) / n + z2 / (4 * n * n));
+    return {centre - half, centre + half};
+}
+
+StratifiedSampler::Cell
+cell(const std::string &label)
+{
+    StratifiedSampler::Cell c;
+    c.label = label;
+    c.workloads = {"gcc"};
+    c.options.mode = SimMode::Srt;
+    c.options.warmup_insts = 500;
+    c.options.measure_insts = 3000;
+    return c;
+}
+
+SamplerConfig
+regOnlyConfig()
+{
+    SamplerConfig cfg;
+    cfg.kinds = {FaultRecord::Kind::TransientReg};
+    cfg.windows = 2;
+    return cfg;
+}
+
+JobResult
+verdictResult(const JobSpec &spec, FaultVerdict verdict)
+{
+    JobResult r;
+    r.id = spec.id;
+    r.label = spec.label;
+    r.status = JobStatus::Ok;
+    r.attempts = 1;
+    r.has_verdict = true;
+    r.verdict = verdict;
+    return r;
+}
+
+} // namespace
+
+TEST(Estimator, NormalQuantileMatchesKnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.025), -normalQuantile(0.975), 1e-9);
+    EXPECT_NEAR(confidenceZ(0.95), 1.959964, 1e-5);
+    EXPECT_NEAR(confidenceZ(0.99), 2.575829, 1e-5);
+}
+
+TEST(Estimator, WilsonMatchesClosedForm)
+{
+    const double z = confidenceZ(0.95);
+    const Interval got = wilsonInterval(5, 10, 0.95);
+    const Interval want = wilsonReference(5, 10, z);
+    EXPECT_NEAR(got.low, want.low, 1e-9);
+    EXPECT_NEAR(got.high, want.high, 1e-9);
+    // Spot values for k=5, n=10 at 95%.
+    EXPECT_NEAR(got.low, 0.2366, 5e-4);
+    EXPECT_NEAR(got.high, 0.7634, 5e-4);
+}
+
+TEST(Estimator, WilsonBehavesAtTheExtremes)
+{
+    // k = 0: lower bound exactly 0, upper bound strictly positive
+    // (the Wald interval would be [0, 0] here).
+    const Interval zero = wilsonInterval(0, 10, 0.95);
+    EXPECT_NEAR(zero.low, 0.0, 1e-12);
+    EXPECT_NEAR(zero.high, 0.2775, 5e-4);
+
+    // k = n mirrors k = 0.
+    const Interval full = wilsonInterval(10, 10, 0.95);
+    EXPECT_NEAR(full.high, 1.0, 1e-12);
+    EXPECT_NEAR(full.low, 1.0 - zero.high, 1e-9);
+
+    // No trials: the vacuous interval.
+    const Interval vacuous = wilsonInterval(0, 0, 0.95);
+    EXPECT_DOUBLE_EQ(vacuous.low, 0.0);
+    EXPECT_DOUBLE_EQ(vacuous.high, 1.0);
+}
+
+TEST(Estimator, WilsonContainsThePointEstimate)
+{
+    for (std::uint64_t n : {1u, 7u, 32u, 500u}) {
+        for (std::uint64_t k = 0; k <= n; k += std::max<std::uint64_t>(
+                 1, n / 5)) {
+            const Interval ci = wilsonInterval(k, n, 0.95);
+            const double p = static_cast<double>(k) / n;
+            EXPECT_LE(ci.low, p + 1e-12);
+            EXPECT_GE(ci.high, p - 1e-12);
+            EXPECT_GE(ci.low, 0.0);
+            EXPECT_LE(ci.high, 1.0);
+            // Higher confidence never narrows the interval.
+            const Interval wider = wilsonInterval(k, n, 0.99);
+            EXPECT_LE(wider.low, ci.low + 1e-12);
+            EXPECT_GE(wider.high, ci.high - 1e-12);
+        }
+    }
+}
+
+TEST(Estimator, IntervalOverlapIsSymmetricAndCorrect)
+{
+    const Interval a{0.1, 0.4};
+    const Interval b{0.3, 0.6};
+    const Interval c{0.5, 0.9};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_FALSE(c.overlaps(a));
+    EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(Estimator, RollupIsTheWeightedStratifiedEstimator)
+{
+    // Two equally-weighted strata: n=100 with 50 unmasked, n=100 with
+    // 10 unmasked.  p = 0.5*0.5 + 0.5*0.1 = 0.3, and the normal
+    // half-width is z * sqrt(sum w^2 p(1-p)/n).
+    StratumCounts a;
+    a.trials = 100;
+    a.masked = 50;
+    a.sdc = 5;
+    StratumCounts b;
+    b.trials = 100;
+    b.masked = 90;
+    b.sdc = 1;
+    const RollupEstimate roll =
+        rollupEstimate({a, b}, {1.0, 1.0}, 0.95);
+
+    EXPECT_NEAR(roll.avf, 0.3, 1e-12);
+    EXPECT_EQ(roll.trials, 200u);
+    EXPECT_EQ(roll.strata, 2u);
+
+    const double var = 0.25 * 0.5 * 0.5 / 100 + 0.25 * 0.1 * 0.9 / 100;
+    const double half = confidenceZ(0.95) * std::sqrt(var);
+    EXPECT_NEAR(roll.avf_ci.low, 0.3 - half, 1e-9);
+    EXPECT_NEAR(roll.avf_ci.high, 0.3 + half, 1e-9);
+    EXPECT_NEAR(roll.sdc_rate, 0.5 * 0.05 + 0.5 * 0.01, 1e-12);
+}
+
+TEST(Estimator, RollupSkipsEmptyStrataAndRenormalises)
+{
+    StratumCounts a;
+    a.trials = 40;
+    a.masked = 10;       // AVF 0.75
+    StratumCounts empty;
+    const RollupEstimate with_empty =
+        rollupEstimate({a, empty}, {1.0, 1.0}, 0.95);
+    const RollupEstimate alone = rollupEstimate({a}, {1.0}, 0.95);
+
+    EXPECT_NEAR(with_empty.avf, alone.avf, 1e-12);
+    EXPECT_NEAR(with_empty.avf_ci.low, alone.avf_ci.low, 1e-12);
+    EXPECT_NEAR(with_empty.avf_ci.high, alone.avf_ci.high, 1e-12);
+    EXPECT_EQ(with_empty.strata, 1u);
+    EXPECT_EQ(with_empty.trials, 40u);
+}
+
+TEST(Stratum, BuildStrataTilesTheStrikeRange)
+{
+    const std::vector<FaultRecord::Kind> kinds = {
+        FaultRecord::Kind::TransientReg, FaultRecord::Kind::TransientPc};
+    const std::uint64_t insts = 3500;
+    const auto strata = buildStrata(kinds, 3, insts);
+    ASSERT_EQ(strata.size(), 6u);
+
+    for (std::size_t i = 0; i < strata.size(); ++i) {
+        const StratumSpec &s = strata[i];
+        EXPECT_EQ(s.kind, kinds[i / 3]);
+        EXPECT_EQ(s.window, static_cast<unsigned>(i % 3));
+        EXPECT_LT(s.lo, s.hi);
+        EXPECT_DOUBLE_EQ(s.weight, strata.front().weight);
+        // Windows within a kind are contiguous.
+        if (i % 3) {
+            EXPECT_EQ(s.lo, strata[i - 1].hi);
+        }
+    }
+    // The whole span is the campaign idiom: [insts/12, insts/12 +
+    // 2*insts/3).
+    EXPECT_EQ(strata.front().lo, insts / 12);
+    EXPECT_GE(strata[2].hi, insts / 12 + 2 * (insts / 3) - 3);
+    // Stable stratum names distinguish kind and window.
+    EXPECT_NE(strata[0].name(), strata[1].name());
+    EXPECT_NE(strata[0].name(), strata[3].name());
+}
+
+TEST(Stratum, ParseFaultKindsRoundTripsAndRejectsUnknown)
+{
+    const auto kinds = parseFaultKinds("reg,pc");
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], FaultRecord::Kind::TransientReg);
+    EXPECT_EQ(kinds[1], FaultRecord::Kind::TransientPc);
+    EXPECT_TRUE(parseFaultKinds("").empty());
+    EXPECT_THROW(parseFaultKind("bogus"), std::invalid_argument);
+    // Pair-resident kinds appear only when the machine has pairs.
+    const auto with_pairs = defaultStratifyKinds(true);
+    const auto without = defaultStratifyKinds(false);
+    EXPECT_GT(with_pairs.size(), without.size());
+}
+
+TEST(Stratum, DrawFaultIsDeterministicAndStaysInWindow)
+{
+    StratumSpec s;
+    s.kind = FaultRecord::Kind::TransientReg;
+    s.lo = 400;
+    s.hi = 900;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        Random a(seed), b(seed);
+        const FaultRecord fa = drawFault(s, a, 32);
+        const FaultRecord fb = drawFault(s, b, 32);
+        EXPECT_EQ(fa.when, fb.when);
+        EXPECT_EQ(fa.reg, fb.reg);
+        EXPECT_EQ(fa.bit, fb.bit);
+        EXPECT_EQ(fa.tid, fb.tid);
+        EXPECT_EQ(fa.kind, FaultRecord::Kind::TransientReg);
+        EXPECT_GE(fa.when, s.lo);
+        EXPECT_LT(fa.when, s.hi);
+        EXPECT_LT(fa.reg, 32u);
+    }
+}
+
+TEST(Sampler, TrialParametersAreBatchInvariant)
+{
+    // The same (cell, stratum, trial) triple must draw the same fault
+    // whatever the batch size, so early termination and executor choice
+    // cannot perturb the sample.
+    SamplerConfig small = regOnlyConfig();
+    small.batch = 4;
+    small.max_trials = 12;
+    SamplerConfig large = regOnlyConfig();
+    large.batch = 12;
+    large.max_trials = 12;
+
+    StratifiedSampler a({cell("srt gcc")}, small, 42);
+    StratifiedSampler b({cell("srt gcc")}, large, 42);
+
+    std::map<std::string, JobSpec> by_label;
+    while (!a.done())
+        for (const JobSpec &spec : a.nextRound()) {
+            by_label[spec.label] = spec;
+            a.record(spec, verdictResult(spec, FaultVerdict::Masked));
+        }
+    unsigned matched = 0;
+    while (!b.done())
+        for (const JobSpec &spec : b.nextRound()) {
+            const auto it = by_label.find(spec.label);
+            ASSERT_NE(it, by_label.end()) << spec.label;
+            EXPECT_EQ(spec.seed, it->second.seed);
+            ASSERT_EQ(spec.faults.size(), 1u);
+            EXPECT_EQ(spec.faults[0].when, it->second.faults[0].when);
+            EXPECT_EQ(spec.faults[0].reg, it->second.faults[0].reg);
+            EXPECT_EQ(spec.faults[0].bit, it->second.faults[0].bit);
+            ++matched;
+            b.record(spec, verdictResult(spec, FaultVerdict::Masked));
+        }
+    EXPECT_EQ(matched, by_label.size());
+    EXPECT_EQ(a.issuedTrials(), b.issuedTrials());
+}
+
+TEST(Sampler, FixedBudgetIssuesExactlyMaxTrialsPerStratum)
+{
+    SamplerConfig cfg = regOnlyConfig();
+    cfg.batch = 5;
+    cfg.max_trials = 12;        // not a multiple of batch
+    cfg.ci_width = 0;           // no early stop
+
+    StratifiedSampler s({cell("srt gcc")}, cfg, 7);
+    std::uint64_t issued = 0;
+    while (!s.done()) {
+        const auto round = s.nextRound();
+        ASSERT_FALSE(round.empty());
+        for (const JobSpec &spec : round) {
+            EXPECT_EQ(spec.id, issued++);   // dense, globally increasing
+            s.record(spec, verdictResult(spec, FaultVerdict::Detected));
+        }
+    }
+    EXPECT_EQ(issued, 12u * s.strata().size());
+    EXPECT_TRUE(s.nextRound().empty());
+    for (std::size_t st = 0; st < s.strata().size(); ++st) {
+        EXPECT_EQ(s.counts(0, st).trials, 12u);
+        EXPECT_EQ(s.counts(0, st).detected, 12u);
+        EXPECT_FALSE(s.resolvedEarly(0, st));   // budget, not width
+    }
+}
+
+TEST(Sampler, StopsEarlyOnceIntervalsAreTight)
+{
+    SamplerConfig cfg = regOnlyConfig();
+    cfg.batch = 8;
+    cfg.max_trials = 1000;
+    cfg.ci_width = 0.5;     // wilson(0, 8) is already narrower
+
+    StratifiedSampler s({cell("srt gcc")}, cfg, 3);
+    unsigned rounds = 0;
+    while (!s.done()) {
+        ASSERT_LT(rounds, 100u) << "sampler failed to terminate";
+        for (const JobSpec &spec : s.nextRound())
+            s.record(spec, verdictResult(spec, FaultVerdict::Masked));
+        ++rounds;
+    }
+    EXPECT_EQ(rounds, 1u);
+    EXPECT_EQ(s.issuedTrials(), 8u * s.strata().size());
+    for (std::size_t st = 0; st < s.strata().size(); ++st)
+        EXPECT_TRUE(s.resolvedEarly(0, st));
+}
+
+TEST(Sampler, FailedJobsAreExcludedFromTheEstimate)
+{
+    SamplerConfig cfg = regOnlyConfig();
+    cfg.batch = 4;
+    cfg.max_trials = 4;
+
+    StratifiedSampler s({cell("srt gcc")}, cfg, 11);
+    const auto round = s.nextRound();
+    ASSERT_FALSE(round.empty());
+    for (std::size_t i = 0; i < round.size(); ++i) {
+        if (i % 2) {
+            JobResult failed;
+            failed.id = round[i].id;
+            failed.status = JobStatus::Failed;
+            failed.error = "synthetic";
+            s.record(round[i], failed);
+        } else {
+            s.record(round[i],
+                     verdictResult(round[i], FaultVerdict::Sdc));
+        }
+    }
+    const StratumCounts &n = s.counts(0, 0);
+    EXPECT_EQ(n.trials, 2u);
+    EXPECT_EQ(n.failed, 2u);
+    EXPECT_EQ(n.sdc, 2u);
+    EXPECT_DOUBLE_EQ(n.sdcRate(), 1.0);
+}
+
+TEST(Sampler, SummaryJsonCarriesPerStratumEstimatesAndRollup)
+{
+    SamplerConfig cfg = regOnlyConfig();
+    cfg.batch = 6;
+    cfg.max_trials = 6;
+
+    StratifiedSampler s({cell("srt gcc"), cell("crt gcc")}, cfg, 5);
+    while (!s.done())
+        for (const JobSpec &spec : s.nextRound())
+            s.record(spec, verdictResult(spec, FaultVerdict::Detected));
+
+    const std::string json = s.summaryJson();
+    EXPECT_NE(json.find("\"avf_summary\""), std::string::npos);
+    EXPECT_NE(json.find("\"srt gcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"crt gcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"avf_ci\""), std::string::npos);
+    EXPECT_NE(json.find("\"rollup\""), std::string::npos);
+    for (const StratumSpec &st : s.strata())
+        EXPECT_NE(json.find("\"" + st.name() + "\""), std::string::npos);
+
+    // All-detected trials: every cell rolls up to AVF 1, SDC 0.
+    for (std::size_t c = 0; c < 2; ++c) {
+        const RollupEstimate roll = s.cellRollup(c);
+        EXPECT_DOUBLE_EQ(roll.avf, 1.0);
+        EXPECT_DOUBLE_EQ(roll.sdc_rate, 0.0);
+        EXPECT_EQ(roll.trials, 6u * s.strata().size());
+    }
+}

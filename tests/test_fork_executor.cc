@@ -1,0 +1,424 @@
+/**
+ * @file
+ * fork()-per-trial executor (src/runner/fork_executor.*) and its pipe
+ * wire protocol (src/runner/wire.*):
+ *
+ *  - the JobResult codec round-trips every field through a frame, even
+ *    delivered one byte at a time, and the decoder rejects bad magic,
+ *    oversized payloads, truncation and garbage payloads instead of
+ *    yielding a short record;
+ *  - forked campaigns are verdict-identical to --no-fork campaigns,
+ *    with and without a shared SnapshotCache, including trials whose
+ *    strike lands before the first snapshot barrier (scratch prefix);
+ *  - the warmed-simulation cache builds one parent simulation per
+ *    (grid point, barrier), not one per trial;
+ *  - the per-trial watchdog SIGKILLs an overrunning child and records
+ *    a timed-out failure;
+ *  - invalid specs and sink delivery behave exactly like the
+ *    in-process runner (recorded failure, id-ordered records).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rmt/fault_oracle.hh"
+#include "runner/fork_executor.hh"
+#include "runner/runner.hh"
+#include "runner/wire.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+SimOptions
+trialOptions()
+{
+    SimOptions o;
+    o.mode = SimMode::Srt;
+    o.warmup_insts = 200;
+    o.measure_insts = 1500;
+    return o;
+}
+
+/** A JobResult with every serialised field away from its default. */
+JobResult
+fullResult()
+{
+    JobResult r;
+    r.id = 77;
+    r.label = "wire \"quoted\" label";
+    r.status = JobStatus::Ok;
+    r.error = "non-fatal note";
+    r.attempts = 2;
+    r.timed_out = false;
+    r.wall_seconds = 1.25;
+    r.run.total_cycles = 123456;
+    r.run.completed = true;
+    r.run.outcome = Outcome::Completed;
+    r.run.detections = 3;
+    r.run.recoveries = 1;
+    r.run.store_comparisons = 999;
+    r.run.store_mismatches = 2;
+    r.run.branch_mispredicts = 41;
+    r.run.stats_json = "{\"stats\":{\"x\":1}}";
+    r.mean_efficiency = 0.875;
+    r.efficiencies = {0.9, 0.85};
+    r.extra = {{"snapshot_hit", 1.0}, {"snapshot_cycles_saved", 4242.0}};
+    r.has_verdict = true;
+    r.verdict = FaultVerdict::Detected;
+    r.detection_latency = 17.5;
+    return r;
+}
+
+void
+expectSameResult(const JobResult &a, const JobResult &b)
+{
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.timed_out, b.timed_out);
+    EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+    EXPECT_EQ(a.run.total_cycles, b.run.total_cycles);
+    EXPECT_EQ(a.run.completed, b.run.completed);
+    EXPECT_EQ(a.run.outcome, b.run.outcome);
+    EXPECT_EQ(a.run.detections, b.run.detections);
+    EXPECT_EQ(a.run.recoveries, b.run.recoveries);
+    EXPECT_EQ(a.run.store_comparisons, b.run.store_comparisons);
+    EXPECT_EQ(a.run.store_mismatches, b.run.store_mismatches);
+    EXPECT_EQ(a.run.branch_mispredicts, b.run.branch_mispredicts);
+    EXPECT_EQ(a.run.stats_json, b.run.stats_json);
+    EXPECT_DOUBLE_EQ(a.mean_efficiency, b.mean_efficiency);
+    EXPECT_EQ(a.efficiencies, b.efficiencies);
+    EXPECT_EQ(a.extra, b.extra);
+    EXPECT_EQ(a.has_verdict, b.has_verdict);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_DOUBLE_EQ(a.detection_latency, b.detection_latency);
+}
+
+/** The fields a campaign's verdicts and tables are built from. */
+void
+expectSameVerdict(const JobResult &a, const JobResult &b)
+{
+    EXPECT_EQ(a.ok(), b.ok()) << a.label << ": " << a.error << " / "
+                              << b.error;
+    EXPECT_EQ(a.has_verdict, b.has_verdict) << a.label;
+    EXPECT_EQ(a.verdict, b.verdict) << a.label;
+    EXPECT_DOUBLE_EQ(a.detection_latency, b.detection_latency)
+        << a.label;
+    EXPECT_EQ(a.run.total_cycles, b.run.total_cycles) << a.label;
+    EXPECT_EQ(a.run.outcome, b.run.outcome) << a.label;
+    EXPECT_EQ(a.extra, b.extra) << a.label;
+}
+
+/** Deterministic reg-strike trials across the run, with the oracle
+ *  attached so every record carries a verdict. */
+std::vector<JobSpec>
+faultCampaign(const SimOptions &options, const FaultOracle &oracle,
+              unsigned trials, Cycle first_strike, Cycle stride)
+{
+    std::vector<JobSpec> jobs;
+    for (unsigned t = 0; t < trials; ++t) {
+        JobSpec spec;
+        spec.id = t;
+        spec.label = "trial" + std::to_string(t);
+        spec.workloads = {"compress"};
+        spec.options = options;
+        spec.seed = 0xF0'52'4Bull + t;
+        FaultRecord f;
+        f.kind = FaultRecord::Kind::TransientReg;
+        f.when = first_strike + stride * t;
+        f.tid = 0;
+        f.reg = static_cast<RegIndex>(1 + t % 15);
+        f.bit = (11 * t) % 64;
+        spec.faults.push_back(f);
+        attachFaultOracle(spec, &oracle);
+        jobs.push_back(std::move(spec));
+    }
+    return jobs;
+}
+
+class CollectingSink : public ResultSink
+{
+  public:
+    void record(const JobSpec &spec, const JobResult &result) override
+    {
+        ids.push_back(spec.id);
+        results.push_back(result);
+    }
+
+    std::vector<std::uint64_t> ids;
+    std::vector<JobResult> results;
+};
+
+} // namespace
+
+TEST(Wire, JobResultRoundTripsThroughAFrame)
+{
+    const JobResult original = fullResult();
+    const std::string framed = wire::frame(wire::encodeJobResult(original));
+
+    // Feed the frame one byte at a time: the decoder must not care how
+    // the pipe chunks its reads.
+    wire::FrameDecoder decoder;
+    std::string payload;
+    unsigned records = 0;
+    for (char byte : framed) {
+        decoder.feed(&byte, 1);
+        std::string p;
+        while (decoder.next(p)) {
+            payload = p;
+            ++records;
+        }
+    }
+    ASSERT_EQ(records, 1u);
+    EXPECT_FALSE(decoder.truncated());
+    expectSameResult(original, wire::decodeJobResult(payload));
+}
+
+TEST(Wire, DecoderYieldsMultipleFramesFromOneBuffer)
+{
+    JobResult a = fullResult();
+    JobResult b = fullResult();
+    b.id = 78;
+    b.status = JobStatus::Failed;
+    b.error = "second";
+    const std::string stream = wire::frame(wire::encodeJobResult(a)) +
+                               wire::frame(wire::encodeJobResult(b));
+
+    wire::FrameDecoder decoder;
+    decoder.feed(stream.data(), stream.size());
+    std::string p;
+    std::vector<JobResult> out;
+    while (decoder.next(p))
+        out.push_back(wire::decodeJobResult(p));
+    ASSERT_EQ(out.size(), 2u);
+    expectSameResult(a, out[0]);
+    expectSameResult(b, out[1]);
+    EXPECT_FALSE(decoder.truncated());
+}
+
+TEST(Wire, DecoderRejectsCorruptStreams)
+{
+    // Wrong magic: provably corrupt at the first header.
+    {
+        wire::FrameDecoder decoder;
+        const std::string junk = "JUNKJUNKJUNK";
+        std::string p;
+        EXPECT_THROW(
+            {
+                decoder.feed(junk.data(), junk.size());
+                decoder.next(p);
+            },
+            wire::WireError);
+    }
+
+    // A length above the payload cap: rejected before buffering it.
+    {
+        wire::FrameDecoder decoder;
+        std::string header("RMTW", 4);
+        const std::uint32_t huge = wire::maxPayloadBytes + 1;
+        header.append(reinterpret_cast<const char *>(&huge), 4);
+        std::string p;
+        EXPECT_THROW(
+            {
+                decoder.feed(header.data(), header.size());
+                decoder.next(p);
+            },
+            wire::WireError);
+    }
+
+    // A frame cut mid-payload: no record, flagged as truncated.
+    {
+        const std::string framed =
+            wire::frame(wire::encodeJobResult(fullResult()));
+        wire::FrameDecoder decoder;
+        decoder.feed(framed.data(), framed.size() - 5);
+        std::string p;
+        EXPECT_FALSE(decoder.next(p));
+        EXPECT_TRUE(decoder.truncated());
+    }
+}
+
+TEST(Wire, DecodeRejectsTruncatedAndGarbagePayloads)
+{
+    const std::string payload = wire::encodeJobResult(fullResult());
+    EXPECT_THROW(wire::decodeJobResult(""), wire::WireError);
+    EXPECT_THROW(wire::decodeJobResult(payload.substr(0, 3)),
+                 wire::WireError);
+    EXPECT_THROW(
+        wire::decodeJobResult(payload.substr(0, payload.size() - 1)),
+        wire::WireError);
+
+    // A bumped codec version must be rejected, not misparsed.
+    std::string bumped = payload;
+    bumped[0] = static_cast<char>(wire::codecVersion + 1);
+    EXPECT_THROW(wire::decodeJobResult(bumped), wire::WireError);
+}
+
+TEST(ForkExecutor, ForkedVerdictsMatchInProcess)
+{
+    if (!ForkExecutor::supported())
+        GTEST_SKIP() << "no fork() on this platform";
+
+    const SimOptions options = trialOptions();
+    const FaultOracle oracle(
+        FaultOracle::goldenImage({"compress"}, options));
+    const auto jobs = faultCampaign(options, oracle, 6, 150, 90);
+
+    ForkExecutorConfig forked;
+    forked.use_fork = true;
+    ForkExecutor fork_exec(forked);
+    const auto fork_results = fork_exec.run(jobs);
+
+    ForkExecutorConfig inproc;
+    inproc.use_fork = false;        // the --no-fork path
+    ForkExecutor inproc_exec(inproc);
+    const auto inproc_results = inproc_exec.run(jobs);
+
+    ASSERT_EQ(fork_results.size(), jobs.size());
+    ASSERT_EQ(inproc_results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(fork_results[i].id, jobs[i].id);
+        expectSameVerdict(fork_results[i], inproc_results[i]);
+    }
+    EXPECT_EQ(fork_exec.stats().forked, jobs.size());
+    EXPECT_EQ(fork_exec.stats().inprocess, 0u);
+    EXPECT_EQ(fork_exec.stats().wire_errors, 0u);
+    EXPECT_EQ(inproc_exec.stats().forked, 0u);
+    EXPECT_EQ(inproc_exec.stats().inprocess, jobs.size());
+}
+
+TEST(ForkExecutor, SnapshotCampaignMatchesAndWarmsOncePerBarrier)
+{
+    if (!ForkExecutor::supported())
+        GTEST_SKIP() << "no fork() on this platform";
+
+    SimOptions options = trialOptions();
+    // Probe the plain run, then barrier it: quiesce drains stretch the
+    // barriered run, so strikes are placed against the barriered total.
+    Cycle total;
+    {
+        Simulation probe({"compress"}, options);
+        total = probe.run().total_cycles;
+    }
+    options.snapshot_every = std::max<Cycle>(1, total / 4);
+    {
+        Simulation probe({"compress"}, options);
+        total = probe.run().total_cycles;
+    }
+
+    const FaultOracle oracle(
+        FaultOracle::goldenImage({"compress"}, options));
+    // Strikes sweep the whole run: the early ones land before the
+    // first barrier (scratch prefix, satellite of the snapshot path),
+    // the late ones restore from a mid-run snapshot.
+    const auto jobs =
+        faultCampaign(options, oracle, 6, total / 12, total / 8);
+
+    SnapshotCache fork_cache;
+    ForkExecutorConfig forked;
+    forked.use_fork = true;
+    forked.runner.snapshots = &fork_cache;
+    ForkExecutor fork_exec(forked);
+    const auto fork_results = fork_exec.run(jobs);
+
+    SnapshotCache inproc_cache;
+    ForkExecutorConfig inproc;
+    inproc.use_fork = false;
+    inproc.runner.snapshots = &inproc_cache;
+    ForkExecutor inproc_exec(inproc);
+    const auto inproc_results = inproc_exec.run(jobs);
+
+    ASSERT_EQ(fork_results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectSameVerdict(fork_results[i], inproc_results[i]);
+
+    // One warmed parent simulation per distinct barrier, not per
+    // trial; every distinct barrier of the strike sweep shares one.
+    EXPECT_EQ(fork_exec.stats().forked, jobs.size());
+    EXPECT_GE(fork_exec.stats().warm_builds, 1u);
+    EXPECT_LT(fork_exec.stats().warm_builds, jobs.size());
+    EXPECT_EQ(fork_cache.producerRuns(), 1u);
+}
+
+TEST(ForkExecutor, WatchdogKillsAnOverrunningChild)
+{
+    if (!ForkExecutor::supported())
+        GTEST_SKIP() << "no fork() on this platform";
+
+    JobSpec spec;
+    spec.id = 0;
+    spec.label = "hog";
+    spec.workloads = {"compress"};
+    spec.options = trialOptions();
+    // A run this long takes several seconds; the watchdog must reap
+    // the child after ~0.25 s instead.
+    spec.options.measure_insts = 50'000'000;
+    FaultRecord f;
+    f.kind = FaultRecord::Kind::TransientReg;
+    f.when = 40'000'000;
+    f.reg = 1;
+    spec.faults.push_back(f);
+
+    ForkExecutorConfig cfg;
+    cfg.use_fork = true;
+    cfg.runner.timeout_seconds = 0.25;
+    ForkExecutor exec(cfg);
+    const auto results = exec.run({spec});
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_TRUE(results[0].timed_out);
+    EXPECT_EQ(exec.stats().killed, 1u);
+    EXPECT_EQ(exec.stats().forked, 0u);
+}
+
+TEST(ForkExecutor, InvalidSpecBecomesARecordedFailure)
+{
+    JobSpec spec;
+    spec.id = 0;
+    spec.label = "bogus workload";
+    spec.workloads = {"no-such-workload"};
+    spec.options = trialOptions();
+
+    ForkExecutorConfig cfg;
+    cfg.use_fork = true;
+    ForkExecutor exec(cfg);
+    const auto results = exec.run({spec});
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_FALSE(results[0].error.empty());
+    // The bad spec never reached a fork; it was recorded in-process.
+    EXPECT_EQ(exec.stats().forked, 0u);
+    EXPECT_GE(exec.stats().inprocess, 1u);
+}
+
+TEST(ForkExecutor, SinkReceivesEveryRecordInJobOrder)
+{
+    if (!ForkExecutor::supported())
+        GTEST_SKIP() << "no fork() on this platform";
+
+    const SimOptions options = trialOptions();
+    const FaultOracle oracle(
+        FaultOracle::goldenImage({"compress"}, options));
+    const auto jobs = faultCampaign(options, oracle, 4, 200, 120);
+
+    CollectingSink sink;
+    ForkExecutorConfig cfg;
+    cfg.use_fork = true;
+    cfg.runner.sink = &sink;
+    ForkExecutor exec(cfg);
+    const auto results = exec.run(jobs);
+
+    ASSERT_EQ(sink.ids.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(sink.ids[i], jobs[i].id);
+        expectSameVerdict(sink.results[i], results[i]);
+    }
+}

@@ -91,4 +91,17 @@ sed 's/,"extra":{[^}]*}//' build/ckpt_forked.jsonl \
 diff build/ckpt_forked_stripped.jsonl build/ckpt_scratch.jsonl
 grep -q '"snapshot_hit":1' build/ckpt_forked.jsonl
 
+echo "== avf: stratified fork()-executor campaign vs --no-fork =="
+# The fork()-per-trial executor must be verdict-identical to the
+# in-process path: same trials, same records, byte-for-byte, and the
+# stream must end with the per-stratum avf_summary record.
+avf_args="--modes srt --workloads gcc,compress --stratify
+          --kinds reg,pc --windows 2 --batch 2 --fault-trials 2
+          --warmup 500 --insts 4000 --no-timing --quiet"
+./build/tools/rmtsim_batch $avf_args --out build/avf_forked.jsonl
+./build/tools/rmtsim_batch $avf_args --no-fork \
+    --out build/avf_inproc.jsonl
+diff build/avf_forked.jsonl build/avf_inproc.jsonl
+grep -q '"avf_summary"' build/avf_forked.jsonl
+
 echo "check.sh: all checks OK"

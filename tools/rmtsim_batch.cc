@@ -26,7 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "avf/sampler.hh"
 #include "common/logging.hh"
+#include "runner/fork_executor.hh"
 #include "runner/runner.hh"
 #include "sim/metrics.hh"
 #include "workloads/workloads.hh"
@@ -54,10 +56,23 @@ usage()
         "checker storeq lvq lpq rob iq insts warmup ptsq nosc psr ecc "
         "frontend\n"
         "  --fault-trials N  N seeded transient-reg strikes per grid "
-        "point (each trial gets an oracle verdict vs a golden run)\n"
+        "point (each trial gets an oracle verdict vs a golden run); "
+        "with --stratify, the trial budget per stratum\n"
         "  --max-reg N       victim register bound for fault trials "
         "(default 31)\n"
         "  --seed S          campaign seed (default 1)\n"
+        "\n"
+        "statistical campaigns (src/avf/):\n"
+        "  --stratify        stratified sampling over fault kinds x "
+        "strike windows with per-stratum AVF estimates\n"
+        "  --ci-width W      stop sampling a stratum once its Wilson "
+        "interval is narrower than W (0 = fixed budget)\n"
+        "  --confidence C    interval confidence (default 0.95)\n"
+        "  --windows N       strike windows per kind (default 2)\n"
+        "  --batch N         trials per stratum per round (default "
+        "16)\n"
+        "  --kinds K,K,...   fault kinds to stratify (default: every "
+        "kind the machine supports, minus permanent fu)\n"
         "\n"
         "checkpointing:\n"
         "  --snapshot-every N  place a snapshot barrier every N cycles; "
@@ -78,10 +93,15 @@ usage()
         "\n"
         "execution:\n"
         "  -j, --jobs N      worker threads (default 1; 0 = all "
-        "cores)\n"
+        "cores); fault trials instead run through the fork() "
+        "executor\n"
+        "  --no-fork         run fault trials in-process instead of "
+        "as fork()ed children (non-POSIX / sanitizer builds)\n"
         "  --retries N       attempts per job (default 2 = retry "
         "once)\n"
         "  --out FILE        .jsonl output (default '-' = stdout)\n"
+        "  --fsync           fsync the output file on close (no torn "
+        "records after a crash)\n"
         "  --efficiency      add SMT-efficiency vs shared baseline "
         "cache\n"
         "  --embed-stats     embed the full stats tree in each job "
@@ -127,6 +147,15 @@ main(int argc, char **argv)
     bool want_efficiency = false;
     bool list_only = false;
     bool snapshot_fork = true;
+    bool use_fork = true;
+    bool want_fsync = false;
+    bool quiet = false;
+    bool stratify = false;
+    double ci_width = 0;
+    double confidence = 0.95;
+    unsigned windows = 2;
+    unsigned batch = 16;
+    std::string kinds_csv;
     JsonlSink::Options sink_opts;
 
     try {
@@ -193,11 +222,28 @@ main(int argc, char **argv)
                 base.snapshot_every = std::stoull(next());
             } else if (arg == "--no-snapshot-fork") {
                 snapshot_fork = false;
+            } else if (arg == "--no-fork") {
+                use_fork = false;
+            } else if (arg == "--fsync") {
+                want_fsync = true;
+            } else if (arg == "--stratify") {
+                stratify = true;
+            } else if (arg == "--ci-width") {
+                ci_width = std::stod(next());
+            } else if (arg == "--confidence") {
+                confidence = std::stod(next());
+            } else if (arg == "--windows") {
+                windows = static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--batch") {
+                batch = static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--kinds") {
+                kinds_csv = next();
             } else if (arg == "--baseline-cache") {
                 baseline_dir = next();
             } else if (arg == "--no-timing") {
                 sink_opts.include_timing = false;
             } else if (arg == "--quiet") {
+                quiet = true;
                 sink_opts.progress = false;
             } else if (arg == "--list") {
                 list_only = true;
@@ -223,7 +269,10 @@ main(int argc, char **argv)
             builder.mixes(mixes);
         for (const auto &[key, values] : sweeps)
             builder.sweep(key, values);
-        if (fault_trials)
+        // Stratified campaigns draw their own faults per stratum; the
+        // grid expansion then only provides the cells (one job per
+        // grid point, faultless).
+        if (fault_trials && !stratify)
             builder.transientRegTrials(fault_trials, max_reg);
         campaign = builder.build();
     } catch (const std::exception &e) {
@@ -237,10 +286,12 @@ main(int argc, char **argv)
     // trials will actually run under, or the memory comparison would
     // flag the budget difference as corruption.
     std::map<std::string, std::unique_ptr<FaultOracle>> oracles;
-    if (fault_trials) {
+    std::vector<const FaultOracle *> cell_oracles(campaign.jobs.size(),
+                                                  nullptr);
+    if (fault_trials || stratify) {
         try {
             for (JobSpec &job : campaign.jobs) {
-                if (job.faults.empty())
+                if (job.faults.empty() && !stratify)
                     continue;
                 SimOptions o = job.options;
                 if (cfg.max_insts) {
@@ -262,7 +313,13 @@ main(int argc, char **argv)
                                               job.workloads, o)))
                              .first;
                 }
-                attachFaultOracle(job, it->second.get());
+                if (stratify) {
+                    // The sampler attaches the oracle to each trial it
+                    // generates; remember which oracle serves this cell.
+                    cell_oracles[job.id] = it->second.get();
+                } else {
+                    attachFaultOracle(job, it->second.get());
+                }
             }
         } catch (const std::exception &e) {
             std::fprintf(stderr, "rmtsim_batch: golden run failed: %s\n",
@@ -279,6 +336,17 @@ main(int argc, char **argv)
         std::printf("%zu jobs\n", campaign.jobs.size());
         return 0;
     }
+
+    const bool fault_exec = fault_trials > 0 || stratify;
+    if (fault_exec && use_fork) {
+        // Fork-safety: emit only whole lines, so no half-written
+        // buffer exists to be duplicated into a child at fork() time.
+        sink_opts.flush_each = true;
+    }
+    if (want_fsync && out_path != "-")
+        sink_opts.fsync_path = out_path;
+    if (stratify)
+        sink_opts.progress = false;     // per-round reporting instead
 
     std::ofstream file;
     if (out_path != "-") {
@@ -309,12 +377,109 @@ main(int argc, char **argv)
     if (base.snapshot_every && snapshot_fork)
         cfg.snapshots = &snapshots;
 
-    const auto results = runCampaign(campaign, cfg);
-
+    std::uint64_t total_jobs = 0;
     std::uint64_t failed = 0;
-    for (const auto &r : results)
-        failed += !r.ok();
-    if (sink_opts.progress) {
+
+    if (stratify) {
+        SamplerConfig scfg;
+        try {
+            scfg.kinds = parseFaultKinds(kinds_csv);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
+            return 2;
+        }
+        scfg.windows = windows;
+        scfg.batch = batch;
+        scfg.max_trials = fault_trials ? fault_trials : 256;
+        scfg.ci_width = ci_width;
+        scfg.confidence = confidence;
+        scfg.max_reg = max_reg;
+        // Pair-resident kinds (lvq/lpq/boq) only exist on machines
+        // with redundant pairs; drop them from the default kind set
+        // as soon as one sampled mode lacks pairs.
+        scfg.has_pairs = true;
+        for (const SimMode m : modes) {
+            if (m != SimMode::Srt && m != SimMode::Crt)
+                scfg.has_pairs = false;
+        }
+
+        std::vector<StratifiedSampler::Cell> cells;
+        for (const JobSpec &j : campaign.jobs) {
+            cells.push_back({j.label, j.workloads, j.options,
+                             cell_oracles[j.id]});
+        }
+
+        try {
+            StratifiedSampler sampler(cells, scfg, seed);
+            ForkExecutorConfig fcfg;
+            fcfg.runner = cfg;
+            fcfg.use_fork = use_fork;
+            ForkExecutor exec(fcfg);
+            for (;;) {
+                const auto jobs = sampler.nextRound();
+                if (jobs.empty())
+                    break;
+                const auto results = exec.run(jobs);
+                for (std::size_t i = 0; i < jobs.size(); ++i) {
+                    sampler.record(jobs[i], results[i]);
+                    failed += !results[i].ok();
+                }
+                total_jobs += jobs.size();
+                if (!quiet) {
+                    std::fprintf(
+                        stderr,
+                        "round %u: %zu trials (%llu total, %llu "
+                        "forked)\n",
+                        sampler.rounds(), jobs.size(),
+                        static_cast<unsigned long long>(total_jobs),
+                        static_cast<unsigned long long>(
+                            exec.stats().forked));
+                }
+            }
+            sink.end();
+            // The summary rides in the same .jsonl: one object with
+            // per-stratum estimates, intervals and trial counts.
+            out << sampler.summaryJson() << "\n";
+            out.flush();
+            if (!quiet) {
+                for (std::size_t c = 0; c < cells.size(); ++c) {
+                    const RollupEstimate r = sampler.cellRollup(c);
+                    std::fprintf(
+                        stderr,
+                        "%s: AVF %.4f [%.4f,%.4f]  SDC %.4f "
+                        "[%.4f,%.4f]  (%llu trials)\n",
+                        cells[c].label.c_str(), r.avf, r.avf_ci.low,
+                        r.avf_ci.high, r.sdc_rate, r.sdc_ci.low,
+                        r.sdc_ci.high,
+                        static_cast<unsigned long long>(r.trials));
+                }
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
+            return 2;
+        }
+    } else if (fault_trials) {
+        // Fault campaigns dispatch through the fork executor: every
+        // trial is a COW child of a parent-warmed simulator (or an
+        // in-process executeJob with --no-fork — identical records).
+        sink.begin(campaign);
+        ForkExecutorConfig fcfg;
+        fcfg.runner = cfg;
+        fcfg.use_fork = use_fork;
+        ForkExecutor exec(fcfg);
+        const auto results = exec.run(campaign.jobs);
+        sink.end();
+        total_jobs = results.size();
+        for (const auto &r : results)
+            failed += !r.ok();
+    } else {
+        const auto results = runCampaign(campaign, cfg);
+        total_jobs = results.size();
+        for (const auto &r : results)
+            failed += !r.ok();
+    }
+
+    if (!quiet) {
         std::string note;
         if (want_efficiency)
             note = " (" + std::to_string(baseline.simulations()) +
@@ -322,8 +487,8 @@ main(int argc, char **argv)
         if (cfg.snapshots)
             note += " (" + std::to_string(snapshots.producerRuns()) +
                     " snapshot producers)";
-        std::fprintf(stderr, "%zu jobs, %llu failed%s\n",
-                     results.size(),
+        std::fprintf(stderr, "%llu jobs, %llu failed%s\n",
+                     static_cast<unsigned long long>(total_jobs),
                      static_cast<unsigned long long>(failed),
                      note.c_str());
     }

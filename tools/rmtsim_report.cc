@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -41,7 +42,16 @@ usage()
         "  --per-mix         also print the per-workload-mix table\n"
         "  --coverage        fault-campaign mode: per-fault-kind "
         "verdicts,\n"
-        "                    detection rate and latency histogram\n"
+        "                    detection rate, latency histogram, and "
+        "AVF\n"
+        "                    with Wilson intervals; mixed-mode streams "
+        "also\n"
+        "                    get a per-mode table flagging kinds "
+        "whose\n"
+        "                    intervals still overlap between modes\n"
+        "  --confidence C    interval confidence for --coverage "
+        "(default\n"
+        "                    0.95)\n"
         "  --snapshots       snapshot-forking summary: hit rate, "
         "cycles\n"
         "                    saved, snapshot image sizes\n");
@@ -56,6 +66,7 @@ main(int argc, char **argv)
     std::string path;
     bool coverage = false;
     bool snapshots = false;
+    double confidence = 0.95;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -74,6 +85,20 @@ main(int argc, char **argv)
             opts.per_mix = true;
         } else if (arg == "--coverage") {
             coverage = true;
+        } else if (arg == "--confidence") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "rmtsim_report: missing value for "
+                             "--confidence\n");
+                return 2;
+            }
+            confidence = std::atof(argv[++i]);
+            if (confidence <= 0 || confidence >= 1) {
+                std::fprintf(stderr,
+                             "rmtsim_report: --confidence must be in "
+                             "(0, 1)\n");
+                return 2;
+            }
         } else if (arg == "--snapshots") {
             snapshots = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -132,7 +157,8 @@ main(int argc, char **argv)
             return 0;
     }
     if (coverage) {
-        const CoverageReport report = buildCoverageReport(records);
+        const CoverageReport report =
+            buildCoverageReport(records, confidence);
         std::fputs(formatCoverageReport(report).c_str(), stdout);
         return 0;
     }
