@@ -48,7 +48,9 @@ std::uint32_t crc32(const void *data, std::size_t size);
 class Serializer
 {
   public:
-    static constexpr std::uint32_t formatVersion = 1;
+    /** v2: per-thread fetch-stall reason added to the core section
+     *  (commit-slot attribution). */
+    static constexpr std::uint32_t formatVersion = 2;
 
     /** Open a new tagged section; primitives go to it until end(). */
     void beginSection(const std::string &name);

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "isa/isa.hh"
+#include "obs/attribution.hh"
 #include "predictor/branch_predictor.hh"
 #include "predictor/ras.hh"
 
@@ -107,6 +108,9 @@ struct DynInst
     bool completed = false;     ///< eligible to retire
     bool squashed = false;
     bool retired = false;
+    /** Why this instruction is not complete yet (commit-slot
+     *  attribution while it blocks the ROB head). */
+    StallCause waitReason = StallCause::ExecLatency;
     Cycle fetchCycle = 0;
     Cycle dispatchCycle = 0;
     Cycle issueCycle = 0;

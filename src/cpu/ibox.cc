@@ -236,6 +236,7 @@ SmtCpu::fetchLeadingChunks(ThreadId tid)
             memSystem.access(l1i, physMemAddr(t, start), now, hit);
         if (!hit) {
             t.fetchStallUntil = ready;
+            t.fetchStallReason = FetchStall::IcacheMiss;
             statIcacheMissStalls += ready - now;
             break;
         }
@@ -349,6 +350,7 @@ SmtCpu::fetchLeadingChunks(ThreadId tid)
                              (unsigned long long)next_fetch_pc);
             }
             t.fetchStallUntil = now + _params.line_mispredict_penalty;
+            t.fetchStallReason = FetchStall::LineMispredict;
             break;
         }
     }
@@ -381,6 +383,7 @@ SmtCpu::fetchTrailingLpq(ThreadId tid)
             // head; the prediction sequence reissues after the fill.
             pair.lpq.rollback();
             t.fetchStallUntil = ready;
+            t.fetchStallReason = FetchStall::IcacheMiss;
             statIcacheMissStalls += ready - now;
             break;
         }
@@ -446,6 +449,7 @@ SmtCpu::fetchTrailingBoq(ThreadId tid)
             memSystem.access(l1i, physMemAddr(t, start), now, hit);
         if (!hit) {
             t.fetchStallUntil = ready;
+            t.fetchStallReason = FetchStall::IcacheMiss;
             statIcacheMissStalls += ready - now;
             break;
         }
@@ -540,6 +544,7 @@ SmtCpu::fetchTrailingBoq(ThreadId tid)
             linePred.noteMispredict();
             ++statLineMispredicts;
             t.fetchStallUntil = now + _params.line_mispredict_penalty;
+            t.fetchStallReason = FetchStall::LineMispredict;
             break;
         }
         (void)fetched_here;

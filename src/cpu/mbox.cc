@@ -102,6 +102,8 @@ SmtCpu::loadAgen(const DynInstPtr &inst)
     bool hit = false;
     const Cycle ready =
         memSystem.access(l1d, physMemAddr(t, inst->effAddr), now, hit);
+    inst->waitReason =
+        hit ? StallCause::ExecLatency : StallCause::DcacheMiss;
     const std::uint64_t value = t.mem->read(inst->effAddr, size);
     schedule(std::max(ready, now) + _params.mbox_latency, EvKind::LoadDone,
              inst, value);
@@ -120,12 +122,15 @@ SmtCpu::trailingLoadAgen(const DynInstPtr &inst)
     std::uint64_t data = 0;
     switch (t.pair->lvq.lookup(inst->loadTag, inst->effAddr, now, data)) {
       case Lvq::Lookup::NotPresent:
+        // The leading copy has not produced this load's value yet.
+        inst->waitReason = StallCause::LvqEmpty;
         waitingLoads.push_back(inst);
         return;
       case Lvq::Lookup::AddrMismatch:
         t.pair->recordDetection(DetectionKind::LvqAddrMismatch, now);
         [[fallthrough]];
       case Lvq::Lookup::Hit:
+        inst->waitReason = StallCause::ExecLatency;
         schedule(now + _params.mbox_latency, EvKind::LoadDone, inst, data);
         return;
     }

@@ -9,6 +9,7 @@
 #include "cpu/smt_cpu.hh"
 
 #include "common/logging.hh"
+#include "obs/pipetrace.hh"
 
 #include <cstdio>
 #include <cstdlib>
@@ -184,6 +185,7 @@ SmtCpu::maybeTakeInterrupt(ThreadId tid)
     t.intReturnPc = t.nextCommitPc;
     t.fetchPc = vector;
     t.fetchStallUntil = now + 2;
+    t.fetchStallReason = FetchStall::Redirect;
     t.fetchHalted = false;
 
     if (t.role == Role::Leading && t.pair)
@@ -195,24 +197,37 @@ bool
 SmtCpu::commitOne(ThreadId tid)
 {
     ThreadState &t = threads[tid];
-    if (maybeTakeInterrupt(tid))
+    commitSlotSquash = false;
+    if (maybeTakeInterrupt(tid)) {
+        commitStall = StallCause::SquashRecovery;
         return false;   // redirected; nothing retires this cycle
-    if (t.rob.empty() || t.halted)
+    }
+    if (t.rob.empty() || t.halted) {
+        commitStall =
+            t.halted ? StallCause::Idle : diagnoseEmptyRob(tid);
         return false;
+    }
     DynInstPtr inst = t.rob.front();
     if (inst->squashed) {
         t.rob.pop_front();
         --robOccupancy;
+        commitSlotSquash = true;    // drained slot, not a retirement
         return true;
     }
     // Uncached accesses execute here, in order, at the head of the
     // machine (non-speculative by construction).
     if (inst->si.isUncached() && !inst->completed &&
         !commitUncached(t, inst)) {
+        commitStall = StallCause::UncachedWait;
         return false;
     }
-    if (!inst->completed)
+    if (!inst->completed) {
+        // Loads carry their own wait reason (set by the MBOX when the
+        // access started); anything else is simply still executing.
+        commitStall = inst->isLoad() ? inst->waitReason
+                                     : StallCause::ExecLatency;
         return false;
+    }
 
     const StaticInst &si = inst->si;
     RedundantPair *pair = t.pair;
@@ -232,6 +247,7 @@ SmtCpu::commitOne(ThreadId tid)
         if (older_store_pending) {
             if (leading && pair && !pair->aggregationEmpty())
                 pair->flushAggregation(now);
+            commitStall = diagnoseMembarWait(t);
             return false;
         }
     }
@@ -239,11 +255,13 @@ SmtCpu::commitOne(ThreadId tid)
     // Leading-side stall checks before any side effects.
     if (leading && si.isLoad() && pair->lvq.full()) {
         ++statLvqFullStalls;
+        commitStall = StallCause::LvqFull;
         return false;
     }
     if (leading && pair &&
         _params.trailing_fetch != TrailingFetchMode::LinePredictionQueue &&
         si.isControl() && pair->boqFull()) {
+        commitStall = StallCause::BoqFull;
         return false;
     }
 
@@ -252,6 +270,7 @@ SmtCpu::commitOne(ThreadId tid)
         _params.trailing_fetch == TrailingFetchMode::LinePredictionQueue) {
         if (!pair->appendRetired(inst->pc, inst->iqHalf, now)) {
             ++statLpqFullStalls;
+            commitStall = StallCause::LpqFull;
             return false;
         }
     } else if (leading && pair) {
@@ -382,6 +401,8 @@ SmtCpu::commitOne(ThreadId tid)
 
     if (traceOut)
         traceCommit(t, inst);
+    if (pipeTracer)
+        pipeTracer->recordRetire(core, tid, *inst, now);
 
     t.rob.pop_front();
     --robOccupancy;
@@ -411,6 +432,7 @@ SmtCpu::commitOne(ThreadId tid)
             flushAllInflight(tid);
             t.fetchPc = t.intReturnPc;
             t.fetchStallUntil = now + 2;
+            t.fetchStallReason = FetchStall::Redirect;
             t.fetchHalted = false;
         } else {
             // The resume target is not computable locally: allow the
@@ -438,14 +460,135 @@ SmtCpu::commit()
 {
     const unsigned n = static_cast<unsigned>(threads.size());
     unsigned budget = _params.issue_width;   // retire width == 8
+    // Commit-slot accounting: every one of the issue_width slots is
+    // charged to exactly one StallCause each cycle.  Slots consumed by
+    // commitOne() are Committed (or SquashRecovery for squash drains);
+    // the remainder is split across the causes that blocked each active
+    // thread, or charged Idle when no thread wanted the slots.  The
+    // charge always totals issue_width, so sum(buckets) ==
+    // cycles * commit_width holds at every cycle boundary.
+    std::array<StallCause, 4> blocked;
+    unsigned nblocked = 0;
     for (unsigned i = 0; i < n && budget > 0; ++i) {
         const ThreadId tid = static_cast<ThreadId>((commitRr + i) % n);
         if (!threads[tid].active)
             continue;
-        while (budget > 0 && commitOne(tid))
+        unsigned retired = 0;
+        unsigned drained = 0;
+        while (budget > 0 && commitOne(tid)) {
             --budget;
+            if (commitSlotSquash)
+                ++drained;
+            else
+                ++retired;
+        }
+        if (retired)
+            chargeSlots(StallCause::Committed, retired);
+        if (drained)
+            chargeSlots(StallCause::SquashRecovery, drained);
+        if (budget > 0)
+            blocked[nblocked++] = commitStall;  // why commitOne said no
     }
     commitRr = (commitRr + 1) % n;
+
+    if (budget > 0) {
+        if (nblocked == 0) {
+            chargeSlots(StallCause::Idle, budget);
+        } else {
+            const unsigned share = budget / nblocked;
+            const unsigned rem = budget % nblocked;
+            for (unsigned k = 0; k < nblocked; ++k) {
+                const unsigned amount = share + (k < rem ? 1 : 0);
+                if (amount)
+                    chargeSlots(blocked[k], amount);
+            }
+        }
+    }
+}
+
+StallCause
+SmtCpu::diagnoseEmptyRob(ThreadId tid) const
+{
+    const ThreadState &t = threads[tid];
+    if (t.fetchHalted && t.rmb.empty())
+        return StallCause::Idle;    // program fully fetched and retired
+    if (draining)
+        return StallCause::DrainBarrier;
+    if (!t.rmb.empty())
+        return diagnoseDispatchBlock(tid);
+
+    // The frontend has nothing buffered: why is fetch not delivering?
+    if (now < t.fetchStallUntil) {
+        switch (t.fetchStallReason) {
+          case FetchStall::IcacheMiss:
+            return StallCause::IcacheMiss;
+          case FetchStall::LineMispredict:
+          case FetchStall::Redirect:
+            return StallCause::SquashRecovery;
+          case FetchStall::None:
+            break;
+        }
+        return StallCause::FetchStarved;
+    }
+    if (t.role == Role::Trailing && t.pair && trailingSlackGated(t))
+        return StallCause::SlackThrottled;
+    // Remaining trailing cases (LPQ empty, BOQ outcome starvation) and
+    // plain fetch/dispatch latency: the frontend owes us instructions.
+    return StallCause::FetchStarved;
+}
+
+StallCause
+SmtCpu::diagnoseDispatchBlock(ThreadId tid) const
+{
+    // Mirror of dispatchOne()'s resource checks against the next
+    // instruction waiting in the rate-matching buffer, without the
+    // side-effecting rename.  Order matters: it must match dispatch.
+    const ThreadState &t = threads[tid];
+    const DynInstPtr &head = t.rmb.front();
+    if (head->fetchCycle + _params.ibox_latency > now)
+        return StallCause::FetchStarved;    // still in IBOX transit
+    if (robFreeFor(tid) == 0)
+        return StallCause::RobFull;
+    const StaticInst &si = head->si;
+    const bool needs_iq = si.fuClass() != FuClass::None &&
+                          !si.isMemBar() && !si.isUncached();
+    if (needs_iq && iqFreeFor(tid) == 0)
+        return StallCause::IqFull;
+    const bool needs_dest = si.rd != noReg && si.rd != intReg(0);
+    if (needs_dest && !physRegsAvailable(tid))
+        return StallCause::RobFull;     // rename-resource exhaustion
+    if (si.isLoad() && usesLoadQueue(t) &&
+        (t.lq.size() >= t.lqQuota || !lsqSpaceFor(tid, /*load=*/true))) {
+        return StallCause::LqFull;
+    }
+    if (si.isStore() &&
+        (t.sq.size() >= t.sqQuota || !lsqSpaceFor(tid, /*load=*/false))) {
+        return StallCause::SqFull;
+    }
+    // Dispatchable, but the mapper served another thread this cycle.
+    return StallCause::FetchStarved;
+}
+
+StallCause
+SmtCpu::diagnoseMembarWait(const ThreadState &t) const
+{
+    // A memory barrier at the head waits for the SQ to drain; mirror
+    // releaseStores()'s gating on the oldest entry read-only (in
+    // particular: no noteFullReject(), that is the release path's job).
+    if (t.sq.empty())
+        return StallCause::ExecLatency;
+    const DynInstPtr &entry = t.sq.front();
+    if (entry->squashed || !entry->retired)
+        return StallCause::ExecLatency;     // store still completing
+    if (t.role == Role::Leading && _params.srt_store_comparison &&
+        !entry->sqVerified) {
+        return StallCause::StoreCompWait;
+    }
+    if (now < entry->sqRetireCycle + _params.store_checker_penalty)
+        return StallCause::StoreCompWait;
+    if (!mergeBuf.canAccept(physMemAddr(t, entry->effAddr)))
+        return StallCause::MergeBufferFull;
+    return StallCause::ExecLatency;
 }
 
 DynInstPtr
@@ -492,6 +635,7 @@ SmtCpu::squashThread(ThreadId tid, InstSeq last_good_seq, Addr restart_pc,
 
     t.fetchPc = restart_pc;
     t.fetchStallUntil = now + 1 + _params.branch_mispredict_extra;
+    t.fetchStallReason = FetchStall::Redirect;
     t.fetchHalted = false;
     return oldest_ctl;
 }
@@ -563,6 +707,7 @@ SmtCpu::recoverThread(ThreadId tid, const RecoveryCheckpoint &ckpt)
     t.fetchHalted = false;
     t.fetchPc = ckpt.next_pc;
     t.fetchStallUntil = now + 8;    // restart penalty
+    t.fetchStallReason = FetchStall::Redirect;
     t.haveExpectedPc = false;
     noteCommitProgress();
 }

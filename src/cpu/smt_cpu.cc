@@ -71,6 +71,16 @@ SmtCpu::SmtCpu(const SmtParams &params, MemSystem &mem_system,
     if (params.num_threads == 0 || params.num_threads > 4)
         fatal("SmtCpu supports 1-4 hardware threads");
 
+    // Commit-slot attribution: one counter per taxonomy cause, in enum
+    // order.  Conservation (sum == cycles * issue_width) is enforced by
+    // construction in commit() and asserted by tests and check.sh.
+    for (std::size_t i = 0; i < numStallCauses; ++i) {
+        const auto cause = static_cast<StallCause>(i);
+        statSlots[i] = std::make_unique<Counter>(
+            statGroup, std::string("slots_") + stallCauseName(cause),
+            std::string("commit slots charged: ") + stallCauseName(cause));
+    }
+
     for (auto &thread : threads) {
         thread.storeLifetime = std::make_unique<Average>(
             statGroup, "store_lifetime_t" +
@@ -197,6 +207,15 @@ SmtCpu::setTarget(ThreadId tid, std::uint64_t insts, std::uint64_t warmup)
 {
     threads[tid].target = insts;
     threads[tid].measureSkip = std::min(warmup, insts);
+}
+
+StallSlots
+SmtCpu::attributionSlots() const
+{
+    StallSlots out;
+    for (std::size_t i = 0; i < numStallCauses; ++i)
+        out.slots[i] = statSlots[i]->value();
+    return out;
 }
 
 bool
@@ -551,6 +570,7 @@ SmtCpu::saveState(Serializer &s) const
             continue;
         s.u64(t.fetchPc);
         s.u64(t.fetchStallUntil);
+        s.u32(static_cast<std::uint32_t>(t.fetchStallReason));
         s.boolean(t.fetchHalted);
         s.u64(t.nextSeq);
         for (unsigned r = 0; r < numArchRegs; ++r)
@@ -610,6 +630,7 @@ SmtCpu::loadState(Deserializer &d)
             continue;
         t.fetchPc = d.u64();
         t.fetchStallUntil = d.u64();
+        t.fetchStallReason = static_cast<FetchStall>(d.u32());
         t.fetchHalted = d.boolean();
         t.nextSeq = d.u64();
         for (unsigned r = 0; r < numArchRegs; ++r) {

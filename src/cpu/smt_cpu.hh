@@ -31,11 +31,14 @@
 #include "isa/program.hh"
 #include "mem/device.hh"
 #include "mem/mem_system.hh"
+#include "obs/attribution.hh"
 #include "rmt/fault_injector.hh"
 #include "rmt/redundancy.hh"
 
 namespace rmt
 {
+
+class PipeTracer;
 
 class SmtCpu : public Snapshottable
 {
@@ -139,6 +142,22 @@ class SmtCpu : public Snapshottable
         return statCommittedTotal.value();
     }
 
+    // ---------------------------- commit-slot attribution (obs/)
+    /** Retire slots per cycle (the accounting width). */
+    unsigned commitWidth() const { return _params.issue_width; }
+    /** Cycles this core has simulated (== statCycles). */
+    std::uint64_t cycleCount() const { return statCycles.value(); }
+    /** Commit slots charged to @p cause so far.  The taxonomy is
+     *  exhaustive: summed over causes this equals
+     *  cycleCount() * commitWidth() at every cycle boundary. */
+    std::uint64_t
+    stallSlots(StallCause cause) const
+    {
+        return statSlots[static_cast<std::size_t>(cause)]->value();
+    }
+    /** All buckets at once (RunResult aggregation). */
+    StallSlots attributionSlots() const;
+
     /** Visit every stat group this core owns.  @p fn receives a
      *  core-relative path ("" for the core group, "l1d", ...). */
     void forEachStatGroup(
@@ -188,6 +207,14 @@ class SmtCpu : public Snapshottable
         traceOut = os;
         traceBudget = max_lines;
     }
+
+    /**
+     * Attach a per-instruction lifecycle tracer (obs/pipetrace.hh):
+     * every retired instruction emits its fetch/rename/execute/commit
+     * stage spans as Chrome trace events.  Pass nullptr to disable;
+     * when disabled the hot path pays a single pointer test.
+     */
+    void setPipeTracer(PipeTracer *tracer) { pipeTracer = tracer; }
 
     // ----------------------------------------------------- fault hooks
     /** Flip bit @p bit of arch register @p reg's current value. */
@@ -242,6 +269,16 @@ class SmtCpu : public Snapshottable
 
   private:
     // ------------------------------------------------- internal types
+    /** Why a thread's next fetch is stalled (fetchStallUntil), recorded
+     *  at the stall site so empty-ROB cycles can be attributed. */
+    enum class FetchStall : std::uint8_t
+    {
+        None,
+        IcacheMiss,     ///< waiting on an I-cache fill
+        LineMispredict, ///< line-predictor retrain penalty
+        Redirect,       ///< squash / interrupt / iret / recovery restart
+    };
+
     struct ThreadState
     {
         bool active = false;
@@ -254,6 +291,7 @@ class SmtCpu : public Snapshottable
         // Fetch.
         Addr fetchPc = 0;
         Cycle fetchStallUntil = 0;
+        FetchStall fetchStallReason = FetchStall::None;
         bool fetchHalted = false;   ///< halt fetched; stop fetching
         std::deque<DynInstPtr> rmb; ///< rate-matching buffer
         InstSeq nextSeq = 0;
@@ -368,6 +406,12 @@ class SmtCpu : public Snapshottable
 
     void commit();                          // qbox.cc
     bool commitOne(ThreadId tid);           // qbox.cc
+
+    // Commit-slot attribution diagnosis (qbox.cc).  All read-only: the
+    // charging pass must never perturb the machine it is explaining.
+    StallCause diagnoseEmptyRob(ThreadId tid) const;
+    StallCause diagnoseDispatchBlock(ThreadId tid) const;
+    StallCause diagnoseMembarWait(const ThreadState &t) const;
     bool commitUncached(ThreadState &t, const DynInstPtr &inst); // mbox.cc
     bool maybeTakeInterrupt(ThreadId tid);  // qbox.cc
     void verifyUncachedStores();            // mbox.cc
@@ -467,6 +511,20 @@ class SmtCpu : public Snapshottable
     std::uint64_t traceLines = 0;
     void traceCommit(const ThreadState &t, const DynInstPtr &inst);
 
+    // Per-instruction lifecycle tracing (obs/pipetrace.hh).
+    PipeTracer *pipeTracer = nullptr;
+
+    // Commit-slot attribution scratch: commitOne() reports, per call,
+    // why it blocked (commitStall) or whether the slot it consumed was
+    // a squash drain (commitSlotSquash); commit() does the charging.
+    StallCause commitStall = StallCause::Idle;
+    bool commitSlotSquash = false;
+    void
+    chargeSlots(StallCause cause, unsigned slots)
+    {
+        *statSlots[static_cast<std::size_t>(cause)] += slots;
+    }
+
     // Per-cycle issue accounting (reset in issue()).
     std::array<unsigned, 2> issuedThisCycle{};
     std::array<std::array<std::uint8_t, 4>, 2> fuBusy{};  ///< [half][class]
@@ -495,6 +553,11 @@ class SmtCpu : public Snapshottable
     Counter statFetchSrcBoq;
     Counter statMergeEccCorrected;
     Counter statMergeCorruptions;
+    /** One commit-slot counter per StallCause ("slots_committed", ...),
+     *  registered on statGroup so they ride the chip stat walk: stats
+     *  JSON export and snapshot save/restore both see them without any
+     *  extra plumbing. */
+    std::array<std::unique_ptr<Counter>, numStallCauses> statSlots;
 };
 
 } // namespace rmt

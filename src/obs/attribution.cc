@@ -1,0 +1,73 @@
+#include "obs/attribution.hh"
+
+#include <ostream>
+
+namespace rmt
+{
+
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::Committed: return "committed";
+      case StallCause::SquashRecovery: return "squash_recovery";
+      case StallCause::FetchStarved: return "fetch_starved";
+      case StallCause::SlackThrottled: return "slack_throttled";
+      case StallCause::LvqEmpty: return "lvq_empty";
+      case StallCause::LvqFull: return "lvq_full";
+      case StallCause::BoqFull: return "boq_full";
+      case StallCause::LpqFull: return "lpq_full";
+      case StallCause::StoreCompWait: return "store_comp_wait";
+      case StallCause::MergeBufferFull: return "merge_buffer_full";
+      case StallCause::DcacheMiss: return "dcache_miss";
+      case StallCause::IcacheMiss: return "icache_miss";
+      case StallCause::RobFull: return "rob_full";
+      case StallCause::IqFull: return "iq_full";
+      case StallCause::SqFull: return "sq_full";
+      case StallCause::LqFull: return "lq_full";
+      case StallCause::DrainBarrier: return "drain_barrier";
+      case StallCause::ExecLatency: return "exec_latency";
+      case StallCause::UncachedWait: return "uncached_wait";
+      case StallCause::Idle: return "idle";
+      case StallCause::NumCauses: break;
+    }
+    return "?";
+}
+
+std::uint64_t
+StallSlots::total() const
+{
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : slots)
+        sum += v;
+    return sum;
+}
+
+StallSlots &
+StallSlots::operator+=(const StallSlots &other)
+{
+    for (std::size_t i = 0; i < numStallCauses; ++i)
+        slots[i] += other.slots[i];
+    return *this;
+}
+
+bool
+StallSlots::conserves(std::uint64_t cycles, unsigned width) const
+{
+    return total() == cycles * width;
+}
+
+void
+StallSlots::json(std::ostream &os) const
+{
+    os << '{';
+    for (std::size_t i = 0; i < numStallCauses; ++i) {
+        if (i)
+            os << ',';
+        os << '"' << stallCauseName(static_cast<StallCause>(i))
+           << "\":" << slots[i];
+    }
+    os << '}';
+}
+
+} // namespace rmt

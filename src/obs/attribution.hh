@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Commit-slot cycle-accounting taxonomy (top-down, Yasin-style).
+ *
+ * Every cycle the retire stage offers `commit_width` slots; each slot
+ * is charged to exactly one StallCause: either an instruction retired
+ * through it (Committed), a squashed instruction drained through it
+ * (SquashRecovery), or the slot was lost to a named blocker.  The
+ * accounting is exact by construction — the core charges precisely
+ * `commit_width` slots per cycle — giving the hard conservation
+ * invariant
+ *
+ *     sum over causes(slots) == cycles * commit_width
+ *
+ * which tests and tools/check.sh assert in every mode.  This header is
+ * deliberately standalone (no cpu/ dependencies) so sim/ and obs/
+ * consumers can use the taxonomy without pulling in the core.
+ */
+
+#ifndef RMTSIM_OBS_ATTRIBUTION_HH
+#define RMTSIM_OBS_ATTRIBUTION_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace rmt
+{
+
+/**
+ * Why a commit slot was spent.  Order is the serialization order; new
+ * causes append before NumCauses so stats JSON stays stable.
+ */
+enum class StallCause : std::uint8_t
+{
+    Committed,       ///< an instruction retired through the slot
+    SquashRecovery,  ///< squash drain / redirect / mispredict recovery
+    FetchStarved,    ///< ROB empty, frontend has nothing in flight
+    SlackThrottled,  ///< trailing fetch gated by the slack window
+    LvqEmpty,        ///< trailing load waiting for the leading value
+    LvqFull,         ///< leading load can't retire: LVQ full
+    BoqFull,         ///< leading branch can't retire: BOQ full
+    LpqFull,         ///< leading retire blocked on LPQ space
+    StoreCompWait,   ///< store held for comparator / checker penalty
+    MergeBufferFull, ///< verified store blocked on merge buffer space
+    DcacheMiss,      ///< head incomplete: outstanding dcache miss
+    IcacheMiss,      ///< frontend stalled on an icache miss
+    RobFull,         ///< dispatch blocked: ROB (or phys regs) full
+    IqFull,          ///< dispatch blocked: issue queue full
+    SqFull,          ///< dispatch blocked: store queue full
+    LqFull,          ///< dispatch blocked: load queue full
+    DrainBarrier,    ///< snapshot quiesce drain in progress
+    ExecLatency,     ///< head incomplete: still executing / forwarding
+    UncachedWait,    ///< uncached access serialization at the head
+    Idle,            ///< thread halted or workload finished
+    NumCauses
+};
+
+constexpr std::size_t numStallCauses =
+    static_cast<std::size_t>(StallCause::NumCauses);
+
+/** Short stable identifier ("committed", "lvq_full", ...). */
+const char *stallCauseName(StallCause cause);
+
+/** One slot total per cause; the unit of aggregation and reporting. */
+struct StallSlots
+{
+    std::array<std::uint64_t, numStallCauses> slots{};
+
+    std::uint64_t &
+    operator[](StallCause c)
+    {
+        return slots[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t
+    operator[](StallCause c) const
+    {
+        return slots[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t total() const;
+
+    StallSlots &operator+=(const StallSlots &other);
+
+    /** True iff total() == cycles * width — the conservation law. */
+    bool conserves(std::uint64_t cycles, unsigned width) const;
+
+    /** `{"committed":N,...}` in enum order, every cause present. */
+    void json(std::ostream &os) const;
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_OBS_ATTRIBUTION_HH

@@ -1,0 +1,94 @@
+#include "obs/pipetrace.hh"
+
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace rmt
+{
+
+PipeTracer::PipeTracer(std::ostream &out, std::uint64_t max_events)
+    : os(out), maxEvents(max_events)
+{
+    os << "[";
+}
+
+PipeTracer::~PipeTracer()
+{
+    finish();
+}
+
+void
+PipeTracer::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    os << "\n]\n";
+    os.flush();
+}
+
+void
+PipeTracer::metadata(CoreId core, ThreadId tid)
+{
+    if (core < 8 && tid < 4) {
+        if (metaDone[core][tid])
+            return;
+        metaDone[core][tid] = true;
+    } else {
+        return;     // out of the display-name table; events still flow
+    }
+    const char *sep = first ? "\n" : ",\n";
+    first = false;
+    if (!procDone[core]) {
+        procDone[core] = true;
+        os << sep << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+           << unsigned(core) << ",\"tid\":0,\"args\":{\"name\":\"core"
+           << unsigned(core) << "\"}}";
+        sep = ",\n";
+    }
+    os << sep << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+       << unsigned(core) << ",\"tid\":" << unsigned(tid)
+       << ",\"args\":{\"name\":\"t" << unsigned(tid) << "\"}}";
+}
+
+void
+PipeTracer::event(const char *name, CoreId core, ThreadId tid, Cycle start,
+                  Cycle end, const DynInst &inst)
+{
+    const Cycle dur = end > start ? end - start : 0;
+    os << (first ? "\n" : ",\n") << "{\"name\":\"" << name
+       << "\",\"ph\":\"X\",\"cat\":\"pipe\",\"pid\":" << unsigned(core)
+       << ",\"tid\":" << unsigned(tid) << ",\"ts\":" << start
+       << ",\"dur\":" << dur << ",\"args\":{\"pc\":" << inst.pc
+       << ",\"seq\":" << inst.seq << ",\"disasm\":\""
+       << jsonEscape(inst.si.disassemble()) << "\"}}";
+    first = false;
+    ++_events;
+}
+
+void
+PipeTracer::recordRetire(CoreId core, ThreadId tid, const DynInst &inst,
+                         Cycle retire)
+{
+    if (finished)
+        return;
+    if (maxEvents && _events >= maxEvents) {
+        ++_dropped;
+        return;
+    }
+    metadata(core, tid);
+    // Stage spans partition the instruction's lifetime: fetch (IBOX
+    // transit), rename (dispatch to first issue; the in-queue wait),
+    // execute (issue to completion), commit (complete to retirement).
+    event("fetch", core, tid, inst.fetchCycle, inst.dispatchCycle, inst);
+    const Cycle exec_start = inst.issued ? inst.issueCycle
+                                         : inst.completeCycle;
+    event("rename", core, tid, inst.dispatchCycle, exec_start, inst);
+    if (inst.issued)
+        event("execute", core, tid, inst.issueCycle, inst.completeCycle,
+              inst);
+    event("commit", core, tid, inst.completeCycle, retire, inst);
+}
+
+} // namespace rmt

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-instruction lifecycle tracer: every retired instruction's
+ * fetch/rename/execute/commit stage spans stream out as Chrome
+ * trace-event JSON ("X" complete events, one process per core, one
+ * track per hardware thread), directly loadable in Perfetto or
+ * chrome://tracing.  Timestamps are simulated cycles interpreted as
+ * microseconds.
+ *
+ * The tracer hangs off SmtCpu::setPipeTracer(); when detached the hot
+ * path pays one pointer test per retirement and the PR-3 slab pool
+ * stays allocation-free (the stage timestamps already live on DynInst).
+ */
+
+#ifndef RMTSIM_OBS_PIPETRACE_HH
+#define RMTSIM_OBS_PIPETRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "cpu/dyn_inst.hh"
+
+namespace rmt
+{
+
+class PipeTracer
+{
+  public:
+    /** Stream trace events into @p os.  @p max_events bounds the
+     *  number of stage events emitted (0 = unbounded); instructions
+     *  past the cap are counted in dropped(). */
+    explicit PipeTracer(std::ostream &os, std::uint64_t max_events = 0);
+    ~PipeTracer();
+
+    PipeTracer(const PipeTracer &) = delete;
+    PipeTracer &operator=(const PipeTracer &) = delete;
+
+    /** Emit the stage spans of @p inst, retiring at cycle @p retire. */
+    void recordRetire(CoreId core, ThreadId tid, const DynInst &inst,
+                      Cycle retire);
+
+    /** Close the JSON array (idempotent; also run by the destructor). */
+    void finish();
+
+    std::uint64_t events() const { return _events; }
+    std::uint64_t dropped() const { return _dropped; }
+
+  private:
+    void metadata(CoreId core, ThreadId tid);
+    void event(const char *name, CoreId core, ThreadId tid, Cycle start,
+               Cycle end, const DynInst &inst);
+
+    std::ostream &os;
+    std::uint64_t maxEvents;
+    std::uint64_t _events = 0;
+    std::uint64_t _dropped = 0;
+    bool first = true;
+    bool finished = false;
+    bool procDone[8] = {};          ///< per-core process_name emitted
+    bool metaDone[8][4] = {};       ///< [core][tid] names emitted
+};
+
+} // namespace rmt
+
+#endif // RMTSIM_OBS_PIPETRACE_HH

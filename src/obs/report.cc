@@ -1,6 +1,7 @@
 #include "obs/report.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 
@@ -559,6 +560,220 @@ formatCoverageReport(const CoverageReport &report)
                   "%u jobs (%u without verdict)\n", report.total_jobs,
                   report.unclassified);
     out += line;
+    return out;
+}
+
+AttributionReport
+buildAttributionReport(const std::vector<JsonValue> &records,
+                       const ReportOptions &options)
+{
+    AttributionReport report;
+    report.base_mode = options.base_mode;
+
+    struct AttrJob
+    {
+        std::string mode;
+        std::string cell;
+        double width = 0;
+        double core_cycles = 0;
+        std::array<double, numStallCauses> slots{};
+    };
+    std::vector<AttrJob> jobs;
+    for (const JsonValue &rec : records) {
+        if (isSummaryRecord(rec))
+            continue;
+        ++report.total_jobs;
+        if (rec.strOr("status", "failed") != "ok")
+            continue;
+        const JsonValue *stats = rec.find("stats");
+        const JsonValue *attr =
+            stats ? stats->find("attribution") : nullptr;
+        if (!attr || !attr->isObject())
+            continue;
+
+        const Job reduced = reduceRecord(rec);
+        AttrJob job;
+        job.mode = reduced.mode;
+        job.cell = reduced.cell;
+        job.width = attr->numberOr("width", 0);
+        job.core_cycles = attr->numberOr("core_cycles", 0);
+        const JsonValue *slots = attr->find("slots");
+        double sum = 0;
+        for (std::size_t i = 0; i < numStallCauses; ++i) {
+            const char *name =
+                stallCauseName(static_cast<StallCause>(i));
+            job.slots[i] = slots ? slots->numberOr(name, 0) : 0;
+            sum += job.slots[i];
+        }
+        ++report.with_attribution;
+        // The conservation invariant: every cycle × commit slot of
+        // every core charged to exactly one cause.  Counter values are
+        // exact in doubles far past any realistic run length.
+        if (sum != job.width * job.core_cycles)
+            ++report.conservation_violations;
+        jobs.push_back(std::move(job));
+    }
+
+    // Baseline per cell: mean core-cycles and slots over ok base jobs.
+    struct CellAcc
+    {
+        double cycles = 0;
+        std::array<double, numStallCauses> slots{};
+        unsigned n = 0;
+    };
+    std::map<std::string, CellAcc> base_cells;
+    for (const AttrJob &job : jobs) {
+        if (job.mode != options.base_mode)
+            continue;
+        CellAcc &acc = base_cells[job.cell];
+        acc.cycles += job.core_cycles;
+        for (std::size_t i = 0; i < numStallCauses; ++i)
+            acc.slots[i] += job.slots[i];
+        ++acc.n;
+    }
+
+    struct ModeAcc
+    {
+        AttributionModeRow row;
+        double cyc_sum = 0;
+        std::array<double, numStallCauses> slot_sum{};
+        double dcyc_sum = 0;
+        std::array<double, numStallCauses> dslot_sum{};
+    };
+    std::vector<ModeAcc> accs;
+    auto modeAcc = [&](const std::string &mode) -> ModeAcc & {
+        for (ModeAcc &acc : accs) {
+            if (acc.row.mode == mode)
+                return acc;
+        }
+        accs.emplace_back();
+        accs.back().row.mode = mode;
+        return accs.back();
+    };
+    for (const AttrJob &job : jobs) {
+        ModeAcc &acc = modeAcc(job.mode);
+        ++acc.row.jobs;
+        acc.row.width = static_cast<unsigned>(job.width);
+        acc.cyc_sum += job.core_cycles;
+        for (std::size_t i = 0; i < numStallCauses; ++i)
+            acc.slot_sum[i] += job.slots[i];
+
+        const auto it = base_cells.find(job.cell);
+        if (it == base_cells.end() || it->second.n == 0)
+            continue;
+        const CellAcc &base = it->second;
+        ++acc.row.with_base;
+        acc.dcyc_sum += job.core_cycles - base.cycles / base.n;
+        for (std::size_t i = 0; i < numStallCauses; ++i)
+            acc.dslot_sum[i] += job.slots[i] - base.slots[i] / base.n;
+    }
+    for (ModeAcc &acc : accs) {
+        if (acc.row.jobs) {
+            acc.row.mean_core_cycles = acc.cyc_sum / acc.row.jobs;
+            for (std::size_t i = 0; i < numStallCauses; ++i)
+                acc.row.mean_slots[i] = acc.slot_sum[i] / acc.row.jobs;
+        }
+        if (acc.row.with_base) {
+            acc.row.delta_cycles = acc.dcyc_sum / acc.row.with_base;
+            for (std::size_t i = 0; i < numStallCauses; ++i) {
+                acc.row.delta_slots[i] =
+                    acc.dslot_sum[i] / acc.row.with_base;
+            }
+        }
+        report.modes.push_back(acc.row);
+    }
+    return report;
+}
+
+std::string
+formatAttributionReport(const AttributionReport &report)
+{
+    std::string out;
+    char line[200];
+
+    std::snprintf(line, sizeof(line), "%-10s %5s %5s %13s %10s %12s\n",
+                  "mode", "jobs", "width", "core-cycles", "committed%",
+                  "vs-base-cyc");
+    out += line;
+    for (const AttributionModeRow &row : report.modes) {
+        const double total_slots =
+            row.mean_core_cycles * row.width;
+        char committed[32] = "-";
+        if (total_slots > 0) {
+            std::snprintf(
+                committed, sizeof(committed), "%.1f%%",
+                row.mean_slots[static_cast<std::size_t>(
+                    StallCause::Committed)] /
+                    total_slots * 100);
+        }
+        char vs_base[32];
+        if (row.mode == report.base_mode)
+            std::snprintf(vs_base, sizeof(vs_base), "base");
+        else if (!row.with_base)
+            std::snprintf(vs_base, sizeof(vs_base), "-");
+        else
+            std::snprintf(vs_base, sizeof(vs_base), "%+.0f",
+                          row.delta_cycles);
+        std::snprintf(line, sizeof(line),
+                      "%-10s %5u %5u %13.0f %10s %12s\n",
+                      row.mode.c_str(), row.jobs, row.width,
+                      row.mean_core_cycles, committed, vs_base);
+        out += line;
+    }
+
+    // Degradation decomposition: the extra (or saved) commit slots of
+    // each mode vs its matched base cells, by cause.  Exact by
+    // construction: the slot deltas sum to width * delta_cycles.
+    for (const AttributionModeRow &row : report.modes) {
+        if (row.mode == report.base_mode || !row.with_base)
+            continue;
+        std::snprintf(line, sizeof(line),
+                      "\n%s vs %s: %+.0f core-cycles = %+.0f commit "
+                      "slots, by cause\n",
+                      row.mode.c_str(), report.base_mode.c_str(),
+                      row.delta_cycles, row.delta_cycles * row.width);
+        out += line;
+        std::array<std::size_t, numStallCauses> order;
+        for (std::size_t i = 0; i < numStallCauses; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return std::abs(row.delta_slots[a]) >
+                                    std::abs(row.delta_slots[b]);
+                         });
+        const double dslots_total = row.delta_cycles * row.width;
+        for (const std::size_t i : order) {
+            const double d = row.delta_slots[i];
+            if (d == 0)
+                continue;
+            char share[32] = "";
+            if (dslots_total != 0) {
+                std::snprintf(share, sizeof(share), "  (%.1f%%)",
+                              d / dslots_total * 100);
+            }
+            std::snprintf(line, sizeof(line),
+                          "  %-18s %+12.0f slots  %+9.1f cyc%s\n",
+                          stallCauseName(static_cast<StallCause>(i)),
+                          d, d / row.width, share);
+            out += line;
+        }
+    }
+
+    std::snprintf(line, sizeof(line),
+                  "%u jobs (%u with attribution), conservation %s\n",
+                  report.total_jobs, report.with_attribution,
+                  report.conservation_violations
+                      ? "VIOLATED"
+                      : "OK");
+    out += line;
+    if (report.conservation_violations) {
+        std::snprintf(line, sizeof(line),
+                      "CONSERVATION VIOLATION: %u record%s where "
+                      "sum(slots) != core_cycles * width\n",
+                      report.conservation_violations,
+                      report.conservation_violations == 1 ? "" : "s");
+        out += line;
+    }
     return out;
 }
 

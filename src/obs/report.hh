@@ -15,11 +15,13 @@
 #ifndef RMTSIM_OBS_REPORT_HH
 #define RMTSIM_OBS_REPORT_HH
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "avf/estimator.hh"
 #include "common/json.hh"
+#include "obs/attribution.hh"
 
 namespace rmt
 {
@@ -140,6 +142,38 @@ struct SnapshotReport
     double mean_bytes = -1;         ///< snapshot image size, over hits
 };
 
+/**
+ * Commit-slot cycle accounting aggregated per mode, from the
+ * "attribution" object `--embed-stats` records carry.  Degradation
+ * decomposition works in *slots*: each base-matched job contributes
+ * (its slots − its cell's base-mode mean), so per mode
+ * `sum(delta_slots) == width * delta_cycles` exactly — the observed
+ * cycle delta vs base fully decomposed into named causes.
+ */
+struct AttributionModeRow
+{
+    std::string mode;
+    unsigned jobs = 0;              ///< ok jobs carrying attribution
+    unsigned with_base = 0;         ///< of those, jobs with a base match
+    unsigned width = 0;             ///< commit width (slots per cycle)
+    double mean_core_cycles = 0;    ///< mean per job, summed over cores
+    std::array<double, numStallCauses> mean_slots{};
+    /** Mean over base-matched jobs of (job − matched base-cell mean). */
+    double delta_cycles = 0;
+    std::array<double, numStallCauses> delta_slots{};
+};
+
+struct AttributionReport
+{
+    std::string base_mode;
+    unsigned total_jobs = 0;
+    unsigned with_attribution = 0;  ///< ok jobs carrying the object
+    /** Records where sum(slots) != core_cycles * width — any nonzero
+     *  value here is a simulator bug, and rmtsim_report exits 1. */
+    unsigned conservation_violations = 0;
+    std::vector<AttributionModeRow> modes;      ///< first-seen order
+};
+
 /** Parse the lines of a .jsonl stream; malformed lines are skipped
  *  and counted in @p bad_lines. */
 std::vector<JsonValue> parseJsonlLines(
@@ -170,6 +204,19 @@ CoverageReport buildCoverageReport(
 
 /** Render the per-kind coverage table. */
 std::string formatCoverageReport(const CoverageReport &report);
+
+/**
+ * Aggregate the embedded commit-slot attribution per mode, verifying
+ * the conservation invariant on every record along the way.  Records
+ * without an embedded "stats.attribution" object (campaigns run
+ * without --embed-stats) only count toward total_jobs.
+ */
+AttributionReport buildAttributionReport(
+    const std::vector<JsonValue> &records, const ReportOptions &options);
+
+/** Render the per-mode attribution and degradation-decomposition
+ *  tables. */
+std::string formatAttributionReport(const AttributionReport &report);
 
 /** Aggregate the snapshot-forking metrics of a fault campaign run with
  *  --snapshot-every: hit rate, cycles saved, snapshot image sizes. */

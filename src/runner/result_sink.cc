@@ -180,7 +180,7 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
 }
 
 JsonlSink::JsonlSink(std::ostream &out, Options options)
-    : out(out), opts(options)
+    : out(out), opts(options), started(std::chrono::steady_clock::now())
 {
 }
 
@@ -192,6 +192,7 @@ JsonlSink::begin(const Campaign &campaign)
     done = 0;
     failed = 0;
     next_id = 0;
+    started = std::chrono::steady_clock::now();
 }
 
 void
@@ -213,10 +214,28 @@ JsonlSink::record(const JobSpec &spec, const JobResult &result)
     if (opts.flush_each)
         out.flush();
     if (opts.progress) {
-        std::fprintf(stderr,
-                     "\r[%" PRIu64 "/%" PRIu64 "] %s%s (%.0f ms)%s",
-                     done, total, result.ok() ? "" : "FAILED ",
-                     spec.label.c_str(), result.wall_seconds * 1e3,
+        // Heartbeat: jobs done/total, elapsed wall time, and a naive
+        // remaining-time estimate from the mean pace so far.
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        char eta[32] = "";
+        if (done > 0 && done < total) {
+            std::snprintf(eta, sizeof(eta), " eta %.0fs",
+                          elapsed / done * (total - done));
+        }
+        char count[48];
+        if (total) {
+            std::snprintf(count, sizeof(count),
+                          "[%" PRIu64 "/%" PRIu64 "]", done, total);
+        } else {
+            // Adaptive campaigns (--stratify) have no fixed job count.
+            std::snprintf(count, sizeof(count), "[%" PRIu64 "]", done);
+        }
+        std::fprintf(stderr, "\r%s %s%s (%.0f ms) %.1fs%s%s", count,
+                     result.ok() ? "" : "FAILED ", spec.label.c_str(),
+                     result.wall_seconds * 1e3, elapsed, eta,
                      done == total ? "\n" : "");
         std::fflush(stderr);
     }

@@ -17,6 +17,7 @@
 #ifndef RMTSIM_RUNNER_RESULT_SINK_HH
 #define RMTSIM_RUNNER_RESULT_SINK_HH
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -102,6 +103,7 @@ class JsonlSink : public ResultSink
     std::uint64_t total = 0;
     std::uint64_t done = 0;
     std::uint64_t failed = 0;
+    std::chrono::steady_clock::time_point started;  ///< set by begin()
 };
 
 } // namespace rmt

@@ -478,6 +478,9 @@ Simulation::run()
     unsigned lifetime_n = 0;
     for (unsigned c = 0; c < _chip->numCores(); ++c) {
         SmtCpu &cpu = _chip->cpu(c);
+        result.commit_width = cpu.commitWidth();
+        result.attribution_core_cycles += cpu.cycleCount();
+        result.attribution += cpu.attributionSlots();
         result.sq_full_stalls += cpu.sqFullStalls();
         result.lvq_full_stalls += cpu.lvqFullStalls();
         result.branch_mispredicts += cpu.branchMispredicts();
@@ -560,7 +563,27 @@ Simulation::statsJson(const RunResult &result)
        << ",\"completed\":" << (result.completed ? "true" : "false")
        << ",\"outcome\":\"" << outcomeName(result.outcome) << "\""
        << ",\"host\":" << result.host.json()
-       << ",\"groups\":" << chipStatsJson(*_chip) << "}";
+       << ",\"attribution\":";
+    // Recompute from the chip rather than trusting the caller's
+    // RunResult: a restored run's counters came back through the
+    // snapshot walk, and this keeps the export tied to them.
+    {
+        StallSlots slots;
+        std::uint64_t core_cycles = 0;
+        unsigned width = 0;
+        for (unsigned c = 0; c < _chip->numCores(); ++c) {
+            const SmtCpu &cpu = _chip->cpu(c);
+            width = cpu.commitWidth();
+            core_cycles += cpu.cycleCount();
+            slots += cpu.attributionSlots();
+        }
+        os << "{\"width\":" << width
+           << ",\"core_cycles\":" << core_cycles
+           << ",\"slots\":";
+        slots.json(os);
+        os << "}";
+    }
+    os << ",\"groups\":" << chipStatsJson(*_chip) << "}";
     return os.str();
 }
 

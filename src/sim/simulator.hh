@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cmp/chip.hh"
+#include "obs/attribution.hh"
 #include "obs/host_profile.hh"
 #include "obs/timeline.hh"
 #include "workloads/workloads.hh"
@@ -144,6 +145,16 @@ struct RunResult
     // Observability.
     HostTiming host;                ///< wall-clock phase breakdown
     std::string stats_json;         ///< full stats doc (opt-in), else ""
+
+    /**
+     * Commit-slot cycle accounting, summed over every core that ran:
+     * each cycle × commit slot is charged to exactly one StallCause, so
+     * `attribution.total() == attribution_core_cycles * commit_width`
+     * holds for every finished run (the conservation invariant).
+     */
+    StallSlots attribution;
+    std::uint64_t attribution_core_cycles = 0;  ///< sum of per-core cycles
+    unsigned commit_width = 0;
 
     double fuSameFraction() const
     {

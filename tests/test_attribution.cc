@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Commit-slot cycle accounting and pipeline tracing:
+ *
+ *  - the conservation invariant sum(slots) == cycles * commit_width
+ *    holds per core in all five modes, and the stats-JSON
+ *    "attribution" object mirrors the chip counters exactly;
+ *  - rmtsim_batch --embed-stats output is byte-identical at -j1 and
+ *    -j4 (the attribution object rides the deterministic record path);
+ *  - the attribution report verifies conservation on every record and
+ *    decomposes each mode's cycle delta vs base exactly into causes;
+ *  - the pipetrace stream is valid Chrome trace-event JSON, identical
+ *    across two identical runs, and respects its event cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "cpu/smt_cpu.hh"
+#include "obs/attribution.hh"
+#include "obs/pipetrace.hh"
+#include "obs/report.hh"
+#include "runner/runner.hh"
+#include "sim/simulator.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+std::vector<std::string>
+modeWorkloads(SimMode mode)
+{
+    if (mode == SimMode::Crt)
+        return {"gcc", "swim"};
+    return {"gcc"};
+}
+
+SimOptions
+tinyOptions(SimMode mode)
+{
+    SimOptions opts;
+    opts.mode = mode;
+    opts.warmup_insts = 500;
+    opts.measure_insts = 3000;
+    return opts;
+}
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, v, error))
+        << error << "\n" << text.substr(0, 400);
+    return v;
+}
+
+} // namespace
+
+TEST(Attribution, ConservationHoldsInEveryMode)
+{
+    const SimMode all[] = {SimMode::Base, SimMode::Base2, SimMode::Srt,
+                           SimMode::Lockstep, SimMode::Crt};
+    for (const SimMode mode : all) {
+        SimOptions opts = tinyOptions(mode);
+        opts.collect_stats_json = true;
+        Simulation sim(modeWorkloads(mode), opts);
+        const RunResult r = sim.run();
+        ASSERT_TRUE(r.completed) << modeName(mode);
+
+        // Per core: every cycle × commit slot charged exactly once.
+        for (unsigned c = 0; c < sim.chip().numCores(); ++c) {
+            const SmtCpu &cpu = sim.chip().cpu(c);
+            const StallSlots slots = cpu.attributionSlots();
+            EXPECT_TRUE(slots.conserves(cpu.cycleCount(),
+                                        cpu.commitWidth()))
+                << modeName(mode) << " core " << c << ": total "
+                << slots.total() << " != " << cpu.cycleCount() << " * "
+                << cpu.commitWidth();
+            EXPECT_GT(slots[StallCause::Committed], 0u)
+                << modeName(mode) << " core " << c;
+        }
+
+        // The RunResult aggregate keeps the invariant over cores.
+        ASSERT_GT(r.commit_width, 0u) << modeName(mode);
+        EXPECT_EQ(r.attribution.total(),
+                  r.attribution_core_cycles * r.commit_width)
+            << modeName(mode);
+
+        // And the exported stats document mirrors the chip counters.
+        const JsonValue doc = parsed(r.stats_json);
+        const JsonValue *attr = doc.find("attribution");
+        ASSERT_TRUE(attr && attr->isObject()) << modeName(mode);
+        EXPECT_EQ(attr->numberOr("width", 0),
+                  static_cast<double>(r.commit_width));
+        EXPECT_EQ(attr->numberOr("core_cycles", 0),
+                  static_cast<double>(r.attribution_core_cycles));
+        const JsonValue *slots = attr->find("slots");
+        ASSERT_TRUE(slots && slots->isObject()) << modeName(mode);
+        double sum = 0;
+        for (std::size_t i = 0; i < numStallCauses; ++i) {
+            const char *name =
+                stallCauseName(static_cast<StallCause>(i));
+            const double v = slots->numberOr(name, -1);
+            ASSERT_GE(v, 0) << modeName(mode) << " missing " << name;
+            EXPECT_EQ(v,
+                      static_cast<double>(
+                          r.attribution[static_cast<StallCause>(i)]))
+                << modeName(mode) << " " << name;
+            sum += v;
+        }
+        EXPECT_EQ(sum, attr->numberOr("core_cycles", 0) *
+                           attr->numberOr("width", 0))
+            << modeName(mode);
+    }
+}
+
+TEST(Attribution, ModesChargeTheirSignatureCauses)
+{
+    // SRT loses slots to the redundancy structures the paper names:
+    // slack gating and LVQ waits show up only with a trailing thread.
+    SimOptions srt = tinyOptions(SimMode::Srt);
+    srt.slack_fetch = 256;
+    Simulation sim(modeWorkloads(SimMode::Srt), srt);
+    ASSERT_TRUE(sim.run().completed);
+    StallSlots slots;
+    for (unsigned c = 0; c < sim.chip().numCores(); ++c)
+        slots += sim.chip().cpu(c).attributionSlots();
+    EXPECT_GT(slots[StallCause::SlackThrottled] +
+                  slots[StallCause::LvqEmpty],
+              0u);
+
+    Simulation base(modeWorkloads(SimMode::Base),
+                    tinyOptions(SimMode::Base));
+    ASSERT_TRUE(base.run().completed);
+    StallSlots base_slots;
+    for (unsigned c = 0; c < base.chip().numCores(); ++c)
+        base_slots += base.chip().cpu(c).attributionSlots();
+    EXPECT_EQ(base_slots[StallCause::SlackThrottled], 0u);
+    EXPECT_EQ(base_slots[StallCause::LvqEmpty], 0u);
+}
+
+namespace
+{
+
+std::string
+campaignJsonl(unsigned jobs)
+{
+    SimOptions base = tinyOptions(SimMode::Srt);
+    base.collect_stats_json = true;
+    CampaignBuilder builder("attr", 11);
+    builder.base(base)
+        .modes({SimMode::Base, SimMode::Srt})
+        .mixes({{"gcc"}, {"compress"}});
+    const Campaign campaign = builder.build();
+
+    std::ostringstream out;
+    JsonlSink::Options sink_opts;
+    sink_opts.progress = false;
+    sink_opts.include_timing = false;
+    JsonlSink sink(out, sink_opts);
+    RunnerConfig cfg;
+    cfg.jobs = jobs;
+    cfg.sink = &sink;
+    const auto results = runCampaign(campaign, cfg);
+    EXPECT_EQ(results.size(), 4u);
+    for (const JobResult &r : results)
+        EXPECT_TRUE(r.ok()) << r.error;
+    return out.str();
+}
+
+} // namespace
+
+TEST(Attribution, EmbeddedStatsAreWorkerCountInvariant)
+{
+    const std::string serial = campaignJsonl(1);
+    const std::string parallel = campaignJsonl(4);
+    EXPECT_EQ(serial, parallel);
+
+    // Every record's attribution object conserves on its own.
+    std::istringstream is(serial);
+    unsigned lines = 0;
+    for (std::string line; std::getline(is, line); ++lines) {
+        const JsonValue v = parsed(line);
+        const JsonValue *stats = v.find("stats");
+        ASSERT_TRUE(stats) << line.substr(0, 200);
+        const JsonValue *attr = stats->find("attribution");
+        ASSERT_TRUE(attr && attr->isObject());
+        const JsonValue *slots = attr->find("slots");
+        ASSERT_TRUE(slots && slots->isObject());
+        double sum = 0;
+        for (std::size_t i = 0; i < numStallCauses; ++i) {
+            sum += slots->numberOr(
+                stallCauseName(static_cast<StallCause>(i)), 0);
+        }
+        EXPECT_EQ(sum, attr->numberOr("core_cycles", 0) *
+                           attr->numberOr("width", 0));
+    }
+    EXPECT_EQ(lines, 4u);
+}
+
+TEST(Attribution, ReportDecomposesDegradationExactly)
+{
+    unsigned bad = 0;
+    std::vector<std::string> lines;
+    {
+        std::istringstream is(campaignJsonl(1));
+        for (std::string line; std::getline(is, line);)
+            lines.push_back(line);
+    }
+    const std::vector<JsonValue> records = parseJsonlLines(lines, bad);
+    EXPECT_EQ(bad, 0u);
+
+    ReportOptions opts;
+    const AttributionReport report =
+        buildAttributionReport(records, opts);
+    EXPECT_EQ(report.conservation_violations, 0u);
+    EXPECT_EQ(report.with_attribution, 4u);
+    ASSERT_EQ(report.modes.size(), 2u);
+
+    const AttributionModeRow &srt = report.modes[1];
+    EXPECT_EQ(srt.mode, "srt");
+    EXPECT_EQ(srt.with_base, 2u);
+    // The decomposition is exact: slot deltas sum to the cycle delta
+    // times the width, so every lost cycle has a named cause.
+    double dslots = 0;
+    for (std::size_t i = 0; i < numStallCauses; ++i)
+        dslots += srt.delta_slots[i];
+    EXPECT_NEAR(dslots, srt.delta_cycles * srt.width,
+                1e-6 * std::max(1.0, std::abs(dslots)));
+
+    const std::string text = formatAttributionReport(report);
+    EXPECT_NE(text.find("srt"), std::string::npos);
+    EXPECT_NE(text.find("conservation OK"), std::string::npos);
+
+    // A doctored record must trip the invariant check: splicing a
+    // digit in front of the committed-slot count breaks the sum.
+    std::vector<std::string> doctored = lines;
+    const std::string key = "\"slots\":{\"committed\":";
+    const auto pos = doctored[0].find(key);
+    ASSERT_NE(pos, std::string::npos);
+    doctored[0].insert(pos + key.size(), "9");
+    const auto records2 = parseJsonlLines(doctored, bad);
+    const AttributionReport broken =
+        buildAttributionReport(records2, opts);
+    EXPECT_GT(broken.conservation_violations, 0u);
+}
+
+namespace
+{
+
+struct TraceRun
+{
+    std::string json;
+    std::uint64_t events = 0;
+    std::uint64_t dropped = 0;
+};
+
+TraceRun
+tracedRun(std::uint64_t max_events)
+{
+    Simulation sim({"gcc"}, tinyOptions(SimMode::Srt));
+    std::ostringstream os;
+    TraceRun out;
+    {
+        PipeTracer tracer(os, max_events);
+        for (unsigned c = 0; c < sim.chip().numCores(); ++c)
+            sim.chip().cpu(c).setPipeTracer(&tracer);
+        EXPECT_TRUE(sim.run().completed);
+        tracer.finish();
+        out.events = tracer.events();
+        out.dropped = tracer.dropped();
+    }
+    out.json = os.str();
+    return out;
+}
+
+} // namespace
+
+TEST(PipeTrace, EmitsValidDeterministicTraceEvents)
+{
+    const TraceRun a = tracedRun(0);
+    const TraceRun b = tracedRun(0);
+    EXPECT_EQ(a.json, b.json);
+    EXPECT_EQ(a.dropped, 0u);
+    EXPECT_GT(a.events, 0u);
+
+    const JsonValue doc = parsed(a.json);
+    ASSERT_TRUE(doc.isArray());
+    ASSERT_GT(doc.array().size(), 4u);
+
+    const std::set<std::string> stages = {"fetch", "rename", "execute",
+                                          "commit"};
+    std::set<std::string> seen;
+    unsigned meta = 0, spans = 0;
+    for (const JsonValue &e : doc.array()) {
+        const std::string ph = e.strOr("ph", "?");
+        if (ph == "M") {
+            ++meta;
+            continue;
+        }
+        ASSERT_EQ(ph, "X");
+        ++spans;
+        const std::string name = e.strOr("name", "?");
+        EXPECT_TRUE(stages.count(name)) << name;
+        seen.insert(name);
+        EXPECT_GE(e.numberOr("ts", -1), 0.0);
+        EXPECT_GE(e.numberOr("dur", -1), 0.0);
+        EXPECT_GE(e.numberOr("pid", -1), 0.0);
+        const JsonValue *args = e.find("args");
+        ASSERT_TRUE(args);
+        EXPECT_GE(args->numberOr("seq", -1), 0.0);
+        EXPECT_FALSE(args->strOr("disasm", "").empty());
+    }
+    EXPECT_EQ(seen, stages);
+    EXPECT_GE(meta, 2u);        // process_name + thread_name at least
+    EXPECT_EQ(spans, a.events);
+}
+
+TEST(PipeTrace, EventCapBoundsTheStream)
+{
+    const TraceRun capped = tracedRun(64);
+    // The cap is checked per instruction, so the last instruction may
+    // overshoot by its (at most four) stage events.
+    EXPECT_LT(capped.events, 64u + 4u);
+    EXPECT_GT(capped.dropped, 0u);
+    // Still a well-formed document after early cutoff.
+    const JsonValue doc = parsed(capped.json);
+    ASSERT_TRUE(doc.isArray());
+}

@@ -86,6 +86,21 @@ runCapturing(const std::vector<std::string> &workloads,
     return sim.run();
 }
 
+/** The wall-clock "host" member is the one legitimately nondeterministic
+ *  part of a stats document; strip it the same way the sinks do. */
+std::string
+stripHost(std::string stats)
+{
+    const auto pos = stats.find(",\"host\":{");
+    if (pos == std::string::npos)
+        return stats;
+    const auto end = stats.find('}', pos);
+    if (end == std::string::npos)
+        return stats;
+    stats.erase(pos, end - pos + 1);
+    return stats;
+}
+
 } // namespace
 
 TEST(Checkpoint, RoundTripIsByteIdenticalInEveryMode)
@@ -114,6 +129,46 @@ TEST(Checkpoint, RoundTripIsByteIdenticalInEveryMode)
         restored.restoreSnapshotBuffer(image);
         EXPECT_EQ(restored.restoredCycle(), snap_cycle);
         EXPECT_EQ(expect, recordJson(workloads, o, restored.run()))
+            << modeName(mode);
+    }
+}
+
+// The --stats-json / --restore-snapshot composition: a restored run's
+// exported stats document — counters, groups, and the commit-slot
+// attribution object included — must be byte-identical (modulo host
+// wall-clock) to an unbroken run's, because the stat walk carries every
+// counter through the snapshot.
+TEST(Checkpoint, StatsJsonAfterRestoreMatchesUnbrokenRun)
+{
+    const SimMode all[] = {SimMode::Base, SimMode::Base2, SimMode::Srt,
+                           SimMode::Lockstep, SimMode::Crt};
+    for (const SimMode mode : all) {
+        const auto workloads = modeWorkloads(mode);
+        const SimOptions o = snapshotOptions(mode);
+
+        std::string image;
+        Cycle snap_cycle = 0;
+        Simulation straight(workloads, o);
+        straight.setSnapshotHook(
+            [&image, &snap_cycle](Cycle cycle, Simulation &s) {
+                if (image.empty()) {
+                    image = s.saveSnapshotBuffer();
+                    snap_cycle = cycle;
+                }
+            });
+        const RunResult sr = straight.run();
+        ASSERT_FALSE(image.empty()) << modeName(mode);
+        const std::string expect = stripHost(straight.statsJson(sr));
+
+        Simulation restored(workloads, o);
+        restored.restoreSnapshotBuffer(image);
+        const RunResult rr = restored.run();
+        EXPECT_EQ(expect, stripHost(restored.statsJson(rr)))
+            << modeName(mode);
+
+        // In particular the restored attribution still conserves.
+        EXPECT_EQ(rr.attribution.total(),
+                  rr.attribution_core_cycles * rr.commit_width)
             << modeName(mode);
     }
 }

@@ -6,6 +6,12 @@
 # Usage: tools/bench_perf.sh [extra bench_perf args...]
 #   e.g. tools/bench_perf.sh --repeat 5
 #
+#        tools/bench_perf.sh --check [extra args...]
+#   Assert instead of regenerate: with tracing and attribution export
+#   disabled (the default hot path — the pipetrace hook is one pointer
+#   test per retirement, the slot counters plain adds), committed KIPS
+#   must be within 3% of the committed baseline.
+#
 # The numbers are machine-specific; regenerate (and commit) them from
 # the machine that runs the perf gate in tools/check.sh.
 set -eu
@@ -14,5 +20,15 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_perf >/dev/null
+
+if [ "${1:-}" = "--check" ]; then
+    shift
+    if [ ! -f BENCH_perf.json ]; then
+        echo "bench_perf.sh: BENCH_perf.json missing; regenerate first" >&2
+        exit 1
+    fi
+    exec ./build/bench/bench_perf --baseline BENCH_perf.json \
+        --max-regress 3 "$@"
+fi
 
 ./build/bench/bench_perf --json BENCH_perf.json "$@"

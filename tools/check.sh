@@ -67,13 +67,21 @@ echo "== ckpt: snapshot round-trip determinism gate =="
 cmake --build build -j "$jobs" --target rmtsim_cli rmtsim_batch >/dev/null
 ckpt_args="--mode srt --workloads gcc --warmup 2000 --insts 8000
            --snapshot-every 1500"
-./build/tools/rmtsim $ckpt_args > build/ckpt_straight.txt
+./build/tools/rmtsim $ckpt_args --stats-json build/ckpt_straight.json \
+    > build/ckpt_straight.txt
 ./build/tools/rmtsim $ckpt_args --save-snapshot build/ckpt.bin \
     > build/ckpt_save.txt
 ./build/tools/rmtsim $ckpt_args --restore-snapshot build/ckpt.bin \
-    > build/ckpt_restore.txt
+    --stats-json build/ckpt_restore.json > build/ckpt_restore.txt
 diff build/ckpt_straight.txt build/ckpt_save.txt
 diff build/ckpt_straight.txt build/ckpt_restore.txt
+# The exported stats document (counters, groups, and the commit-slot
+# attribution) must survive restore byte-for-byte, host timing aside.
+sed 's/,"host":{[^}]*}//' build/ckpt_straight.json \
+    > build/ckpt_straight_nohost.json
+sed 's/,"host":{[^}]*}//' build/ckpt_restore.json \
+    > build/ckpt_restore_nohost.json
+diff build/ckpt_straight_nohost.json build/ckpt_restore_nohost.json
 
 echo "== ckpt: snapshot-forked fault campaign vs from-scratch =="
 # rmtsim_faultsmoke runs with recovery on, which snapshots refuse, so
@@ -90,6 +98,17 @@ sed 's/,"extra":{[^}]*}//' build/ckpt_forked.jsonl \
     > build/ckpt_forked_stripped.jsonl
 diff build/ckpt_forked_stripped.jsonl build/ckpt_scratch.jsonl
 grep -q '"snapshot_hit":1' build/ckpt_forked.jsonl
+
+echo "== attribution: conservation gate (all modes, gcc+compress) =="
+# Every record's commit-slot buckets must sum to cycles * commit_width;
+# rmtsim_report --attribution verifies the invariant on each record and
+# exits nonzero on any violation.  The ctest label re-runs the unit
+# suite (conservation per core, -j invariance, pipetrace validity).
+ctest --test-dir build -j "$jobs" -L attribution --output-on-failure
+attr_args="--modes base,base2,srt,lockstep,crt --workloads gcc,compress
+           --warmup 500 --insts 4000 --embed-stats --no-timing --quiet"
+./build/tools/rmtsim_batch $attr_args --out build/attr.jsonl
+./build/tools/rmtsim_report --attribution build/attr.jsonl
 
 echo "== avf: stratified fork()-executor campaign vs --no-fork =="
 # The fork()-per-trial executor must be verdict-identical to the

@@ -109,6 +109,9 @@ usage()
         "  --no-timing       omit wall_ms/host (byte-diffable "
         "output)\n"
         "  --quiet           no stderr progress\n"
+        "  --progress        force the stderr heartbeat (done/total, "
+        "elapsed, ETA)\n"
+        "                    even under --stratify\n"
         "  --list            print the expanded job grid and exit\n");
 }
 
@@ -150,6 +153,7 @@ main(int argc, char **argv)
     bool use_fork = true;
     bool want_fsync = false;
     bool quiet = false;
+    bool force_progress = false;
     bool stratify = false;
     double ci_width = 0;
     double confidence = 0.95;
@@ -245,6 +249,8 @@ main(int argc, char **argv)
             } else if (arg == "--quiet") {
                 quiet = true;
                 sink_opts.progress = false;
+            } else if (arg == "--progress") {
+                force_progress = true;
             } else if (arg == "--list") {
                 list_only = true;
             } else {
@@ -347,6 +353,8 @@ main(int argc, char **argv)
         sink_opts.fsync_path = out_path;
     if (stratify)
         sink_opts.progress = false;     // per-round reporting instead
+    if (force_progress)
+        sink_opts.progress = true;      // --progress beats both overrides
 
     std::ofstream file;
     if (out_path != "-") {

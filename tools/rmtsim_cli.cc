@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/pipetrace.hh"
 #include "sim/metrics.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
@@ -67,6 +68,11 @@ usage()
         "  --trace FILE      write the commit trace to FILE ('-' = "
         "stdout)\n"
         "  --trace-max N     trace line cap per core (default 10000)\n"
+        "  --pipetrace FILE  per-instruction pipeline trace as Chrome\n"
+        "                    trace-event JSON for Perfetto ('-' = "
+        "stdout)\n"
+        "  --pipetrace-max N cap on emitted stage events (0 = "
+        "unbounded)\n"
         "  --efficiency      also report SMT-Efficiency vs single-"
         "thread base\n"
         "  --cosim           enable architectural co-simulation "
@@ -126,6 +132,8 @@ main(int argc, char **argv)
     bool want_efficiency = false;
     std::string trace_file;
     std::uint64_t trace_max = 10000;
+    std::string pipetrace_file;
+    std::uint64_t pipetrace_max = 0;
     std::string stats_json_file;
     std::string timeline_file;
     std::string save_snapshot_file;
@@ -211,6 +219,10 @@ main(int argc, char **argv)
             trace_file = next();
         } else if (arg == "--trace-max") {
             trace_max = std::strtoull(next().c_str(), nullptr, 0);
+        } else if (arg == "--pipetrace") {
+            pipetrace_file = next();
+        } else if (arg == "--pipetrace-max") {
+            pipetrace_max = std::strtoull(next().c_str(), nullptr, 0);
         } else if (arg == "--stats") {
             want_stats = true;
         } else if (arg == "--stats-json") {
@@ -269,6 +281,13 @@ main(int argc, char **argv)
         for (unsigned c = 0; c < sim.chip().numCores(); ++c)
             sim.chip().cpu(c).setCommitTrace(os, trace_max);
     }
+    std::unique_ptr<PipeTracer> pipetracer;
+    if (!pipetrace_file.empty()) {
+        std::ostream *os = openOut(pipetrace_file, owned_streams);
+        pipetracer = std::make_unique<PipeTracer>(*os, pipetrace_max);
+        for (unsigned c = 0; c < sim.chip().numCores(); ++c)
+            sim.chip().cpu(c).setPipeTracer(pipetracer.get());
+    }
     for (const auto &spec : fault_specs) {
         try {
             sim.faultInjector().schedule(parseFaultSpec(spec));
@@ -278,6 +297,16 @@ main(int argc, char **argv)
     }
 
     const RunResult r = sim.run();
+    if (pipetracer) {
+        pipetracer->finish();
+        if (pipetracer->dropped()) {
+            std::fprintf(stderr,
+                         "pipetrace: event cap dropped %llu "
+                         "instructions (raise --pipetrace-max)\n",
+                         static_cast<unsigned long long>(
+                             pipetracer->dropped()));
+        }
+    }
 
     std::printf("%-10s %8s %12s %12s\n", "thread", "ipc", "committed",
                 "cycles");

@@ -54,7 +54,16 @@ usage()
         "                    0.95)\n"
         "  --snapshots       snapshot-forking summary: hit rate, "
         "cycles\n"
-        "                    saved, snapshot image sizes\n");
+        "                    saved, snapshot image sizes\n"
+        "  --attribution     commit-slot cycle accounting from "
+        "--embed-stats\n"
+        "                    records: per-mode slot mix and the "
+        "degradation\n"
+        "                    vs base decomposed into stall causes; "
+        "verifies\n"
+        "                    the conservation invariant on every "
+        "record and\n"
+        "                    exits 1 on violation\n");
 }
 
 } // namespace
@@ -66,6 +75,7 @@ main(int argc, char **argv)
     std::string path;
     bool coverage = false;
     bool snapshots = false;
+    bool attribution = false;
     double confidence = 0.95;
 
     for (int i = 1; i < argc; ++i) {
@@ -101,6 +111,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--snapshots") {
             snapshots = true;
+        } else if (arg == "--attribution") {
+            attribution = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             usage();
             std::fprintf(stderr,
@@ -151,6 +163,24 @@ main(int argc, char **argv)
     if (snapshots) {
         const SnapshotReport report = buildSnapshotReport(records);
         std::fputs(formatSnapshotReport(report).c_str(), stdout);
+        if (coverage)
+            std::fputs("\n", stdout);
+        else
+            return 0;
+    }
+    if (attribution) {
+        const AttributionReport report =
+            buildAttributionReport(records, opts);
+        std::fputs(formatAttributionReport(report).c_str(), stdout);
+        if (report.conservation_violations) {
+            std::fprintf(stderr,
+                         "rmtsim_report: conservation invariant "
+                         "violated in %u record%s\n",
+                         report.conservation_violations,
+                         report.conservation_violations == 1 ? ""
+                                                             : "s");
+            return 1;
+        }
         if (coverage)
             std::fputs("\n", stdout);
         else
