@@ -155,6 +155,80 @@ Serializer::finish(std::uint64_t fingerprint) const
     return out;
 }
 
+void
+validateSnapshotImage(const std::string &image,
+                      std::uint64_t expect_fingerprint)
+{
+    // Header checks (magic/version/fingerprint) are shared with the
+    // Deserializer constructor; the section walk below is what it
+    // cannot do up front, because apply-time consumption is lazy.
+    Deserializer header(image, expect_fingerprint);
+    (void)header;
+
+    auto le32 = [&](std::size_t at) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<std::uint8_t>(image[at + i]))
+                 << (8 * i);
+        return v;
+    };
+    auto le64 = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(image[at + i]))
+                 << (8 * i);
+        return v;
+    };
+
+    const std::uint32_t sections = le32(20);
+    std::size_t at = 24;
+    for (std::uint32_t i = 0; i < sections; ++i) {
+        const std::size_t section_start = at;
+        auto truncated = [&](const char *what) {
+            throw SnapshotError(
+                "snapshot: image truncated in " + std::string(what) +
+                " of section " + std::to_string(i) + " at byte offset " +
+                std::to_string(section_start) + " (image is " +
+                std::to_string(image.size()) + " bytes)");
+        };
+        if (image.size() - at < 4)
+            truncated("the name length");
+        const std::uint32_t name_len = le32(at);
+        at += 4;
+        if (image.size() - at < name_len)
+            truncated("the name");
+        const std::string name(image, at, name_len);
+        at += name_len;
+        if (image.size() - at < 8)
+            truncated("the payload length");
+        const std::uint64_t payload_len = le64(at);
+        at += 8;
+        // Two-step compare: a corrupt payload_len near 2^64 must not
+        // overflow the arithmetic into a passing check.
+        if (payload_len > image.size() - at ||
+            image.size() - at - payload_len < 4)
+            truncated(("the payload of '" + name + "'").c_str());
+        const std::uint32_t stored = le32(at + payload_len);
+        const std::uint32_t actual =
+            crc32(image.data() + at, static_cast<std::size_t>(payload_len));
+        if (stored != actual) {
+            throw SnapshotError(
+                "snapshot: section '" + name + "' (offset " +
+                std::to_string(section_start) +
+                ") failed its CRC check");
+        }
+        at += payload_len + 4;
+    }
+    if (at != image.size()) {
+        throw SnapshotError(
+            "snapshot: " + std::to_string(image.size() - at) +
+            " trailing bytes after the last section (offset " +
+            std::to_string(at) + ")");
+    }
+}
+
 Deserializer::Deserializer(std::string image,
                            std::uint64_t expect_fingerprint)
     : data(std::move(image))
@@ -246,7 +320,11 @@ Deserializer::beginSection(const std::string &name)
                            static_cast<std::uint8_t>(data[at + i]))
                        << (8 * i);
     at += 8;
-    avail(payload_len + 4);
+    // Two-step compare: a corrupt payload_len near 2^64 must not
+    // overflow the arithmetic into a passing check.
+    if (payload_len > data.size() - at ||
+        data.size() - at - payload_len < 4)
+        fail("section '" + curName + "' truncated mid-payload");
     if (curName != name) {
         fail("expected section '" + name + "' but found '" + curName +
              "'");

@@ -44,6 +44,19 @@ class SnapshotError : public std::runtime_error
 /** CRC32 (IEEE 802.3 polynomial) of @p data. */
 std::uint32_t crc32(const void *data, std::size_t size);
 
+/**
+ * Structurally validate a whole snapshot image — header (magic,
+ * version, @p expect_fingerprint), every section frame, every section
+ * CRC, and exact end-of-image — WITHOUT applying anything.  Throws
+ * SnapshotError naming the damaged section and its byte offset, so a
+ * truncated download or a torn write is diagnosable from the message
+ * alone.  Restore paths call this first: an image that fails here is
+ * rejected before any machine state has been touched, never
+ * half-applied.
+ */
+void validateSnapshotImage(const std::string &image,
+                           std::uint64_t expect_fingerprint);
+
 /** Builds a snapshot image section by section. */
 class Serializer
 {

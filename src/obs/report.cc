@@ -22,12 +22,15 @@ struct Job
     double efficiency = -1;
 };
 
-/** Stratified campaigns append one summary object after the per-trial
- *  records; every table skips it rather than misreading it as a job. */
+/** Stratified campaigns append one "avf_summary" object after the
+ *  per-trial records, and degraded campaigns append a schema-tagged
+ *  failures summary; every table skips them rather than misreading
+ *  them as jobs (job records never carry either key). */
 bool
 isSummaryRecord(const JsonValue &rec)
 {
-    return rec.find("avf_summary") != nullptr;
+    return rec.find("avf_summary") != nullptr ||
+           rec.find("schema") != nullptr;
 }
 
 Job
@@ -849,6 +852,100 @@ formatSnapshotReport(const SnapshotReport &report)
                   "%u jobs, %u fork-eligible fault trials\n",
                   report.total_jobs, report.fork_eligible);
     out += line;
+    return out;
+}
+
+FailuresReport
+buildFailuresReport(const std::vector<JsonValue> &records)
+{
+    FailuresReport report;
+    for (const JsonValue &rec : records) {
+        if (rec.strOr("schema", "") == "rmtsim-failures-v1") {
+            report.has_summary = true;
+            continue;
+        }
+        if (isSummaryRecord(rec))
+            continue;
+        ++report.total_jobs;
+        if (rec.strOr("status", "failed") == "ok")
+            continue;
+        FailureRow row;
+        row.id = static_cast<std::uint64_t>(rec.numberOr("id", 0));
+        row.label = rec.strOr("label", "?");
+        row.error = rec.strOr("error", "?");
+        row.attempts =
+            static_cast<unsigned>(rec.numberOr("attempts", 0));
+        auto isTrue = [&rec](const char *key) {
+            const JsonValue *v = rec.find(key);
+            return v && v->isBool() && v->boolean();
+        };
+        row.timed_out = isTrue("timed_out");
+        row.quarantined = isTrue("quarantined");
+        ++report.failed;
+        if (row.quarantined)
+            ++report.quarantined;
+        if (row.timed_out)
+            ++report.timed_out;
+        report.rows.push_back(std::move(row));
+    }
+    std::sort(report.rows.begin(), report.rows.end(),
+              [](const FailureRow &a, const FailureRow &b) {
+                  return a.id < b.id;
+              });
+    for (const FailureRow &row : report.rows) {
+        auto it = std::find_if(
+            report.by_error.begin(), report.by_error.end(),
+            [&row](const auto &e) { return e.first == row.error; });
+        if (it == report.by_error.end())
+            report.by_error.emplace_back(row.error, 1);
+        else
+            ++it->second;
+    }
+    return report;
+}
+
+std::string
+formatFailuresReport(const FailuresReport &report)
+{
+    std::string out;
+    char line[256];
+
+    if (!report.failed) {
+        std::snprintf(line, sizeof(line),
+                      "no failures in %u job%s\n", report.total_jobs,
+                      report.total_jobs == 1 ? "" : "s");
+        out += line;
+        return out;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%u of %u jobs failed (%u quarantined, %u timed "
+                  "out)%s\n\n",
+                  report.failed, report.total_jobs, report.quarantined,
+                  report.timed_out,
+                  report.has_summary ? "" : " — no failures summary "
+                                            "record (interrupted run?)");
+    out += line;
+
+    std::snprintf(line, sizeof(line), "%6s  %s\n", "count", "error");
+    out += line;
+    for (const auto &[error, count] : report.by_error) {
+        std::snprintf(line, sizeof(line), "%6u  %s\n", count,
+                      error.c_str());
+        out += line;
+    }
+    out += "\n";
+
+    std::snprintf(line, sizeof(line), "%8s %8s %2s %2s  %s\n", "id",
+                  "attempts", "q", "t", "label");
+    out += line;
+    for (const FailureRow &row : report.rows) {
+        std::snprintf(line, sizeof(line),
+                      "%8llu %8u %2s %2s  %s\n",
+                      static_cast<unsigned long long>(row.id),
+                      row.attempts, row.quarantined ? "*" : ".",
+                      row.timed_out ? "*" : ".", row.label.c_str());
+        out += line;
+    }
     return out;
 }
 

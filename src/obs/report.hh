@@ -16,7 +16,9 @@
 #define RMTSIM_OBS_REPORT_HH
 
 #include <array>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "avf/estimator.hh"
@@ -142,6 +144,36 @@ struct SnapshotReport
     double mean_bytes = -1;         ///< snapshot image size, over hits
 };
 
+/** One failed job of a degraded campaign. */
+struct FailureRow
+{
+    std::uint64_t id = 0;
+    std::string label;
+    std::string error;
+    unsigned attempts = 0;
+    bool timed_out = false;
+    bool quarantined = false;       ///< crashed repeatedly; gave up
+};
+
+/**
+ * Digest of a campaign's failed jobs — the triage view of a batch run
+ * that exited 3 (degraded).  Built from the per-job records themselves,
+ * so it works on any .jsonl whether or not the batch appended its
+ * trailing "rmtsim-failures-v1" summary record.
+ */
+struct FailuresReport
+{
+    unsigned total_jobs = 0;
+    unsigned failed = 0;
+    unsigned quarantined = 0;
+    unsigned timed_out = 0;
+    bool has_summary = false;       ///< stream carried the summary record
+    std::vector<FailureRow> rows;   ///< id order
+    /** Distinct error strings with their multiplicity, first-seen
+     *  order — repeated infrastructure faults collapse to one line. */
+    std::vector<std::pair<std::string, unsigned>> by_error;
+};
+
 /**
  * Commit-slot cycle accounting aggregated per mode, from the
  * "attribution" object `--embed-stats` records carry.  Degradation
@@ -186,6 +218,17 @@ CampaignReport buildReport(const std::vector<JsonValue> &records,
 /** Render as aligned, human-readable tables. */
 std::string formatReport(const CampaignReport &report,
                          const ReportOptions &options);
+
+/**
+ * Collect the failed jobs of a batch stream: per-error tally plus the
+ * per-job rows in id order.  Summary records (avf_summary, failures
+ * summary) are skipped; has_summary notes whether the batch's own
+ * "rmtsim-failures-v1" record was present.
+ */
+FailuresReport buildFailuresReport(const std::vector<JsonValue> &records);
+
+/** Render the failure digest; a clean stream renders as one line. */
+std::string formatFailuresReport(const FailuresReport &report);
 
 /**
  * Aggregate fault-campaign records by the kind of their first fault:

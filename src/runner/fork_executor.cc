@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "runner/snapshot_cache.hh"
 #include "runner/wire.hh"
@@ -57,26 +58,6 @@ firstFaultCycle(const JobSpec &spec)
         first = std::min(first, f.when);
     return first;
 }
-
-#ifdef RMT_FORK_EXECUTOR_POSIX
-
-bool
-writeAll(int fd, const char *data, std::size_t len)
-{
-    while (len) {
-        const ssize_t n = ::write(fd, data, len);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += n;
-        len -= static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-#endif // RMT_FORK_EXECUTOR_POSIX
 
 } // namespace
 
@@ -145,9 +126,11 @@ ForkExecutor::warmFor(const JobSpec &spec, const SimOptions &capped)
 #ifdef RMT_FORK_EXECUTOR_POSIX
 
 JobResult
-ForkExecutor::runForked(const JobSpec &spec, WarmedSim &warm)
+ForkExecutor::runForked(const JobSpec &spec, WarmedSim &warm,
+                        bool &crashed)
 {
     using Clock = std::chrono::steady_clock;
+    crashed = false;
 
     int fds[2];
     if (::pipe(fds) != 0) {
@@ -214,7 +197,7 @@ ForkExecutor::runForked(const JobSpec &spec, WarmedSim &warm)
         try {
             const std::string frame =
                 wire::frame(wire::encodeJobResult(result));
-            sent = writeAll(fds[1], frame.data(), frame.size());
+            sent = wire::writeAll(fds[1], frame.data(), frame.size());
         } catch (...) {
             sent = false;
         }
@@ -258,10 +241,8 @@ ForkExecutor::runForked(const JobSpec &spec, WarmedSim &warm)
             killed = true;
             break;
         }
-        const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+        const long n = wire::readSome(fds[0], buf, sizeof(buf));
         if (n < 0) {
-            if (errno == EINTR)
-                continue;
             wire_error = "read failed on the trial pipe";
             break;
         }
@@ -301,6 +282,7 @@ ForkExecutor::runForked(const JobSpec &spec, WarmedSim &warm)
 
     if (killed) {
         ++_stats.killed;
+        crashed = true;
         result.status = JobStatus::Failed;
         result.timed_out = true;
         result.error = "trial child killed after exceeding timeout of " +
@@ -323,6 +305,7 @@ ForkExecutor::runForked(const JobSpec &spec, WarmedSim &warm)
     }
 
     ++_stats.wire_errors;
+    crashed = true;
     result.status = JobStatus::Failed;
     std::ostringstream os;
     os << "trial child delivered no usable record (";
@@ -346,13 +329,62 @@ ForkExecutor::runForked(const JobSpec &spec, WarmedSim &warm)
 #else // !RMT_FORK_EXECUTOR_POSIX
 
 JobResult
-ForkExecutor::runForked(const JobSpec &spec, WarmedSim &)
+ForkExecutor::runForked(const JobSpec &spec, WarmedSim &, bool &crashed)
 {
+    crashed = false;
     ++_stats.inprocess;
     return executeJob(spec, _cfg.runner);
 }
 
 #endif // RMT_FORK_EXECUTOR_POSIX
+
+void
+ForkExecutor::backoffSleep(std::uint64_t seed, unsigned attempt) const
+{
+    if (_cfg.retry_backoff_ms == 0)
+        return;
+    // splitmix64 over (seed, attempt): jitter is a pure function of
+    // the job, never the clock, so a re-run campaign backs off (and
+    // therefore schedules) identically.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (attempt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    const std::uint64_t base = std::min<std::uint64_t>(
+        std::uint64_t(_cfg.retry_backoff_ms) << (attempt - 1), 2000);
+    // Full jitter over [base/2, base]: decorrelates workers without
+    // collapsing the exponential envelope.
+    const std::uint64_t delay_ms = base / 2 + z % (base / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+JobResult
+ForkExecutor::runWithRetry(const JobSpec &spec)
+{
+    const unsigned max_attempts = std::max(1u, _cfg.runner.max_attempts);
+    JobResult result;
+    for (unsigned attempt = 1;; ++attempt) {
+        bool crashed = false;
+        result = runForked(
+            spec, warmFor(spec, cappedOptions(spec, _cfg.runner)),
+            crashed);
+        if (!crashed)
+            return result;  // decoded record (ok or recorded failure)
+        if (attempt >= max_attempts ||
+            (_cfg.runner.stop &&
+             _cfg.runner.stop->load(std::memory_order_relaxed))) {
+            // Out of attempts (or draining): set the trial aside so
+            // the rest of the campaign can finish.  attempts reports
+            // the forks actually burned on it.
+            ++_stats.quarantined;
+            result.quarantined = true;
+            result.attempts = attempt;
+            return result;
+        }
+        ++_stats.retries;
+        backoffSleep(spec.seed, attempt);
+    }
+}
 
 std::vector<JobResult>
 ForkExecutor::run(const std::vector<JobSpec> &jobs)
@@ -370,6 +402,9 @@ ForkExecutor::run(const std::vector<JobSpec> &jobs)
     }
 
     for (const JobSpec &spec : jobs) {
+        if (_cfg.runner.stop &&
+            _cfg.runner.stop->load(std::memory_order_relaxed))
+            break;      // draining: stop dispatching, keep what's done
         JobResult result;
         if (!supported() || !_cfg.use_fork) {
             ++_stats.inprocess;
@@ -387,8 +422,7 @@ ForkExecutor::run(const std::vector<JobSpec> &jobs)
                 ++_stats.inprocess;
                 result = executeJob(spec, _cfg.runner);
             } else {
-                result = runForked(
-                    spec, warmFor(spec, cappedOptions(spec, _cfg.runner)));
+                result = runWithRetry(spec);
             }
         }
         if (_cfg.runner.sink)

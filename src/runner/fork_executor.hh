@@ -52,6 +52,13 @@ struct ForkExecutorConfig
     /** Warmed (grid point, barrier) simulations kept resident in the
      *  parent; older ones are evicted in LRU order. */
     unsigned warm_cache = 4;
+
+    /** First-retry backoff after an abnormal child death (the retry
+     *  budget itself is runner.max_attempts).  Doubles per attempt
+     *  with deterministic jitter derived from the job seed — never
+     *  from the clock, so retried campaigns stay reproducible.
+     *  0 disables the sleep (tests). */
+    unsigned retry_backoff_ms = 25;
 };
 
 class ForkExecutor
@@ -64,6 +71,8 @@ class ForkExecutor
         std::uint64_t killed = 0;       ///< children SIGKILLed (timeout)
         std::uint64_t wire_errors = 0;  ///< garbled/truncated records
         std::uint64_t warm_builds = 0;  ///< warmed simulations built
+        std::uint64_t retries = 0;      ///< re-forks after a crash
+        std::uint64_t quarantined = 0;  ///< trials that exhausted retries
     };
 
     explicit ForkExecutor(const ForkExecutorConfig &config);
@@ -76,6 +85,14 @@ class ForkExecutor
      * Execute @p jobs sequentially, feeding the sink as each record
      * lands; returns results in job order.  Callable repeatedly (the
      * sampler's rounds); warmed simulations persist across calls.
+     *
+     * A trial whose child dies abnormally (signal, garbled/short wire
+     * record, watchdog kill) is retried with exponential backoff until
+     * runner.max_attempts is exhausted, then recorded with
+     * JobResult::quarantined set so the campaign finishes degraded
+     * instead of dying.  When runner.stop reads true the loop drains:
+     * the in-flight trial completes and is recorded, no new trial
+     * starts, and the returned vector holds only the finished prefix.
      */
     std::vector<JobResult> run(const std::vector<JobSpec> &jobs);
 
@@ -85,7 +102,10 @@ class ForkExecutor
     struct WarmedSim;
 
     WarmedSim &warmFor(const JobSpec &spec, const SimOptions &capped);
-    JobResult runForked(const JobSpec &spec, WarmedSim &warm);
+    JobResult runForked(const JobSpec &spec, WarmedSim &warm,
+                        bool &crashed);
+    JobResult runWithRetry(const JobSpec &spec);
+    void backoffSleep(std::uint64_t seed, unsigned attempt) const;
 
     ForkExecutorConfig _cfg;
     std::list<std::unique_ptr<WarmedSim>> _warm;    // LRU, front = hot

@@ -69,6 +69,10 @@ struct JobResult
     std::string error;              ///< empty unless Failed
     unsigned attempts = 0;
     bool timed_out = false;
+    /** Failed every crash-retry attempt (abnormal child death, wire
+     *  corruption, watchdog) and was set aside so the campaign could
+     *  finish; the batch exit code reports the run as degraded. */
+    bool quarantined = false;
     double wall_seconds = 0;
 
     RunResult run;                  ///< valid when status == Ok

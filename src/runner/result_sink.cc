@@ -110,6 +110,10 @@ resultJson(const JobSpec &spec, const JobResult &r, bool include_timing)
     if (!r.ok()) {
         os << ",\"error\":\"" << jsonEscape(r.error) << "\""
            << ",\"timed_out\":" << (r.timed_out ? "true" : "false");
+        // Only when set: healthy campaigns (and the forked-vs-scratch
+        // byte-diff gate) never see the key.
+        if (r.quarantined)
+            os << ",\"quarantined\":true";
     }
     if (include_timing) {
         os << ",\"wall_ms\":" << num(r.wall_seconds * 1e3);
@@ -221,7 +225,10 @@ JsonlSink::record(const JobSpec &spec, const JobResult &result)
                 std::chrono::steady_clock::now() - started)
                 .count();
         char eta[32] = "";
-        if (done > 0 && done < total) {
+        // Both guards matter: done == 0 would divide by zero, and a
+        // first record landing within the clock tick (elapsed == 0)
+        // would project a meaningless zero ETA.
+        if (done > 0 && done < total && elapsed > 0) {
             std::snprintf(eta, sizeof(eta), " eta %.0fs",
                           elapsed / done * (total - done));
         }

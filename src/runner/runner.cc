@@ -5,6 +5,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "ckpt/serializer.hh"
+#include "common/logging.hh"
 #include "runner/thread_pool.hh"
 #include "workloads/workloads.hh"
 
@@ -139,11 +141,27 @@ executeJob(const JobSpec &spec, const RunnerConfig &config)
                     config.snapshots->snapshots(spec.workloads, capped);
                 if (const CachedSnapshot *cached =
                         SnapshotCache::latestBefore(*set, first_fault)) {
-                    sim->restoreSnapshotBuffer(*cached->image);
-                    snap.hit = true;
-                    snap.cycle = cached->cycle;
-                    snap.bytes =
-                        static_cast<double>(cached->image->size());
+                    try {
+                        sim->restoreSnapshotBuffer(*cached->image);
+                        snap.hit = true;
+                        snap.cycle = cached->cycle;
+                        snap.bytes =
+                            static_cast<double>(cached->image->size());
+                    } catch (const SnapshotError &e) {
+                        // Corrupted/mismatched cached image.  restore
+                        // validates the whole image before touching any
+                        // machine state, so the simulation is still
+                        // pristine — log, evict the bad set, and run
+                        // the prefix from scratch.
+                        warn("job %llu: cached snapshot rejected (%s); "
+                             "falling back to a from-scratch run",
+                             static_cast<unsigned long long>(spec.id),
+                             e.what());
+                        config.snapshots->invalidate(spec.workloads,
+                                                     capped);
+                        sim.emplace(spec.workloads, capped);
+                        snap.scratch_fallback = true;
+                    }
                 }
             }
 
@@ -216,26 +234,38 @@ attachFaultOracle(JobSpec &spec, const FaultOracle *oracle)
 }
 
 std::vector<JobResult>
+runCampaignJobs(const std::vector<JobSpec> &jobs,
+                const RunnerConfig &config)
+{
+    std::vector<JobResult> results(jobs.size());
+
+    ThreadPool pool(config.jobs);
+    for (std::size_t at = 0; at < jobs.size(); ++at) {
+        const JobSpec &spec = jobs[at];
+        pool.submit([&spec, &config, &results, at] {
+            if (config.stop &&
+                config.stop->load(std::memory_order_relaxed))
+                return;     // draining: started jobs finish, no new ones
+            JobResult r = executeJob(spec, config);
+            if (config.sink)
+                config.sink->record(spec, r);
+            // Slots are disjoint per position: no lock needed.
+            results[at] = std::move(r);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+std::vector<JobResult>
 runCampaign(const Campaign &campaign, const RunnerConfig &config)
 {
-    std::vector<JobResult> results(campaign.jobs.size());
     if (config.sink)
         config.sink->begin(campaign);
-
-    {
-        ThreadPool pool(config.jobs);
-        for (const JobSpec &spec : campaign.jobs) {
-            pool.submit([&spec, &config, &results] {
-                JobResult r = executeJob(spec, config);
-                if (config.sink)
-                    config.sink->record(spec, r);
-                // Slots are disjoint per job id: no lock needed.
-                results[spec.id] = std::move(r);
-            });
-        }
-        pool.wait();
-    }
-
+    // Campaign job ids are dense 0..n-1 in build order, so position
+    // indexing here doubles as id indexing.
+    std::vector<JobResult> results =
+        runCampaignJobs(campaign.jobs, config);
     if (config.sink)
         config.sink->end();
     return results;

@@ -15,6 +15,7 @@
 #ifndef RMTSIM_RUNNER_RUNNER_HH
 #define RMTSIM_RUNNER_RUNNER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -47,6 +48,12 @@ struct RunnerConfig
 
     /** When set, receives each JobResult as it completes. */
     ResultSink *sink = nullptr;
+
+    /** Cooperative cancellation (the SIGTERM/SIGINT drain): checked
+     *  between jobs/trials, never mid-simulation.  Once it reads true,
+     *  no new job starts; in-flight jobs finish and are recorded, so
+     *  the journal stays a clean prefix of the campaign. */
+    const std::atomic<bool> *stop = nullptr;
 };
 
 /**
@@ -97,6 +104,18 @@ void attachFaultOracle(JobSpec &spec, const FaultOracle *oracle);
 /** Run all jobs; returns results indexed by job id. */
 std::vector<JobResult> runCampaign(const Campaign &campaign,
                                    const RunnerConfig &config);
+
+/**
+ * Run an explicit job list (e.g. the not-yet-done remainder of a
+ * resumed campaign) over the thread pool, recording each result to
+ * config.sink as it completes.  Unlike runCampaign, the sink's
+ * begin()/end() are NOT called — the caller owns the sink lifecycle —
+ * and results come back by position in @p jobs, not by job id.
+ * Jobs skipped by config.stop keep JobStatus::Failed defaults and are
+ * never fed to the sink.
+ */
+std::vector<JobResult> runCampaignJobs(const std::vector<JobSpec> &jobs,
+                                       const RunnerConfig &config);
 
 } // namespace rmt
 

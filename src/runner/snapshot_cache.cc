@@ -81,6 +81,32 @@ SnapshotCache::snapshots(const std::vector<std::string> &workloads,
     return entry.set;
 }
 
+void
+SnapshotCache::insert(const std::vector<std::string> &workloads,
+                      const SimOptions &options,
+                      std::shared_ptr<const SnapshotSet> set)
+{
+    const std::string key = cacheKey(workloads, options);
+    std::lock_guard<std::mutex> lock(mu);
+    Entry &entry = cache[key];
+    entry.set = std::move(set);
+    entry.ready = true;
+    cv.notify_all();
+}
+
+void
+SnapshotCache::invalidate(const std::vector<std::string> &workloads,
+                          const SimOptions &options)
+{
+    const std::string key = cacheKey(workloads, options);
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    // Never erase an in-flight placeholder (ready == false): its
+    // producer will publish over it, and erasing would strand waiters.
+    if (it != cache.end() && it->second.ready)
+        cache.erase(it);
+}
+
 const CachedSnapshot *
 SnapshotCache::latestBefore(const SnapshotSet &set, Cycle cycle)
 {

@@ -67,6 +67,25 @@ class SnapshotCache
     static const CachedSnapshot *
     latestBefore(const SnapshotSet &set, Cycle cycle);
 
+    /**
+     * Publish @p set for (@p workloads, @p options) without a producer
+     * run, replacing any existing entry.  Tests use it to pre-seed
+     * corrupted images; restore-time validation is what must catch
+     * them.
+     */
+    void insert(const std::vector<std::string> &workloads,
+                const SimOptions &options,
+                std::shared_ptr<const SnapshotSet> set);
+
+    /**
+     * Drop the entry for (@p workloads, @p options), if any.  Called
+     * when a cached image fails its restore-time validation, so the
+     * next trial re-produces clean snapshots instead of tripping over
+     * the same corruption forever.
+     */
+    void invalidate(const std::vector<std::string> &workloads,
+                    const SimOptions &options);
+
     /** Producer simulations actually executed (the single-flight
      *  invariant: one per distinct key). */
     std::uint64_t producerRuns() const;

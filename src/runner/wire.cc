@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <unistd.h>
+#endif
+
 namespace rmt
 {
 namespace wire
@@ -128,6 +133,7 @@ encodeJobResult(const JobResult &r)
     putStr(out, r.error);
     putU32(out, r.attempts);
     putU8(out, r.timed_out ? 1 : 0);
+    putU8(out, r.quarantined ? 1 : 0);
     putF64(out, r.wall_seconds);
 
     const RunResult &run = r.run;
@@ -192,6 +198,7 @@ decodeJobResult(const std::string &payload)
     r.error = in.str();
     r.attempts = in.u32();
     r.timed_out = in.u8() != 0;
+    r.quarantined = in.u8() != 0;
     r.wall_seconds = in.f64();
 
     RunResult &run = r.run;
@@ -278,6 +285,39 @@ FrameDecoder::next(std::string &payload)
     buf.erase(0, 8 + std::size_t{len});
     return true;
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+readSome(int fd, void *buf, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, len);
+        if (n >= 0)
+            return static_cast<long>(n);
+        if (errno != EINTR)
+            return -1;
+    }
+}
+
+#endif // POSIX
 
 } // namespace wire
 } // namespace rmt

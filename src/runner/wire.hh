@@ -46,8 +46,9 @@ constexpr std::uint32_t frameMagic = 0x57544D52u;
  *  is ~10 KiB; anything near this cap is corruption). */
 constexpr std::uint32_t maxPayloadBytes = 64u << 20;
 
-/** Codec version carried in every payload. */
-constexpr std::uint8_t codecVersion = 1;
+/** Codec version carried in every payload.
+ *  v2: JobResult::quarantined (retry-exhausted trials). */
+constexpr std::uint8_t codecVersion = 2;
 
 /** Serialise a JobResult into a codec payload (no frame header). */
 std::string encodeJobResult(const JobResult &result);
@@ -82,6 +83,25 @@ class FrameDecoder
   private:
     std::string buf;
 };
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/**
+ * EINTR-safe descriptor I/O, shared by the trial pipe and the result
+ * journal.  Signal delivery mid-frame (the SIGTERM drain, a worker's
+ * SIGCHLD) must never tear a frame: both helpers retry interrupted
+ * system calls until the transfer completes or genuinely fails.
+ */
+
+/** write() all @p len bytes, retrying EINTR and short writes; false on
+ *  a real error (errno is left set). */
+bool writeAll(int fd, const void *data, std::size_t len);
+
+/** read() up to @p len bytes, retrying EINTR; returns the byte count
+ *  (0 = EOF) or -1 on a real error (errno is left set). */
+long readSome(int fd, void *buf, std::size_t len);
+
+#endif // POSIX
 
 } // namespace wire
 } // namespace rmt

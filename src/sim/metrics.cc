@@ -1,12 +1,14 @@
 #include "sim/metrics.hh"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 
 namespace rmt
 {
@@ -14,27 +16,49 @@ namespace rmt
 namespace
 {
 
-/** Parse `"ipc":<number>` out of a stored baseline record; false on a
- *  missing/garbled file (the caller falls back to simulating). */
+/**
+ * Parse `"ipc":<number>` out of a stored baseline record; false on a
+ * missing file (the caller falls back to simulating).  A file that
+ * exists but is garbled — wrong schema, options-fingerprint mismatch,
+ * unparsable or non-finite value — is a corrupted artifact: warn,
+ * delete it so it cannot poison the next campaign, and fall back.
+ */
 bool
-loadStoredIpc(const std::string &path, double &value)
+loadStoredIpc(const std::string &path, const std::string &fingerprint,
+              double &value)
 {
-    std::ifstream in(path);
-    if (!in)
+    std::string doc;
+    {
+        std::ifstream in(path);
+        if (!in)
+            return false;   // no stored baseline yet: the normal miss
+        std::stringstream ss;
+        ss << in.rdbuf();
+        doc = ss.str();
+    }
+    auto reject = [&path](const char *why) {
+        warn("baseline store '%s' %s; evicting it and re-simulating",
+             path.c_str(), why);
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
         return false;
-    std::stringstream ss;
-    ss << in.rdbuf();
-    const std::string doc = ss.str();
+    };
     if (doc.find("\"schema\":\"rmtsim-baseline-v1\"") == std::string::npos)
-        return false;
+        return reject("is not a rmtsim-baseline-v1 record");
+    if (doc.find("\"fingerprint\":\"" + fingerprint + "\"") ==
+        std::string::npos)
+        return reject("was written under different options "
+                      "(fingerprint mismatch)");
     const auto pos = doc.find("\"ipc\":");
     if (pos == std::string::npos)
-        return false;
+        return reject("has no ipc field");
     try {
         value = std::stod(doc.substr(pos + 6));
     } catch (const std::exception &) {
-        return false;
+        return reject("has an unparsable ipc value");
     }
+    if (!std::isfinite(value) || value < 0)
+        return reject("has a non-finite or negative ipc value");
     return true;
 }
 
@@ -105,13 +129,16 @@ BaselineCache::ipc(const std::string &workload)
         cv.wait(lock);
     }
     const std::string path = storePath(workload);
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "%016" PRIx64,
+                  optionsFingerprintU64(opts));
 
     // We inserted the placeholder, so we are the single flight that
     // resolves this workload; everyone else blocks above.  An attached
     // on-disk store is consulted first — a hit skips the simulation.
     lock.unlock();
     double value = 0;
-    bool loaded = !path.empty() && loadStoredIpc(path, value);
+    bool loaded = !path.empty() && loadStoredIpc(path, fp, value);
     if (!loaded) {
         try {
             value = singleThreadIpc(workload, opts);
@@ -123,12 +150,8 @@ BaselineCache::ipc(const std::string &workload)
             cv.notify_all();
             throw;
         }
-        if (!path.empty()) {
-            char buf[20];
-            std::snprintf(buf, sizeof(buf), "%016" PRIx64,
-                          optionsFingerprintU64(opts));
-            writeStoredIpc(path, workload, buf, value);
-        }
+        if (!path.empty())
+            writeStoredIpc(path, workload, fp, value);
     }
     lock.lock();
     Entry &entry = cache.at(workload);

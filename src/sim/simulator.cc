@@ -742,6 +742,12 @@ Simulation::restoreSnapshotBuffer(const std::string &image)
             "restore requires a freshly built simulation");
     }
 
+    // Whole-image structural validation (header, every section frame,
+    // every CRC) before a single byte is applied: a truncated or
+    // corrupted image must reject with the machine still pristine,
+    // never half-restored.
+    validateSnapshotImage(image, optionsFingerprintU64(opts));
+
     Deserializer d(image, optionsFingerprintU64(opts));
 
     d.beginSection("meta");
@@ -796,7 +802,13 @@ Simulation::restoreSnapshot(const std::string &path)
         throw SnapshotError("cannot open snapshot file: " + path);
     std::ostringstream buf;
     buf << in.rdbuf();
-    restoreSnapshotBuffer(buf.str());
+    try {
+        restoreSnapshotBuffer(buf.str());
+    } catch (const SnapshotError &e) {
+        // Re-raise with the file named: "section 'chip' truncated" is
+        // only actionable if you know which file held it.
+        throw SnapshotError("snapshot file '" + path + "': " + e.what());
+    }
 }
 
 RunResult

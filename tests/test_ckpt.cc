@@ -7,6 +7,9 @@
  *    on the full campaign JSON record with timing suppressed, which
  *    includes cycle counts, IPCs, and the embedded stats tree);
  *  - a flipped payload byte is rejected by the per-section CRC;
+ *  - a truncated image (header or mid-section) is rejected with an
+ *    offset-bearing error and no partial state application, and
+ *    file-level restores name the damaged file;
  *  - a bumped format version and a mismatched options fingerprint are
  *    both rejected before any state is touched;
  *  - a fault scheduled at or before the restored cycle is rejected
@@ -17,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -194,6 +199,72 @@ TEST(Checkpoint, CorruptedSectionFailsItsCrc)
         EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
             << e.what();
     }
+}
+
+TEST(Checkpoint, TruncatedImageIsRejectedWithoutPartialApplication)
+{
+    const auto workloads = modeWorkloads(SimMode::Srt);
+    const SimOptions o = snapshotOptions(SimMode::Srt);
+    std::string image;
+    Cycle snap_cycle = 0;
+    runCapturing(workloads, o, image, snap_cycle);
+    ASSERT_FALSE(image.empty());
+
+    Simulation straight(workloads, o);
+    const std::string expect = recordJson(workloads, o, straight.run());
+
+    // Cut inside the header, one third in (mid-section), and just
+    // before the final CRC: every prefix must be rejected up front
+    // with a structured, offset-bearing error.
+    const std::size_t cuts[] = {6, image.size() / 3, image.size() - 3};
+    for (const std::size_t cut : cuts) {
+        Simulation sim(workloads, o);
+        try {
+            sim.restoreSnapshotBuffer(image.substr(0, cut));
+            FAIL() << "accepted an image cut at " << cut;
+        } catch (const SnapshotError &e) {
+            EXPECT_NE(std::string(e.what()).find("truncated"),
+                      std::string::npos)
+                << "cut " << cut << ": " << e.what();
+        }
+        // Validation walks the whole image before any state is
+        // applied, so the rejecting simulation is still pristine and
+        // runs exactly like an untouched one.
+        EXPECT_EQ(expect, recordJson(workloads, o, sim.run()))
+            << "cut " << cut;
+    }
+}
+
+TEST(Checkpoint, SnapshotFileErrorsNameTheFile)
+{
+    const auto workloads = modeWorkloads(SimMode::Srt);
+    const SimOptions o = snapshotOptions(SimMode::Srt);
+    std::string image;
+    Cycle snap_cycle = 0;
+    runCapturing(workloads, o, image, snap_cycle);
+    ASSERT_FALSE(image.empty());
+
+    const std::string path = std::string(::testing::TempDir()) +
+                             "rmtsim_truncated.snap";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(image.data(),
+                  static_cast<std::streamsize>(image.size() / 2));
+    }
+    Simulation sim(workloads, o);
+    try {
+        sim.restoreSnapshot(path);
+        FAIL() << "accepted a truncated snapshot file";
+    } catch (const SnapshotError &e) {
+        // The file-level wrapper prefixes the path so a campaign log
+        // points straight at the damaged artifact.
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
 }
 
 TEST(Checkpoint, VersionAndFingerprintMismatchesAreRejected)

@@ -20,6 +20,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -368,14 +373,218 @@ TEST(ForkExecutor, WatchdogKillsAnOverrunningChild)
     ForkExecutorConfig cfg;
     cfg.use_fork = true;
     cfg.runner.timeout_seconds = 0.25;
+    // A watchdog kill is an abnormal child death, so it is retryable;
+    // one attempt keeps this test at a single slow child.
+    cfg.runner.max_attempts = 1;
     ForkExecutor exec(cfg);
     const auto results = exec.run({spec});
 
     ASSERT_EQ(results.size(), 1u);
     EXPECT_FALSE(results[0].ok());
     EXPECT_TRUE(results[0].timed_out);
+    EXPECT_TRUE(results[0].quarantined);
     EXPECT_EQ(exec.stats().killed, 1u);
+    EXPECT_EQ(exec.stats().quarantined, 1u);
     EXPECT_EQ(exec.stats().forked, 0u);
+}
+
+TEST(ForkExecutor, CrashedChildIsRetriedAndThenSucceeds)
+{
+    if (!ForkExecutor::supported())
+        GTEST_SKIP() << "no fork() on this platform";
+
+    // The marker file carries "already crashed once" across the fork
+    // boundary: the first child dies before writing its record, the
+    // re-forked child sees the marker and completes normally.
+    const std::string marker =
+        std::string(::testing::TempDir()) + "rmtsim_crash_once.marker";
+    std::remove(marker.c_str());
+
+    JobSpec spec;
+    spec.id = 0;
+    spec.label = "crash-once";
+    spec.workloads = {"compress"};
+    spec.options = trialOptions();
+    spec.seed = 0xC0FFEE;
+    spec.post_run = [marker](Simulation &, const RunResult &,
+                             JobResult &) {
+        if (std::ifstream(marker).good())
+            return;
+        std::ofstream(marker).put('x');
+        std::_Exit(9);      // die without a wire record
+    };
+
+    ForkExecutorConfig cfg;
+    cfg.use_fork = true;
+    cfg.retry_backoff_ms = 0;
+    ForkExecutor exec(cfg);
+    const auto results = exec.run({spec});
+    std::remove(marker.c_str());
+
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok()) << results[0].error;
+    EXPECT_FALSE(results[0].quarantined);
+    EXPECT_EQ(exec.stats().retries, 1u);
+    EXPECT_EQ(exec.stats().quarantined, 0u);
+}
+
+TEST(ForkExecutor, PersistentCrasherIsQuarantined)
+{
+    if (!ForkExecutor::supported())
+        GTEST_SKIP() << "no fork() on this platform";
+
+    JobSpec spec;
+    spec.id = 0;
+    spec.label = "always-crashes";
+    spec.workloads = {"compress"};
+    spec.options = trialOptions();
+    spec.post_run = [](Simulation &, const RunResult &, JobResult &) {
+        std::_Exit(9);
+    };
+
+    ForkExecutorConfig cfg;
+    cfg.use_fork = true;
+    cfg.retry_backoff_ms = 0;
+    cfg.runner.max_attempts = 3;
+    ForkExecutor exec(cfg);
+    const auto results = exec.run({spec});
+
+    // The campaign finishes degraded instead of dying: the trial is
+    // recorded as a quarantined failure after burning every attempt.
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok());
+    EXPECT_TRUE(results[0].quarantined);
+    EXPECT_FALSE(results[0].error.empty());
+    EXPECT_EQ(results[0].attempts, 3u);
+    EXPECT_EQ(exec.stats().retries, 2u);
+    EXPECT_EQ(exec.stats().quarantined, 1u);
+}
+
+TEST(ForkExecutor, StopFlagDrainsWithoutStartingNewTrials)
+{
+    const SimOptions options = trialOptions();
+
+    // Pre-set stop: nothing starts at all (fork or not).
+    {
+        std::atomic<bool> stop{true};
+        ForkExecutorConfig cfg;
+        cfg.use_fork = ForkExecutor::supported();
+        cfg.runner.stop = &stop;
+        ForkExecutor exec(cfg);
+        JobSpec spec;
+        spec.id = 0;
+        spec.label = "never-runs";
+        spec.workloads = {"compress"};
+        spec.options = options;
+        EXPECT_TRUE(exec.run({spec, spec, spec}).empty());
+    }
+
+    // Stop raised mid-campaign (by the first trial's own hook, which
+    // only works in-process): the in-flight trial completes and is
+    // recorded, the rest never start.
+    {
+        std::atomic<bool> stop{false};
+        std::vector<JobSpec> jobs;
+        for (unsigned i = 0; i < 3; ++i) {
+            JobSpec spec;
+            spec.id = i;
+            spec.label = "drain" + std::to_string(i);
+            spec.workloads = {"compress"};
+            spec.options = options;
+            jobs.push_back(std::move(spec));
+        }
+        jobs[0].post_run = [&stop](Simulation &, const RunResult &,
+                                   JobResult &) {
+            stop.store(true);
+        };
+
+        ForkExecutorConfig cfg;
+        cfg.use_fork = false;
+        cfg.runner.stop = &stop;
+        ForkExecutor exec(cfg);
+        const auto results = exec.run(jobs);
+        ASSERT_EQ(results.size(), 1u);
+        EXPECT_TRUE(results[0].ok()) << results[0].error;
+        EXPECT_EQ(results[0].id, 0u);
+    }
+}
+
+TEST(ForkExecutor, CorruptCachedSnapshotFallsBackToScratch)
+{
+    SimOptions options = trialOptions();
+    Cycle total;
+    {
+        Simulation probe({"compress"}, options);
+        total = probe.run().total_cycles;
+    }
+    options.snapshot_every = std::max<Cycle>(1, total / 4);
+    {
+        Simulation probe({"compress"}, options);
+        total = probe.run().total_cycles;
+    }
+
+    JobSpec spec;
+    spec.id = 0;
+    spec.label = "corrupt-cache";
+    spec.workloads = {"compress"};
+    spec.options = options;
+    FaultRecord f;
+    f.kind = FaultRecord::Kind::TransientReg;
+    f.when = total / 2;
+    f.reg = 2;
+    f.bit = 5;
+    spec.faults.push_back(f);
+
+    // Pre-seed the cache with garbage where a snapshot should be:
+    // restore-time validation must reject it without touching machine
+    // state, and the trial must fall back to a from-scratch run.
+    SnapshotCache cache;
+    {
+        SnapshotSet set;
+        CachedSnapshot bad;
+        bad.cycle = 1;
+        bad.image = std::make_shared<const std::string>(
+            "this is not a snapshot image");
+        set.push_back(std::move(bad));
+        cache.insert({"compress"}, options,
+                     std::make_shared<const SnapshotSet>(std::move(set)));
+    }
+
+    RunnerConfig cached_cfg;
+    cached_cfg.snapshots = &cache;
+    const JobResult degraded = executeJob(spec, cached_cfg);
+    ASSERT_TRUE(degraded.ok()) << degraded.error;
+    double hit = -1, fallback = 0;
+    for (const auto &[key, value] : degraded.extra) {
+        if (key == "snapshot_hit")
+            hit = value;
+        if (key == "snapshot_scratch_fallback")
+            fallback = value;
+    }
+    EXPECT_EQ(hit, 0.0);
+    EXPECT_EQ(fallback, 1.0);
+
+    // Bit-identical to a run that never saw a snapshot cache.
+    RunnerConfig plain_cfg;
+    const JobResult plain = executeJob(spec, plain_cfg);
+    ASSERT_TRUE(plain.ok()) << plain.error;
+    EXPECT_EQ(degraded.run.total_cycles, plain.run.total_cycles);
+    EXPECT_EQ(degraded.run.outcome, plain.run.outcome);
+    EXPECT_EQ(degraded.run.detections, plain.run.detections);
+
+    // The rejected set was evicted: the next trial re-produces clean
+    // snapshots (one producer run) and restores one for real.
+    const JobResult again = executeJob(spec, cached_cfg);
+    ASSERT_TRUE(again.ok()) << again.error;
+    double hit2 = -1;
+    for (const auto &[key, value] : again.extra) {
+        if (key == "snapshot_hit")
+            hit2 = value;
+    }
+    EXPECT_EQ(hit2, 1.0);
+    EXPECT_EQ(cache.producerRuns(), 1u);
+    EXPECT_EQ(again.run.total_cycles, plain.run.total_cycles);
+    EXPECT_EQ(again.run.outcome, plain.run.outcome);
 }
 
 TEST(ForkExecutor, InvalidSpecBecomesARecordedFailure)

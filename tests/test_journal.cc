@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Write-ahead result journal (src/runner/journal.*):
+ *
+ *  - a fresh journal replays every appended record bit-identically,
+ *    keyed by job id, with the campaign fingerprint verified;
+ *  - a frame cut mid-write (the crash signature) degrades to the valid
+ *    prefix with torn_tail set, and the resume writer truncates the
+ *    tear away before appending;
+ *  - a CRC flip inside the file drops the damaged frame and everything
+ *    after it, with corrupt set — silent acceptance of a bad frame is
+ *    the one unforgivable outcome;
+ *  - a journal written by a different campaign (fingerprint mismatch),
+ *    a non-journal file, and a truncated header all throw JournalError;
+ *  - the campaign fingerprint is sensitive to every grid ingredient
+ *    (seed, options, faults) and insensitive to nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/journal.hh"
+#include "runner/wire.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+/** Self-deleting temp path; journals are plain files. */
+struct TempFile
+{
+    explicit TempFile(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+JobResult
+sampleResult(std::uint64_t id)
+{
+    JobResult r;
+    r.id = id;
+    r.label = "trial" + std::to_string(id);
+    r.status = id % 3 ? JobStatus::Ok : JobStatus::Failed;
+    r.error = id % 3 ? "" : "synthetic failure";
+    r.attempts = 1 + unsigned(id % 2);
+    r.wall_seconds = 0.25 * double(id + 1);
+    r.run.total_cycles = 1000 + id;
+    r.run.completed = r.ok();
+    r.has_verdict = true;
+    r.verdict = id % 2 ? FaultVerdict::Detected : FaultVerdict::Masked;
+    r.detection_latency = id % 2 ? 12.5 : -1;
+    return r;
+}
+
+std::vector<JobSpec>
+sampleCampaign(unsigned n)
+{
+    std::vector<JobSpec> jobs;
+    for (unsigned i = 0; i < n; ++i) {
+        JobSpec spec;
+        spec.id = i;
+        spec.label = "trial" + std::to_string(i);
+        spec.workloads = {"compress"};
+        spec.seed = 0xBEEF + i;
+        FaultRecord f;
+        f.kind = FaultRecord::Kind::TransientReg;
+        f.when = 100 + 10 * i;
+        f.reg = 1;
+        f.bit = i % 64;
+        spec.faults.push_back(f);
+        jobs.push_back(std::move(spec));
+    }
+    return jobs;
+}
+
+void
+expectSameReplayedResult(const JobResult &a, const JobResult &b)
+{
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_DOUBLE_EQ(a.wall_seconds, b.wall_seconds);
+    EXPECT_EQ(a.run.total_cycles, b.run.total_cycles);
+    EXPECT_EQ(a.has_verdict, b.has_verdict);
+    EXPECT_EQ(a.verdict, b.verdict);
+    EXPECT_DOUBLE_EQ(a.detection_latency, b.detection_latency);
+}
+
+} // namespace
+
+TEST(Journal, FreshWriteReplaysEveryRecord)
+{
+    TempFile tmp("journal_roundtrip.journal");
+    const std::uint64_t fp = 0x1234'5678'9ABC'DEF0ull;
+
+    {
+        JournalWriter::Options o;
+        o.sync_every = 2;       // exercise the batching path
+        JournalWriter w(tmp.path, fp, o);
+        for (std::uint64_t id = 0; id < 5; ++id)
+            w.append(sampleResult(id));
+        EXPECT_EQ(w.appended(), 5u);
+        w.close();
+    }
+
+    const JournalReplay replay = replayJournal(tmp.path, fp);
+    EXPECT_FALSE(replay.torn_tail);
+    EXPECT_FALSE(replay.corrupt);
+    EXPECT_TRUE(replay.note.empty());
+    ASSERT_EQ(replay.results.size(), 5u);
+    for (std::uint64_t id = 0; id < 5; ++id) {
+        const auto it = replay.results.find(id);
+        ASSERT_NE(it, replay.results.end()) << "id " << id;
+        expectSameReplayedResult(sampleResult(id), it->second);
+    }
+    EXPECT_EQ(replay.valid_bytes, slurp(tmp.path).size());
+}
+
+TEST(Journal, TornTailDegradesToValidPrefixAndResumeTruncates)
+{
+    TempFile tmp("journal_torn.journal");
+    const std::uint64_t fp = 42;
+
+    {
+        JournalWriter w(tmp.path, fp);
+        for (std::uint64_t id = 0; id < 3; ++id)
+            w.append(sampleResult(id));
+        w.close();
+    }
+    const std::string whole = slurp(tmp.path);
+    const std::uint64_t intact = replayJournal(tmp.path, fp).valid_bytes;
+    ASSERT_EQ(intact, whole.size());
+
+    // Cut the last frame mid-payload: the crash left a partial write.
+    spit(tmp.path, whole.substr(0, whole.size() - 7));
+
+    JournalReplay replay = replayJournal(tmp.path, fp);
+    EXPECT_TRUE(replay.torn_tail);
+    EXPECT_FALSE(replay.corrupt);
+    EXPECT_FALSE(replay.note.empty());
+    EXPECT_EQ(replay.results.size(), 2u);
+    EXPECT_LT(replay.valid_bytes, whole.size() - 7);
+
+    // Resume: the writer truncates the tear and appends the re-run
+    // trial; a second replay then sees all three, no tear.
+    {
+        JournalWriter w(tmp.path, replay);
+        w.append(sampleResult(2));
+        w.close();
+    }
+    const JournalReplay again = replayJournal(tmp.path, fp);
+    EXPECT_FALSE(again.torn_tail);
+    EXPECT_FALSE(again.corrupt);
+    EXPECT_EQ(again.results.size(), 3u);
+    EXPECT_EQ(slurp(tmp.path).size(), whole.size());
+}
+
+TEST(Journal, MidFileCorruptionDropsTheDamagedSuffix)
+{
+    TempFile tmp("journal_crc.journal");
+    const std::uint64_t fp = 7;
+
+    std::uint64_t one_frame_end = 0;
+    {
+        JournalWriter w(tmp.path, fp);
+        w.append(sampleResult(0));
+        w.close();
+        one_frame_end = replayJournal(tmp.path, fp).valid_bytes;
+    }
+    {
+        JournalWriter::Options o;
+        JournalWriter w(tmp.path, fp, o);   // fresh: truncates
+        for (std::uint64_t id = 0; id < 3; ++id)
+            w.append(sampleResult(id));
+        w.close();
+    }
+
+    // Flip one payload byte inside the *second* frame: its CRC check
+    // must reject it, and frames 2.. must not be trusted either.
+    std::string bytes = slurp(tmp.path);
+    ASSERT_LT(one_frame_end + 16, bytes.size());
+    bytes[one_frame_end + 12] ^= 0x40;      // past the frame header
+    spit(tmp.path, bytes);
+
+    const JournalReplay replay = replayJournal(tmp.path, fp);
+    EXPECT_TRUE(replay.corrupt);
+    EXPECT_FALSE(replay.note.empty());
+    EXPECT_EQ(replay.results.size(), 1u);
+    EXPECT_EQ(replay.valid_bytes, one_frame_end);
+}
+
+TEST(Journal, WrongCampaignOrGarbageHeaderThrows)
+{
+    TempFile tmp("journal_header.journal");
+
+    {
+        JournalWriter w(tmp.path, 1111);
+        w.append(sampleResult(0));
+        w.close();
+    }
+    // Same file, different campaign fingerprint: refuse to resume.
+    EXPECT_THROW(replayJournal(tmp.path, 2222), JournalError);
+
+    // Not a journal at all.
+    spit(tmp.path, "{\"id\":0,\"status\":\"ok\"}\n");
+    EXPECT_THROW(replayJournal(tmp.path, 1111), JournalError);
+
+    // Header cut short.
+    spit(tmp.path, std::string("RMTJRNL\0", 8));
+    EXPECT_THROW(replayJournal(tmp.path, 1111), JournalError);
+
+    // Missing file.
+    std::remove(tmp.path.c_str());
+    EXPECT_THROW(replayJournal(tmp.path, 1111), JournalError);
+}
+
+TEST(Journal, LaterFramesWinOnDuplicateIds)
+{
+    TempFile tmp("journal_dupes.journal");
+    const std::uint64_t fp = 3;
+
+    JobResult first = sampleResult(4);
+    first.error = "first attempt";
+    first.status = JobStatus::Failed;
+    JobResult second = sampleResult(4);
+    second.status = JobStatus::Ok;
+    second.error.clear();
+    {
+        JournalWriter w(tmp.path, fp);
+        w.append(first);
+        w.append(second);
+        w.close();
+    }
+    const JournalReplay replay = replayJournal(tmp.path, fp);
+    ASSERT_EQ(replay.results.size(), 1u);
+    expectSameReplayedResult(second, replay.results.at(4));
+}
+
+TEST(Journal, CampaignFingerprintSeparatesGrids)
+{
+    const auto jobs = sampleCampaign(4);
+    const std::uint64_t fp = campaignFingerprintU64(jobs);
+    EXPECT_EQ(fp, campaignFingerprintU64(sampleCampaign(4)));
+
+    auto seed = sampleCampaign(4);
+    seed[2].seed ^= 1;
+    EXPECT_NE(fp, campaignFingerprintU64(seed));
+
+    auto opts = sampleCampaign(4);
+    opts[0].options.measure_insts += 1;
+    EXPECT_NE(fp, campaignFingerprintU64(opts));
+
+    auto fault = sampleCampaign(4);
+    fault[3].faults[0].bit ^= 1;
+    EXPECT_NE(fp, campaignFingerprintU64(fault));
+
+    auto fewer = sampleCampaign(3);
+    EXPECT_NE(fp, campaignFingerprintU64(fewer));
+}

@@ -110,6 +110,39 @@ attr_args="--modes base,base2,srt,lockstep,crt --workloads gcc,compress
 ./build/tools/rmtsim_batch $attr_args --out build/attr.jsonl
 ./build/tools/rmtsim_report --attribution build/attr.jsonl
 
+echo "== resilience: kill mid-campaign, --resume, byte-identical =="
+# A deterministic crash (the hidden --test-crash-trial hook) kills the
+# whole batch process mid-campaign in --no-fork mode.  The write-ahead
+# journal must carry every pre-crash record, the resumed run must
+# produce a .jsonl byte-identical to an uninterrupted control, and the
+# journal must be gone after the clean finish.
+res_args="--modes base,srt --workloads gcc,compress --warmup 500
+          --insts 4000 --no-timing --quiet --no-fork"
+./build/tools/rmtsim_batch $res_args --out build/res_control.jsonl
+rc=0
+./build/tools/rmtsim_batch $res_args --journal-sync 1 \
+    --test-crash-trial 2 --out build/res_crash.jsonl || rc=$?
+[ "$rc" -ne 0 ]                         # the batch really died
+[ -f build/res_crash.jsonl.journal ]    # resumable state left behind
+./build/tools/rmtsim_batch $res_args --resume --out build/res_crash.jsonl
+diff build/res_control.jsonl build/res_crash.jsonl
+[ ! -f build/res_crash.jsonl.journal ]  # journal removed on completion
+
+echo "== resilience: crashing fault trial is quarantined (exit 3) =="
+# Under the fork() executor the same hook kills one child per attempt:
+# the trial must be retried, quarantined, and recorded — the campaign
+# finishes degraded (exit 3) with a structured failures record instead
+# of dying.
+rc=0
+./build/tools/rmtsim_batch --modes srt --workloads gcc --fault-trials 2 \
+    --warmup 500 --insts 4000 --no-timing --quiet --test-crash-trial 0 \
+    --out build/res_quarantine.jsonl || rc=$?
+[ "$rc" -eq 3 ]
+grep -q '"quarantined":true' build/res_quarantine.jsonl
+grep -q '"schema":"rmtsim-failures-v1"' build/res_quarantine.jsonl
+./build/tools/rmtsim_report --failures build/res_quarantine.jsonl
+[ ! -f build/res_quarantine.jsonl.journal ]
+
 echo "== avf: stratified fork()-executor campaign vs --no-fork =="
 # The fork()-per-trial executor must be verdict-identical to the
 # in-process path: same trials, same records, byte-for-byte, and the

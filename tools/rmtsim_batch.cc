@@ -15,6 +15,9 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,11 +27,17 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "avf/sampler.hh"
 #include "common/logging.hh"
 #include "runner/fork_executor.hh"
+#include "runner/journal.hh"
 #include "runner/runner.hh"
 #include "sim/metrics.hh"
 #include "workloads/workloads.hh"
@@ -37,6 +46,17 @@ using namespace rmt;
 
 namespace
 {
+
+/** SIGINT/SIGTERM drain flag: workers stop picking up new jobs, the
+ *  in-flight ones finish and are journaled, and main exits 4 with a
+ *  resumable journal on disk. */
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+handleStopSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
 
 void
 usage()
@@ -111,8 +131,27 @@ usage()
         "  --quiet           no stderr progress\n"
         "  --progress        force the stderr heartbeat (done/total, "
         "elapsed, ETA)\n"
-        "                    even under --stratify\n"
-        "  --list            print the expanded job grid and exit\n");
+        "                    even under --stratify or a non-tty "
+        "stderr\n"
+        "  --list            print the expanded job grid and exit\n"
+        "\n"
+        "resilience (see DESIGN.md):\n"
+        "  --resume          replay <out>.journal, skip every job whose "
+        "result is\n"
+        "                    already recorded, run the rest; the final "
+        ".jsonl is\n"
+        "                    byte-identical to an uninterrupted run\n"
+        "  --no-journal      disable the write-ahead result journal "
+        "(on by default\n"
+        "                    whenever --out is a file and --stratify "
+        "is off)\n"
+        "  --journal-sync N  fsync the journal every N records "
+        "(default 32)\n"
+        "\n"
+        "exit codes: 0 clean; 1 hard failure; 2 usage error; 3 "
+        "degraded (failed or\n"
+        "quarantined jobs recorded); 4 interrupted (journal kept — "
+        "rerun with --resume)\n");
 }
 
 std::vector<std::string>
@@ -155,6 +194,10 @@ main(int argc, char **argv)
     bool quiet = false;
     bool force_progress = false;
     bool stratify = false;
+    bool resume = false;
+    bool want_journal = true;
+    unsigned journal_sync = 32;
+    long long test_crash = -1;
     double ci_width = 0;
     double confidence = 0.95;
     unsigned windows = 2;
@@ -249,8 +292,21 @@ main(int argc, char **argv)
             } else if (arg == "--quiet") {
                 quiet = true;
                 sink_opts.progress = false;
-            } else if (arg == "--progress") {
+            } else if (arg == "--progress" || arg == "--progress=force") {
                 force_progress = true;
+            } else if (arg == "--resume") {
+                resume = true;
+            } else if (arg == "--no-journal") {
+                want_journal = false;
+            } else if (arg == "--journal-sync") {
+                journal_sync =
+                    static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--test-crash-trial") {
+                // Undocumented test hook: _Exit(9) right after the
+                // named job's post_run, before its record is written —
+                // a deterministic mid-campaign crash for the
+                // resilience gates (tools/check.sh).
+                test_crash = std::stoll(next());
             } else if (arg == "--list") {
                 list_only = true;
             } else {
@@ -334,6 +390,24 @@ main(int argc, char **argv)
         }
     }
 
+    if (test_crash >= 0) {
+        for (JobSpec &job : campaign.jobs) {
+            if (job.id != static_cast<std::uint64_t>(test_crash))
+                continue;
+            auto prev = std::move(job.post_run);
+            job.post_run = [prev](Simulation &sim, const RunResult &run,
+                                  JobResult &res) {
+                if (prev)
+                    prev(sim, run, res);
+                // Die after the work but before the record reaches the
+                // journal: under fork this kills one child (retry →
+                // quarantine), without fork it kills the whole batch
+                // (the --resume test vehicle).
+                std::_Exit(9);
+            };
+        }
+    }
+
     if (list_only) {
         for (const JobSpec &j : campaign.jobs)
             std::printf("%6llu  %s\n",
@@ -351,10 +425,50 @@ main(int argc, char **argv)
     }
     if (want_fsync && out_path != "-")
         sink_opts.fsync_path = out_path;
+#if defined(__unix__) || defined(__APPLE__)
+    // The heartbeat uses \r redraws; on a redirected stderr that turns
+    // into one unreadable megaline, so clamp it to interactive runs.
+    if (!::isatty(::fileno(stderr)))
+        sink_opts.progress = false;
+#endif
     if (stratify)
         sink_opts.progress = false;     // per-round reporting instead
     if (force_progress)
-        sink_opts.progress = true;      // --progress beats both overrides
+        sink_opts.progress = true;      // --progress beats every clamp
+
+    // Write-ahead result journal: on by default whenever the output is
+    // a real file.  --stratify draws its grid adaptively, so it has no
+    // stable job list to fingerprint or resume against.
+    const bool journal_enabled =
+        want_journal && out_path != "-" && !stratify;
+    const std::string journal_path = out_path + ".journal";
+    std::uint64_t campaign_fp = 0;
+    JournalReplay replay;
+    if (resume && !journal_enabled) {
+        std::fprintf(stderr,
+                     "rmtsim_batch: --resume needs the journal (a file "
+                     "--out, no --stratify, no --no-journal)\n");
+        return 2;
+    }
+    if (journal_enabled) {
+        campaign_fp = campaignFingerprintU64(campaign.jobs);
+        if (resume) {
+            // Replay before the output file is opened (and truncated):
+            // a journal that does not match this invocation must leave
+            // everything on disk untouched.
+            try {
+                replay = replayJournal(journal_path, campaign_fp);
+            } catch (const JournalError &e) {
+                std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
+                return 2;
+            }
+            if (!replay.note.empty()) {
+                warn("journal '%s': %s; the affected trials will "
+                     "re-run",
+                     journal_path.c_str(), replay.note.c_str());
+            }
+        }
+    }
 
     std::ofstream file;
     if (out_path != "-") {
@@ -367,8 +481,34 @@ main(int argc, char **argv)
     }
     std::ostream &out = out_path == "-" ? std::cout : file;
 
+    std::unique_ptr<JournalWriter> journal;
+    if (journal_enabled) {
+        JournalWriter::Options jopts;
+        jopts.sync_every = journal_sync;
+        try {
+            if (resume) {
+                journal = std::make_unique<JournalWriter>(
+                    journal_path, replay, jopts);
+            } else {
+                journal = std::make_unique<JournalWriter>(
+                    journal_path, campaign_fp, jopts);
+            }
+        } catch (const JournalError &e) {
+            std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
+            return 1;
+        }
+    }
+
     JsonlSink sink(out, sink_opts);
-    cfg.sink = &sink;
+    // Write-ahead order: every fresh record hits the journal before
+    // the ordered JSONL sink sees it.  With no journal the decorator
+    // is a pass-through.
+    JournalingSink jsink(journal.get(), &sink);
+    cfg.sink = &jsink;
+
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    cfg.stop = &g_stop;
 
     // The baseline cache is shared across workers (single-flight);
     // baselines use the campaign's budgets but the base machine.
@@ -387,6 +527,8 @@ main(int argc, char **argv)
 
     std::uint64_t total_jobs = 0;
     std::uint64_t failed = 0;
+    std::uint64_t quarantined = 0;
+    bool interrupted = false;
 
     if (stratify) {
         SamplerConfig scfg;
@@ -424,15 +566,21 @@ main(int argc, char **argv)
             fcfg.use_fork = use_fork;
             ForkExecutor exec(fcfg);
             for (;;) {
+                if (g_stop.load(std::memory_order_relaxed)) {
+                    interrupted = true;
+                    break;
+                }
                 const auto jobs = sampler.nextRound();
                 if (jobs.empty())
                     break;
                 const auto results = exec.run(jobs);
-                for (std::size_t i = 0; i < jobs.size(); ++i) {
+                // A drain mid-round returns only the finished prefix.
+                for (std::size_t i = 0; i < results.size(); ++i) {
                     sampler.record(jobs[i], results[i]);
                     failed += !results[i].ok();
+                    quarantined += results[i].quarantined;
                 }
-                total_jobs += jobs.size();
+                total_jobs += results.size();
                 if (!quiet) {
                     std::fprintf(
                         stderr,
@@ -444,6 +592,8 @@ main(int argc, char **argv)
                             exec.stats().forked));
                 }
             }
+            if (g_stop.load(std::memory_order_relaxed))
+                interrupted = true;
             sink.end();
             // The summary rides in the same .jsonl: one object with
             // per-stratum estimates, intervals and trial counts.
@@ -466,25 +616,106 @@ main(int argc, char **argv)
             std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
             return 2;
         }
-    } else if (fault_trials) {
-        // Fault campaigns dispatch through the fork executor: every
-        // trial is a COW child of a parent-warmed simulator (or an
-        // in-process executeJob with --no-fork — identical records).
-        sink.begin(campaign);
-        ForkExecutorConfig fcfg;
-        fcfg.runner = cfg;
-        fcfg.use_fork = use_fork;
-        ForkExecutor exec(fcfg);
-        const auto results = exec.run(campaign.jobs);
-        sink.end();
-        total_jobs = results.size();
-        for (const auto &r : results)
-            failed += !r.ok();
     } else {
-        const auto results = runCampaign(campaign, cfg);
-        total_jobs = results.size();
-        for (const auto &r : results)
-            failed += !r.ok();
+        // Plain and fault campaigns share one resumable flow: replay
+        // already-journaled results into the ordered sink, run only
+        // the remainder, and journal every fresh record write-ahead.
+        sink.begin(campaign);
+
+        std::vector<JobSpec> todo;
+        std::vector<std::pair<const JobSpec *, JobResult>> failures;
+        std::uint64_t replayed = 0;
+        for (const JobSpec &spec : campaign.jobs) {
+            const auto it = replay.results.find(spec.id);
+            if (it == replay.results.end()) {
+                todo.push_back(spec);
+                continue;
+            }
+            // Straight to the JSONL sink, not the journaling
+            // decorator: a replayed record must not be re-journaled.
+            sink.record(spec, it->second);
+            if (!it->second.ok())
+                failures.emplace_back(&spec, it->second);
+            ++replayed;
+        }
+        if (resume && !quiet) {
+            std::fprintf(
+                stderr, "resumed: %llu of %zu jobs replayed from %s\n",
+                static_cast<unsigned long long>(replayed),
+                campaign.jobs.size(), journal_path.c_str());
+        }
+
+        std::vector<JobResult> results;
+        if (fault_trials) {
+            // Fault campaigns dispatch through the fork executor:
+            // every trial is a COW child of a parent-warmed simulator
+            // (or an in-process executeJob with --no-fork — identical
+            // records).
+            ForkExecutorConfig fcfg;
+            fcfg.runner = cfg;
+            fcfg.use_fork = use_fork;
+            ForkExecutor exec(fcfg);
+            results = exec.run(todo);
+        } else {
+            results = runCampaignJobs(todo, cfg);
+        }
+        // Journal first (write-ahead order holds through the flush),
+        // then the ordered sink drains and fsyncs.
+        jsink.end();
+
+        std::uint64_t completed = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const JobResult &r = results[i];
+            if (r.attempts == 0 && !r.ok() && r.error.empty())
+                continue;       // skipped by the stop drain, never ran
+            ++completed;
+            if (!r.ok())
+                failures.emplace_back(&todo[i], r);
+        }
+        total_jobs = replayed + completed;
+        interrupted = g_stop.load(std::memory_order_relaxed) ||
+                      total_jobs < campaign.jobs.size();
+
+        failed = failures.size();
+        for (const auto &[spec, r] : failures)
+            quarantined += r.quarantined;
+
+        if (!interrupted && !failures.empty()) {
+            // Structured failure digest, same .jsonl-resident idiom as
+            // the stratified summary: what failed, why, and whether it
+            // was quarantined, without grepping a million ok records.
+            std::sort(failures.begin(), failures.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first->id < b.first->id;
+                      });
+            out << "{\"schema\":\"rmtsim-failures-v1\""
+                << ",\"failed\":" << failures.size()
+                << ",\"quarantined\":" << quarantined << ",\"jobs\":[";
+            for (std::size_t i = 0; i < failures.size(); ++i) {
+                const auto &[spec, r] = failures[i];
+                if (i)
+                    out << ",";
+                out << "{\"id\":" << spec->id << ",\"label\":\""
+                    << jsonEscape(spec->label) << "\",\"error\":\""
+                    << jsonEscape(r.error)
+                    << "\",\"attempts\":" << r.attempts
+                    << ",\"timed_out\":"
+                    << (r.timed_out ? "true" : "false")
+                    << ",\"quarantined\":"
+                    << (r.quarantined ? "true" : "false") << "}";
+            }
+            out << "]}\n";
+            out.flush();
+        }
+
+        if (journal) {
+            journal->close();
+            // A completed campaign (even a degraded one — its failures
+            // are recorded) leaves nothing to resume; only an
+            // interrupted run keeps its journal.
+            if (!interrupted)
+                std::remove(journal_path.c_str());
+        }
     }
 
     if (!quiet) {
@@ -495,10 +726,20 @@ main(int argc, char **argv)
         if (cfg.snapshots)
             note += " (" + std::to_string(snapshots.producerRuns()) +
                     " snapshot producers)";
-        std::fprintf(stderr, "%llu jobs, %llu failed%s\n",
+        std::fprintf(stderr, "%llu jobs, %llu failed (%llu "
+                     "quarantined)%s\n",
                      static_cast<unsigned long long>(total_jobs),
                      static_cast<unsigned long long>(failed),
+                     static_cast<unsigned long long>(quarantined),
                      note.c_str());
+        if (interrupted && journal_enabled) {
+            std::fprintf(stderr,
+                         "interrupted — journal kept at %s; rerun the "
+                         "same command with --resume\n",
+                         journal_path.c_str());
+        }
     }
-    return failed ? 1 : 0;
+    if (interrupted)
+        return 4;
+    return failed ? 3 : 0;
 }

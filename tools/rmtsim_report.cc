@@ -55,6 +55,12 @@ usage()
         "  --snapshots       snapshot-forking summary: hit rate, "
         "cycles\n"
         "                    saved, snapshot image sizes\n"
+        "  --failures        failure digest of a degraded campaign "
+        "(batch\n"
+        "                    exit 3): per-error tally and the failed "
+        "jobs\n"
+        "                    in id order, quarantined crashes "
+        "flagged\n"
         "  --attribution     commit-slot cycle accounting from "
         "--embed-stats\n"
         "                    records: per-mode slot mix and the "
@@ -76,6 +82,7 @@ main(int argc, char **argv)
     bool coverage = false;
     bool snapshots = false;
     bool attribution = false;
+    bool failures = false;
     double confidence = 0.95;
 
     for (int i = 1; i < argc; ++i) {
@@ -111,6 +118,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--snapshots") {
             snapshots = true;
+        } else if (arg == "--failures") {
+            failures = true;
         } else if (arg == "--attribution") {
             attribution = true;
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
@@ -160,6 +169,14 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (failures) {
+        const FailuresReport report = buildFailuresReport(records);
+        std::fputs(formatFailuresReport(report).c_str(), stdout);
+        if (coverage || snapshots || attribution)
+            std::fputs("\n", stdout);
+        else
+            return 0;
+    }
     if (snapshots) {
         const SnapshotReport report = buildSnapshotReport(records);
         std::fputs(formatSnapshotReport(report).c_str(), stdout);
