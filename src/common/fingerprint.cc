@@ -1,0 +1,36 @@
+#include "common/fingerprint.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rmt
+{
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t len, std::uint64_t h)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+fnv1a64Field(std::uint64_t &h, const std::string &s)
+{
+    h = fnv1a64(s.data(), s.size(), h);
+    const char sep = '\x1f';
+    h = fnv1a64(&sep, 1, h);
+}
+
+std::string
+fingerprintHex(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+} // namespace rmt

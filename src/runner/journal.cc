@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ckpt/serializer.hh"
+#include "common/fingerprint.hh"
 #include "runner/wire.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -75,53 +76,26 @@ journalHeader(std::uint64_t fingerprint)
     return out;
 }
 
-std::string
-hex64(std::uint64_t v)
-{
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
-    return buf;
-}
-
-void
-fnv1aAppend(std::uint64_t &h, const void *data, std::size_t len)
-{
-    const auto *p = static_cast<const std::uint8_t *>(data);
-    for (std::size_t i = 0; i < len; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ull;
-    }
-}
-
-void
-fnv1aAppend(std::uint64_t &h, const std::string &s)
-{
-    fnv1aAppend(h, s.data(), s.size());
-    // Field separator so "ab"+"c" and "a"+"bc" hash apart.
-    const char sep = '\x1f';
-    fnv1aAppend(h, &sep, 1);
-}
-
 } // namespace
 
 std::uint64_t
 campaignFingerprintU64(const std::vector<JobSpec> &jobs)
 {
-    std::uint64_t h = 0xcbf29ce484222325ull;
+    std::uint64_t h = fnv1a64Seed;
     for (const JobSpec &job : jobs) {
-        fnv1aAppend(h, std::to_string(job.id));
-        fnv1aAppend(h, std::to_string(job.seed));
-        fnv1aAppend(h, job.label);
+        fnv1a64Field(h, std::to_string(job.id));
+        fnv1a64Field(h, std::to_string(job.seed));
+        fnv1a64Field(h, job.label);
         for (const std::string &w : job.workloads)
-            fnv1aAppend(h, w);
-        fnv1aAppend(h, optionsCanonicalJson(job.options));
+            fnv1a64Field(h, w);
+        fnv1a64Field(h, optionsCanonicalJson(job.options));
         for (const FaultRecord &f : job.faults) {
             std::ostringstream os;
             os << faultKindName(f.kind) << ',' << f.when << ','
                << unsigned(f.core) << ',' << unsigned(f.tid) << ','
                << unsigned(f.reg) << ',' << f.bit << ',' << f.fuIndex
                << ',' << f.mask << ',' << unsigned(f.pairLogical);
-            fnv1aAppend(h, os.str());
+            fnv1a64Field(h, os.str());
         }
     }
     return h;
@@ -153,8 +127,9 @@ replayJournal(const std::string &path, std::uint64_t expect_fingerprint)
     const std::uint64_t fp = readLe64(data, sizeof(kJournalMagic) + 4);
     if (fp != expect_fingerprint)
         throw JournalError(
-            "journal: '" + path + "' belongs to campaign " + hex64(fp) +
-            ", not " + hex64(expect_fingerprint) +
+            "journal: '" + path + "' belongs to campaign " +
+            fingerprintHex(fp) + ", not " +
+            fingerprintHex(expect_fingerprint) +
             " (different grid arguments; delete it to start over)");
 
     JournalReplay replay;

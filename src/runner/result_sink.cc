@@ -9,6 +9,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/fingerprint.hh"
 #include "runner/campaign.hh"
 
 namespace rmt
@@ -23,14 +24,6 @@ std::string
 num(double v)
 {
     return jsonNum(v);
-}
-
-std::string
-fingerprintHex(std::uint64_t h)
-{
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
-    return buf;
 }
 
 /**

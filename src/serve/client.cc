@@ -1,0 +1,129 @@
+#include "serve/client.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <ostream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace rmt
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Close-on-scope-exit descriptor guard. */
+struct Fd
+{
+    int fd;
+    explicit Fd(int fd) : fd(fd) {}
+    ~Fd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+int
+connectOrThrow(const std::string &socket_path)
+{
+    std::string error;
+    const int fd = connectUnix(socket_path, error);
+    if (fd < 0)
+        throw std::runtime_error(error);
+    return fd;
+}
+
+/** Parse a control body; throws on malformed JSON or a daemon error. */
+JsonValue
+parseControl(const std::string &body)
+{
+    JsonValue msg;
+    std::string error;
+    if (!parseJson(body, msg, error))
+        throw std::runtime_error("serve: daemon sent bad JSON: " +
+                                 error);
+    if (msg.strOr("type", "") == "error")
+        throw std::runtime_error("rmtsimd: " +
+                                 msg.strOr("message", "unknown error"));
+    return msg;
+}
+
+} // namespace
+
+RemoteCampaignResult
+runRemoteCampaign(const std::string &socket_path,
+                  const Campaign &campaign, bool include_timing,
+                  std::ostream &out)
+{
+    Fd sock(connectOrThrow(socket_path));
+    if (!sendFrame(sock.fd, tagControl,
+                   submitJson(campaign, include_timing)))
+        throw std::runtime_error("serve: submit write failed");
+
+    FrameReader reader(sock.fd);
+    std::string payload;
+    bool accepted = false;
+    while (reader.next(payload)) {
+        if (payload.empty())
+            throw std::runtime_error("serve: empty frame");
+        if (payload[0] == tagRow) {
+            out.write(payload.data() + 1,
+                      static_cast<std::streamsize>(payload.size() - 1));
+            out << "\n";
+            continue;
+        }
+        const JsonValue msg = parseControl(payload.substr(1));
+        const std::string type = msg.strOr("type", "");
+        if (type == "accepted") {
+            accepted = true;
+        } else if (type == "done") {
+            out.flush();
+            RemoteCampaignResult r;
+            r.rows = static_cast<std::uint64_t>(msg.numberOr("rows", 0));
+            r.hits = static_cast<std::uint64_t>(msg.numberOr("hits", 0));
+            r.misses =
+                static_cast<std::uint64_t>(msg.numberOr("misses", 0));
+            r.failed =
+                static_cast<std::uint64_t>(msg.numberOr("failed", 0));
+            const JsonValue *d = msg.find("draining");
+            r.draining = d && d->isBool() && d->boolean();
+            return r;
+        } else {
+            throw std::runtime_error("serve: unexpected control '" +
+                                     type + "'");
+        }
+    }
+    throw std::runtime_error(
+        accepted ? "serve: daemon hung up mid-campaign"
+                 : "serve: daemon hung up before accepting");
+}
+
+std::string
+controlRequest(const std::string &socket_path,
+               const std::string &request_json)
+{
+    Fd sock(connectOrThrow(socket_path));
+    if (!sendFrame(sock.fd, tagControl, request_json))
+        throw std::runtime_error("serve: control write failed");
+    FrameReader reader(sock.fd);
+    std::string payload;
+    if (!reader.next(payload))
+        throw std::runtime_error("serve: daemon hung up without "
+                                 "replying");
+    if (payload.empty() || payload[0] != tagControl)
+        throw std::runtime_error("serve: expected a control reply");
+    const std::string body = payload.substr(1);
+    parseControl(body);     // throws on an error reply
+    return body;
+}
+
+} // namespace serve
+} // namespace rmt
+
+#endif // POSIX

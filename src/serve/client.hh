@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Client half of the serve protocol: what `rmtsim_batch --server` and
+ * the rmtsimd control verbs use to talk to a running daemon.
+ */
+
+#ifndef RMTSIM_SERVE_CLIENT_HH
+#define RMTSIM_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "runner/campaign.hh"
+
+namespace rmt
+{
+namespace serve
+{
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/** What the daemon's final "done" control message reported. */
+struct RemoteCampaignResult
+{
+    std::uint64_t rows = 0;     ///< JSONL rows streamed back
+    std::uint64_t hits = 0;     ///< jobs served from the result store
+    std::uint64_t misses = 0;   ///< jobs the daemon had to simulate
+    std::uint64_t failed = 0;   ///< rows with status "failed"
+    bool draining = false;      ///< daemon was shutting down mid-run
+};
+
+/**
+ * Submit @p campaign to the daemon at @p socket_path and write each
+ * returned row to @p out in order, exactly as a local JsonlSink would.
+ * Throws std::runtime_error on connect failures, protocol violations,
+ * a daemon-side error message, or a connection cut before "done".
+ */
+RemoteCampaignResult runRemoteCampaign(const std::string &socket_path,
+                                       const Campaign &campaign,
+                                       bool include_timing,
+                                       std::ostream &out);
+
+/**
+ * Send one control message (status/flush/stop/cancel JSON) and return
+ * the daemon's JSON reply body.  Throws std::runtime_error on connect
+ * or protocol failure.
+ */
+std::string controlRequest(const std::string &socket_path,
+                           const std::string &request_json);
+
+#endif // POSIX
+
+} // namespace serve
+} // namespace rmt
+
+#endif // RMTSIM_SERVE_CLIENT_HH

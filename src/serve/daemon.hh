@@ -1,0 +1,125 @@
+/**
+ * @file
+ * rmtsimd: the campaign daemon.  One process owns a content-addressed
+ * ResultStore and a work-stealing ThreadPool; clients connect over a
+ * Unix-domain socket, submit campaigns (serve/protocol.hh), and get
+ * their JSONL rows streamed back in job order as they complete.
+ *
+ * Execution model:
+ *
+ *  - one accept loop (poll + 200 ms tick so the SIGTERM drain flag is
+ *    observed promptly), one detached-join thread per connection;
+ *  - a submit runs a *partition pass* on its connection thread: every
+ *    job is tryClaim()ed against the store — hits are served
+ *    immediately, owned jobs go to the shared pool, in-flight jobs
+ *    (another client is computing the same content key right now) are
+ *    await()ed.  Claims never block pool workers, so the shared pool
+ *    cannot deadlock on cross-campaign dependencies;
+ *  - rows are emitted strictly in job order while the pool completes
+ *    jobs out of order ahead of the cursor — the stream a client sees
+ *    is byte-identical to a local `rmtsim_batch --jsonl` run of the
+ *    same campaign (modulo timing fields, which the client may disable);
+ *  - a client hangup mid-stream cancels its campaign: unstarted jobs
+ *    are abandoned (waiters re-claim them), finished ones are already
+ *    in the store, so a resubmission resumes from row 0 at store speed.
+ *
+ * Drain (SIGTERM / the stop verb) stops the accept loop, flags every
+ * live campaign to start no new jobs, lets in-flight simulations
+ * finish and publish, flushes the store, and exits — mirroring the
+ * PR-9 campaign drain semantics.
+ */
+
+#ifndef RMTSIM_SERVE_DAEMON_HH
+#define RMTSIM_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "runner/thread_pool.hh"
+#include "serve/result_store.hh"
+
+namespace rmt
+{
+namespace serve
+{
+
+struct DaemonConfig
+{
+    std::string socket_path;        ///< Unix socket to serve on
+    std::string store_dir;          ///< ResultStore directory
+    unsigned jobs = 0;              ///< pool workers (0 = all cores)
+    unsigned max_attempts = 2;      ///< per-job retry budget
+    double timeout_seconds = 0;     ///< per-job wall guard (0 = off)
+    std::uint64_t max_insts = 0;    ///< clamp warmup+measure (0 = off)
+    unsigned store_sync_every = 16; ///< fsync cadence (1 = every row)
+};
+
+#if defined(__unix__) || defined(__APPLE__)
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Open the store and bind the socket.  Throws StoreError /
+     * std::runtime_error when either is unusable (socket already
+     * served, unwritable store directory, version mismatch).
+     */
+    void open();
+
+    /** Accept/serve until requestStop(); returns after the drain. */
+    void run();
+
+    /**
+     * Begin the drain.  Async-signal-safe (one relaxed atomic store),
+     * so it may be called directly from a SIGTERM/SIGINT handler.
+     */
+    void requestStop() { stopping.store(true); }
+
+    const ResultStore &store() const { return results; }
+
+  private:
+    /** Per-campaign bookkeeping registered while a submit is live. */
+    struct LiveCampaign
+    {
+        std::uint64_t fingerprint = 0;
+        std::atomic<bool> cancel{false};
+    };
+
+    void serveClient(int fd);
+    void handleSubmit(int fd, const JsonValue &msg);
+    void handleControl(int fd, const std::string &body);
+    std::string statusJson();
+    void cancelCampaigns(const std::string &fp_hex);
+
+    DaemonConfig cfg;
+    ResultStore results;
+    std::unique_ptr<ThreadPool> pool;
+    int listen_fd = -1;
+    std::atomic<bool> stopping{false};
+
+    std::mutex reg_mu;
+    std::vector<std::shared_ptr<LiveCampaign>> live;  ///< active submits
+    std::uint64_t campaigns_done = 0;
+
+    std::mutex conn_mu;
+    std::vector<std::thread> connections;
+};
+
+#endif // POSIX
+
+} // namespace serve
+} // namespace rmt
+
+#endif // RMTSIM_SERVE_DAEMON_HH

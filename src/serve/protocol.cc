@@ -1,0 +1,379 @@
+#include "serve/protocol.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "avf/stratum.hh"
+#include "rmt/fault_injector.hh"
+#include "sim/simulator.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace rmt
+{
+namespace serve
+{
+
+std::string
+jobJson(const JobSpec &spec)
+{
+    std::ostringstream os;
+    // 64-bit fields that can exceed 2^53 (per-trial seeds are full
+    // 64-bit hashes) travel as strings: a JSON number goes through a
+    // double on the far side and would silently round.
+    os << "{\"id\":" << spec.id
+       << ",\"label\":\"" << jsonEscape(spec.label) << "\""
+       << ",\"seed\":\"" << spec.seed << "\""
+       << ",\"workloads\":[";
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(spec.workloads[i]) << "\"";
+    }
+    os << "],\"options\":" << optionsCanonicalJson(spec.options)
+       << ",\"stats\":" << (spec.options.collect_stats_json ? 1 : 0);
+    if (!spec.faults.empty()) {
+        os << ",\"faults\":[";
+        for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+            const FaultRecord &f = spec.faults[i];
+            if (i)
+                os << ",";
+            os << "{\"kind\":\"" << faultKindName(f.kind) << "\""
+               << ",\"when\":\"" << f.when << "\""
+               << ",\"core\":" << unsigned(f.core)
+               << ",\"tid\":" << unsigned(f.tid)
+               << ",\"reg\":" << unsigned(f.reg)
+               << ",\"bit\":" << f.bit
+               << ",\"fu\":" << f.fuIndex
+               << ",\"mask\":\"" << f.mask << "\""
+               << ",\"pair\":" << unsigned(f.pairLogical) << "}";
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+submitJson(const Campaign &campaign, bool include_timing)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"submit\""
+       << ",\"name\":\"" << jsonEscape(campaign.name) << "\""
+       << ",\"seed\":\"" << campaign.seed << "\""
+       << ",\"timing\":" << (include_timing ? "true" : "false")
+       << ",\"jobs\":[";
+    for (std::size_t i = 0; i < campaign.jobs.size(); ++i) {
+        if (i)
+            os << ",";
+        os << jobJson(campaign.jobs[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+namespace
+{
+
+std::uint64_t
+u64Member(const JsonValue &obj, const char *key)
+{
+    // Full-width u64 fields arrive as strings (see jobJson); small
+    // ones as numbers.  Accept both everywhere.
+    const JsonValue *v = obj.find(key);
+    if (v && v->isString()) {
+        try {
+            return std::stoull(v->str());
+        } catch (const std::exception &) {
+            throw std::invalid_argument(
+                std::string("serve: member '") + key +
+                "' is not a u64: '" + v->str() + "'");
+        }
+    }
+    if (!v || !v->isNumber())
+        throw std::invalid_argument(
+            std::string("serve: missing numeric member '") + key + "'");
+    return static_cast<std::uint64_t>(v->number());
+}
+
+bool
+boolMember(const JsonValue &obj, const char *key)
+{
+    return u64Member(obj, key) != 0;
+}
+
+std::string
+strMember(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || !v->isString())
+        throw std::invalid_argument(
+            std::string("serve: missing string member '") + key + "'");
+    return v->str();
+}
+
+TrailingFetchMode
+parseFrontend(const std::string &name)
+{
+    if (name == "lpq")
+        return TrailingFetchMode::LinePredictionQueue;
+    if (name == "boq")
+        return TrailingFetchMode::BranchOutcomeQueue;
+    if (name == "sharedlp")
+        return TrailingFetchMode::SharedLinePredictor;
+    throw std::invalid_argument("serve: unknown frontend '" + name +
+                                "'");
+}
+
+} // namespace
+
+SimOptions
+parseCanonicalOptions(const JsonValue &obj)
+{
+    if (!obj.isObject())
+        throw std::invalid_argument("serve: options is not an object");
+    SimOptions o;
+    o.mode = parseMode(strMember(obj, "mode"));
+    o.warmup_insts = u64Member(obj, "warmup_insts");
+    o.measure_insts = u64Member(obj, "measure_insts");
+    o.checker_penalty =
+        static_cast<unsigned>(u64Member(obj, "checker_penalty"));
+    o.per_thread_store_queues = boolMember(obj, "ptsq");
+    o.store_comparison = boolMember(obj, "store_comparison");
+    o.preferential_space_redundancy = boolMember(obj, "psr");
+    o.trailing_fetch = parseFrontend(strMember(obj, "frontend"));
+    o.slack_fetch = static_cast<unsigned>(u64Member(obj, "slack"));
+    o.lvq_ecc = boolMember(obj, "lvq_ecc");
+    o.lpq_ecc = boolMember(obj, "lpq_ecc");
+    o.boq_ecc = boolMember(obj, "boq_ecc");
+    o.merge_buffer_ecc = boolMember(obj, "merge_ecc");
+    o.hang_cycles = u64Member(obj, "hang");
+    o.cpu.store_queue_entries =
+        static_cast<unsigned>(u64Member(obj, "storeq"));
+    o.cpu.lvq_entries = static_cast<unsigned>(u64Member(obj, "lvq"));
+    o.cpu.lpq_entries = static_cast<unsigned>(u64Member(obj, "lpq"));
+    o.cpu.rob_entries = static_cast<unsigned>(u64Member(obj, "rob"));
+    o.cpu.iq_entries = static_cast<unsigned>(u64Member(obj, "iq"));
+    o.recovery = boolMember(obj, "recovery");
+    o.snapshot_every = u64Member(obj, "snapshot_every");
+    return o;
+}
+
+Campaign
+parseSubmit(const JsonValue &msg, bool &include_timing)
+{
+    Campaign campaign;
+    campaign.name = msg.strOr("name", "campaign");
+    campaign.seed = u64Member(msg, "seed");
+    const JsonValue *timing = msg.find("timing");
+    include_timing = !timing || !timing->isBool() || timing->boolean();
+
+    const JsonValue *jobs = msg.find("jobs");
+    if (!jobs || !jobs->isArray())
+        throw std::invalid_argument("serve: submit has no jobs array");
+
+    for (const JsonValue &j : jobs->array()) {
+        JobSpec spec;
+        spec.id = u64Member(j, "id");
+        spec.label = j.strOr("label", "");
+        spec.seed = u64Member(j, "seed");
+        const JsonValue *wl = j.find("workloads");
+        if (!wl || !wl->isArray() || wl->array().empty())
+            throw std::invalid_argument("serve: job " +
+                                        std::to_string(spec.id) +
+                                        " has no workloads");
+        for (const JsonValue &w : wl->array()) {
+            if (!w.isString())
+                throw std::invalid_argument("serve: non-string "
+                                            "workload name");
+            spec.workloads.push_back(w.str());
+        }
+        const JsonValue *opts = j.find("options");
+        if (!opts)
+            throw std::invalid_argument("serve: job " +
+                                        std::to_string(spec.id) +
+                                        " has no options");
+        spec.options = parseCanonicalOptions(*opts);
+        spec.options.collect_stats_json =
+            j.numberOr("stats", 0) != 0;
+
+        // Round-trip check: re-canonicalising the parsed options must
+        // reproduce the sent pre-image byte-for-byte.  A mismatch
+        // means this daemon would simulate something other than what
+        // the client asked for — reject loudly.
+        {
+            std::ostringstream sent;
+            bool first = true;
+            sent << "{";
+            for (const auto &[key, value] : opts->members()) {
+                if (!first)
+                    sent << ",";
+                first = false;
+                sent << "\"" << key << "\":";
+                if (value.isString())
+                    sent << "\"" << jsonEscape(value.str()) << "\"";
+                else
+                    sent << jsonNum(value.number());
+            }
+            sent << "}";
+            const std::string canon =
+                optionsCanonicalJson(spec.options);
+            if (sent.str() != canon)
+                throw std::invalid_argument(
+                    "serve: job " + std::to_string(spec.id) +
+                    " options do not round-trip (client/daemon "
+                    "option-schema drift): got " + sent.str() +
+                    ", canonical " + canon);
+        }
+
+        if (const JsonValue *faults = j.find("faults")) {
+            if (!faults->isArray())
+                throw std::invalid_argument("serve: faults is not an "
+                                            "array");
+            for (const JsonValue &fv : faults->array()) {
+                FaultRecord f{};
+                f.kind = parseFaultKind(strMember(fv, "kind"));
+                f.when = u64Member(fv, "when");
+                f.core = static_cast<CoreId>(u64Member(fv, "core"));
+                f.tid = static_cast<ThreadId>(u64Member(fv, "tid"));
+                f.reg = static_cast<RegIndex>(u64Member(fv, "reg"));
+                f.bit = static_cast<unsigned>(u64Member(fv, "bit"));
+                f.fuIndex = static_cast<unsigned>(u64Member(fv, "fu"));
+                f.mask = u64Member(fv, "mask");
+                f.pairLogical =
+                    static_cast<LogicalId>(u64Member(fv, "pair"));
+                spec.faults.push_back(f);
+            }
+        }
+        campaign.jobs.push_back(std::move(spec));
+    }
+    return campaign;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+bool
+sendFrame(int fd, char tag, const std::string &body)
+{
+    std::string payload;
+    payload.reserve(1 + body.size());
+    payload.push_back(tag);
+    payload += body;
+    const std::string framed = wire::frame(payload);
+    return wire::writeAll(fd, framed.data(), framed.size());
+}
+
+bool
+FrameReader::next(std::string &payload)
+{
+    for (;;) {
+        if (dec.next(payload))
+            return true;
+        char buf[4096];
+        const long n = wire::readSome(fd, buf, sizeof(buf));
+        if (n < 0)
+            throw wire::WireError(std::string("serve: read failed: ") +
+                                  std::strerror(errno));
+        if (n == 0) {
+            if (dec.truncated())
+                throw wire::WireError("serve: connection closed "
+                                      "mid-frame");
+            return false;
+        }
+        dec.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+namespace
+{
+
+bool
+fillSockaddr(const std::string &path, sockaddr_un &addr,
+             std::string &error)
+{
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path '" + path + "' is too long (max " +
+                std::to_string(sizeof(addr.sun_path) - 1) + " bytes)";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, error))
+        return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "cannot connect to '" + path + "': " +
+                std::strerror(errno) + " (is rmtsimd running?)";
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, error))
+        return -1;
+
+    // A leftover socket file from a killed daemon would make bind()
+    // fail forever; probe it and only reclaim the path when nothing
+    // answers.
+    {
+        std::string probe_error;
+        const int probe = connectUnix(path, probe_error);
+        if (probe >= 0) {
+            ::close(probe);
+            error = "'" + path + "' is already being served";
+            return -1;
+        }
+        ::unlink(path.c_str());
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = "cannot bind '" + path + "': " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        error = "cannot listen on '" + path + "': " +
+                std::strerror(errno);
+        ::close(fd);
+        ::unlink(path.c_str());
+        return -1;
+    }
+    return fd;
+}
+
+#endif // POSIX
+
+} // namespace serve
+} // namespace rmt

@@ -1,0 +1,395 @@
+#include "serve/result_store.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/serializer.hh"
+#include "common/fingerprint.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "runner/wire.hh"
+#include "sim/simulator.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RMT_STORE_POSIX 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace rmt
+{
+
+namespace
+{
+
+constexpr char kStoreMagic[8] = {'R', 'M', 'T', 'R', 'E', 'S', '\0', '\0'};
+
+/** Frame magic "RMTS", little-endian. */
+constexpr std::uint32_t kFrameMagic = 0x53544D52u;
+
+constexpr std::size_t kHeaderBytes = sizeof(kStoreMagic) + 4;
+
+void
+appendLe32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+appendLe64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t
+readLe32(const std::string &buf, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(buf[at + i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readLe64(const std::string &buf, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(buf[at + i]))
+             << (8 * i);
+    return v;
+}
+
+/** Frame payload: u8 mode length | mode | wire-encoded JobResult. */
+std::string
+encodePayload(const std::string &mode, const JobResult &result)
+{
+    std::string payload;
+    payload.push_back(static_cast<char>(mode.size() & 0xff));
+    payload.append(mode.data(), std::min<std::size_t>(mode.size(), 255));
+    payload += wire::encodeJobResult(result);
+    return payload;
+}
+
+bool
+decodePayload(const std::string &payload, std::string &mode,
+              JobResult &result)
+{
+    if (payload.empty())
+        return false;
+    const std::size_t mode_len =
+        static_cast<std::uint8_t>(payload[0]);
+    if (payload.size() < 1 + mode_len)
+        return false;
+    mode = payload.substr(1, mode_len);
+    try {
+        result = wire::decodeJobResult(payload.substr(1 + mode_len));
+    } catch (const wire::WireError &) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+resultKeyU64(const JobSpec &spec)
+{
+    std::uint64_t h = fnv1a64Seed;
+    fnv1a64Field(h, optionsCanonicalJson(spec.options));
+    // collect_stats_json changes the record payload (the embedded
+    // stats tree) but not the canonical timing pre-image; key it
+    // separately so stats and no-stats rows never alias.
+    fnv1a64Field(h, spec.options.collect_stats_json ? "stats" : "");
+    for (const std::string &w : spec.workloads)
+        fnv1a64Field(h, w);
+    fnv1a64Field(h, std::to_string(spec.seed));
+    for (const FaultRecord &f : spec.faults) {
+        std::ostringstream os;
+        os << faultKindName(f.kind) << ',' << f.when << ','
+           << unsigned(f.core) << ',' << unsigned(f.tid) << ','
+           << unsigned(f.reg) << ',' << f.bit << ',' << f.fuIndex << ','
+           << f.mask << ',' << unsigned(f.pairLogical);
+        fnv1a64Field(h, os.str());
+    }
+    return h;
+}
+
+ResultStore::~ResultStore()
+{
+    try {
+        flush();
+    } catch (...) {
+        // best-effort at teardown
+    }
+#ifdef RMT_STORE_POSIX
+    if (fd >= 0)
+        ::close(fd);
+#endif
+}
+
+void
+ResultStore::open(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    path = dir + "/store.rmtrs";
+
+    // Load whatever valid prefix exists; remember where it ends so the
+    // writer can truncate a torn/corrupt tail before appending.
+    std::string data;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            data = ss.str();
+        }
+    }
+
+    std::uint64_t valid_bytes = 0;
+    if (!data.empty()) {
+        if (data.size() < kHeaderBytes ||
+            data.compare(0, sizeof(kStoreMagic), kStoreMagic,
+                         sizeof(kStoreMagic)) != 0)
+            throw StoreError("result store: '" + path +
+                             "' is not a result store (bad magic)");
+        const std::uint32_t version =
+            readLe32(data, sizeof(kStoreMagic));
+        if (version != resultStoreVersion)
+            throw StoreError(
+                "result store: '" + path + "' has format version " +
+                std::to_string(version) + " (this build reads " +
+                std::to_string(resultStoreVersion) + ")");
+        valid_bytes = kHeaderBytes;
+
+        std::size_t at = kHeaderBytes;
+        while (at < data.size()) {
+            // frame: magic(4) len(4) key(8) payload(len) crc(4)
+            if (data.size() - at < 16)
+                break;                          // torn header
+            const std::uint32_t magic = readLe32(data, at);
+            const std::uint32_t len = readLe32(data, at + 4);
+            if (magic != kFrameMagic || len > wire::maxPayloadBytes) {
+                warn("result store '%s': bad frame header at offset "
+                     "%zu; keeping the %llu rows before it",
+                     path.c_str(), at,
+                     static_cast<unsigned long long>(counters.disk_rows));
+                break;
+            }
+            if (data.size() - at - 16 < std::size_t{len} + 4)
+                break;                          // torn payload/crc
+            const std::uint64_t key = readLe64(data, at + 8);
+            const std::uint32_t stored_crc =
+                readLe32(data, at + 16 + len);
+            if (stored_crc != crc32(data.data() + at + 16, len)) {
+                warn("result store '%s': frame at offset %zu failed "
+                     "its CRC; keeping the rows before it",
+                     path.c_str(), at);
+                break;
+            }
+            std::string mode;
+            JobResult result;
+            if (!decodePayload(data.substr(at + 16, len), mode,
+                               result)) {
+                warn("result store '%s': frame at offset %zu does not "
+                     "decode; keeping the rows before it",
+                     path.c_str(), at);
+                break;
+            }
+            Entry &e = entries[key];
+            if (!e.ready) {
+                e.ready = true;
+                e.result = std::move(result);
+                e.mode = mode;
+                ++counters.rows;
+                ++counters.disk_rows;
+                ++counters.mode_rows[mode];
+            }
+            at += 20 + std::size_t{len};
+            valid_bytes = at;
+            counters.stored_bytes = at;
+        }
+    }
+
+#ifdef RMT_STORE_POSIX
+    const bool fresh = data.empty();
+    fd = ::open(path.c_str(),
+                fresh ? (O_WRONLY | O_CREAT | O_TRUNC) : O_WRONLY,
+                0644);
+    if (fd < 0)
+        throw StoreError("result store: cannot open '" + path +
+                         "' for writing");
+    if (fresh) {
+        std::string header(kStoreMagic, sizeof(kStoreMagic));
+        appendLe32(header, resultStoreVersion);
+        if (!wire::writeAll(fd, header.data(), header.size())) {
+            ::close(fd);
+            fd = -1;
+            throw StoreError("result store: cannot write the header "
+                             "of '" + path + "'");
+        }
+        counters.stored_bytes = header.size();
+    } else {
+        if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+            ::lseek(fd, 0, SEEK_END) < 0) {
+            ::close(fd);
+            fd = -1;
+            throw StoreError("result store: cannot truncate '" + path +
+                             "' to its valid prefix");
+        }
+    }
+#else
+    if (data.empty()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        std::string header(kStoreMagic, sizeof(kStoreMagic));
+        appendLe32(header, resultStoreVersion);
+        out.write(header.data(),
+                  static_cast<std::streamsize>(header.size()));
+        counters.stored_bytes = header.size();
+    }
+    fd = 0;     // sentinel: appends go through ofstream::app
+#endif
+}
+
+ResultStore::Claim
+ResultStore::tryClaim(std::uint64_t key, JobResult &out)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = entries.try_emplace(key);
+    if (inserted) {
+        ++counters.misses;
+        return Claim::Owner;
+    }
+    if (!it->second.ready)
+        return Claim::InFlight;
+    ++counters.hits;
+    out = it->second.result;
+    return Claim::Hit;
+}
+
+bool
+ResultStore::await(std::uint64_t key, JobResult &out)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    ++counters.inflight_waits;
+    for (;;) {
+        const auto it = entries.find(key);
+        if (it == entries.end())
+            return false;       // owner abandoned; caller re-claims
+        if (it->second.ready) {
+            out = it->second.result;
+            return true;
+        }
+        cv.wait(lock);
+    }
+}
+
+void
+ResultStore::publish(std::uint64_t key, const std::string &mode,
+                     const JobResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    Entry &e = entries[key];
+    e.ready = true;
+    e.result = result;
+    e.mode = mode;
+    ++counters.rows;
+    ++counters.mode_rows[mode];
+    // Only completed work is worth persisting: a failure must unblock
+    // waiters (it already has) but never poison a future daemon run.
+    if (fd >= 0 && result.ok())
+        appendFrame(key, mode, result);
+    cv.notify_all();
+}
+
+void
+ResultStore::abandon(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = entries.find(key);
+    if (it != entries.end() && !it->second.ready)
+        entries.erase(it);
+    cv.notify_all();
+}
+
+void
+ResultStore::appendFrame(std::uint64_t key, const std::string &mode,
+                         const JobResult &result)
+{
+    const std::string payload = encodePayload(mode, result);
+    appendLe32(buffer, kFrameMagic);
+    appendLe32(buffer, static_cast<std::uint32_t>(payload.size()));
+    appendLe64(buffer, key);
+    buffer += payload;
+    appendLe32(buffer, crc32(payload.data(), payload.size()));
+    counters.stored_bytes += 20 + payload.size();
+    if (++unsynced >= sync_every)
+        syncLocked();
+}
+
+void
+ResultStore::syncLocked()
+{
+    if (!buffer.empty()) {
+#ifdef RMT_STORE_POSIX
+        if (!wire::writeAll(fd, buffer.data(), buffer.size()))
+            throw StoreError("result store: write to '" + path +
+                             "' failed");
+        ::fsync(fd);
+#else
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out.write(buffer.data(),
+                  static_cast<std::streamsize>(buffer.size()));
+#endif
+        buffer.clear();
+    }
+    unsynced = 0;
+}
+
+void
+ResultStore::flush()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (fd >= 0)
+        syncLocked();
+}
+
+ResultStoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+std::string
+ResultStore::statsJson() const
+{
+    const ResultStoreStats s = stats();
+    std::ostringstream os;
+    os << "{\"rows\":" << s.rows
+       << ",\"disk_rows\":" << s.disk_rows
+       << ",\"stored_bytes\":" << s.stored_bytes
+       << ",\"hits\":" << s.hits
+       << ",\"misses\":" << s.misses
+       << ",\"inflight_waits\":" << s.inflight_waits
+       << ",\"modes\":{";
+    bool first = true;
+    for (const auto &[mode, rows] : s.mode_rows) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << jsonEscape(mode) << "\":" << rows;
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace rmt

@@ -1,12 +1,11 @@
 #include "sim/metrics.hh"
 
-#include <cinttypes>
 #include <cmath>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "common/fingerprint.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 
@@ -107,10 +106,9 @@ BaselineCache::storePath(const std::string &workload) const
 {
     if (store_dir.empty())
         return "";
-    char buf[20];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64,
-                  optionsFingerprintU64(opts));
-    return store_dir + "/baseline-" + buf + "-" + workload + ".json";
+    return store_dir + "/baseline-" +
+           fingerprintHex(optionsFingerprintU64(opts)) + "-" + workload +
+           ".json";
 }
 
 double
@@ -129,9 +127,7 @@ BaselineCache::ipc(const std::string &workload)
         cv.wait(lock);
     }
     const std::string path = storePath(workload);
-    char fp[20];
-    std::snprintf(fp, sizeof(fp), "%016" PRIx64,
-                  optionsFingerprintU64(opts));
+    const std::string fp = fingerprintHex(optionsFingerprintU64(opts));
 
     // We inserted the placeholder, so we are the single flight that
     // resolves this workload; everyone else blocks above.  An attached

@@ -7,6 +7,7 @@
 
 #include "ckpt/serializer.hh"
 #include "ckpt/snapshot.hh"
+#include "common/fingerprint.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "obs/stats_json.hh"
@@ -619,13 +620,7 @@ optionsCanonicalJson(const SimOptions &o)
 std::uint64_t
 optionsFingerprintU64(const SimOptions &options)
 {
-    const std::string canon = optionsCanonicalJson(options);
-    std::uint64_t h = 0xcbf29ce484222325ull;     // FNV-1a 64
-    for (const char c : canon) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ull;
-    }
-    return h;
+    return fnv1a64(optionsCanonicalJson(options));
 }
 
 namespace

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Serve wire protocol (src/serve/protocol.*):
+ *
+ *  - the campaign codec round-trips: submitJson -> parseSubmit yields
+ *    a campaign with the same fingerprint, job fields, fault records
+ *    and timing flag — and canonical options survive exactly (the
+ *    daemon-side drift check would throw otherwise);
+ *  - framed socket I/O over a socketpair: multiple frames in one
+ *    stream, clean EOF, and the three corruption signatures — garbage
+ *    bytes, an oversized length, and a connection cut mid-frame — all
+ *    surface as wire::WireError, never as silent short reads;
+ *  - reads are EINTR-safe: a stream of signals delivered to a blocked
+ *    reader (no SA_RESTART) does not tear a frame.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runner/journal.hh"
+#include "serve/protocol.hh"
+
+using namespace rmt;
+using namespace rmt::serve;
+
+namespace
+{
+
+Campaign
+faultyCampaign()
+{
+    CampaignBuilder b("proto", 11);
+    SimOptions o;
+    o.warmup_insts = 250;
+    o.measure_insts = 2000;
+    o.slack_fetch = 32;
+    o.collect_stats_json = true;
+    b.base(o)
+        .modes({SimMode::Srt, SimMode::Crt})
+        .workloads({"gcc", "compress"})
+        .transientRegTrials(2, 15);
+    return b.build();
+}
+
+/** Self-closing socketpair. */
+struct Pair
+{
+    int fds[2];
+    Pair() { EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+    ~Pair()
+    {
+        closeA();
+        closeB();
+    }
+    void closeA()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        fds[0] = -1;
+    }
+    void closeB()
+    {
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+} // namespace
+
+TEST(ServeCodec, SubmitRoundTripsCampaign)
+{
+    const Campaign sent = faultyCampaign();
+    ASSERT_FALSE(sent.jobs.empty());
+
+    JsonValue msg;
+    std::string error;
+    ASSERT_TRUE(parseJson(submitJson(sent, false), msg, error))
+        << error;
+
+    bool timing = true;
+    const Campaign got = parseSubmit(msg, timing);
+    EXPECT_FALSE(timing);
+    EXPECT_EQ(got.name, sent.name);
+    EXPECT_EQ(got.seed, sent.seed);
+    ASSERT_EQ(got.jobs.size(), sent.jobs.size());
+
+    // The campaign fingerprint hashes every id, label, seed, workload,
+    // canonical option and fault tuple — equality here is equality of
+    // everything the journal (and the daemon) cares about.
+    EXPECT_EQ(campaignFingerprintU64(got.jobs),
+              campaignFingerprintU64(sent.jobs));
+
+    for (std::size_t i = 0; i < sent.jobs.size(); ++i) {
+        const JobSpec &a = sent.jobs[i];
+        const JobSpec &b = got.jobs[i];
+        EXPECT_EQ(optionsCanonicalJson(a.options),
+                  optionsCanonicalJson(b.options));
+        EXPECT_EQ(a.options.collect_stats_json,
+                  b.options.collect_stats_json);
+        ASSERT_EQ(a.faults.size(), b.faults.size());
+        for (std::size_t f = 0; f < a.faults.size(); ++f) {
+            EXPECT_EQ(a.faults[f].kind, b.faults[f].kind);
+            EXPECT_EQ(a.faults[f].when, b.faults[f].when);
+            EXPECT_EQ(a.faults[f].reg, b.faults[f].reg);
+            EXPECT_EQ(a.faults[f].bit, b.faults[f].bit);
+            EXPECT_EQ(a.faults[f].mask, b.faults[f].mask);
+        }
+    }
+}
+
+TEST(ServeCodec, CanonicalOptionsSurviveExactly)
+{
+    SimOptions o;
+    o.mode = SimMode::Crt;
+    o.warmup_insts = 12345;
+    o.measure_insts = 67890;
+    o.checker_penalty = 4;
+    o.per_thread_store_queues = true;
+    o.store_comparison = false;
+    o.trailing_fetch = TrailingFetchMode::BranchOutcomeQueue;
+    o.slack_fetch = 64;
+    o.lpq_ecc = true;
+    o.merge_buffer_ecc = false;
+    o.hang_cycles = 9999;
+    o.cpu.rob_entries = 96;
+    o.recovery = true;
+    o.snapshot_every = 5000;
+
+    const std::string canon = optionsCanonicalJson(o);
+    JsonValue parsed;
+    ASSERT_TRUE(parseJson(canon, parsed));
+    const SimOptions back = parseCanonicalOptions(parsed);
+    EXPECT_EQ(optionsCanonicalJson(back), canon);
+}
+
+TEST(ServeCodec, RejectsUnknownNames)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson("{\"mode\":\"warp-drive\"}", v));
+    EXPECT_THROW(parseCanonicalOptions(v), std::invalid_argument);
+
+    ASSERT_TRUE(parseJson("{\"type\":\"submit\",\"jobs\":[{\"id\":0,"
+                          "\"seed\":1,\"workloads\":[]}]}",
+                          v));
+    bool timing = true;
+    EXPECT_THROW(parseSubmit(v, timing), std::invalid_argument);
+}
+
+TEST(ServeFrames, StreamsMultipleFramesThenCleanEof)
+{
+    Pair p;
+    ASSERT_TRUE(sendFrame(p.fds[0], tagControl, "{\"type\":\"one\"}"));
+    ASSERT_TRUE(sendFrame(p.fds[0], tagRow, "{\"id\":0}"));
+    p.closeA();
+
+    FrameReader reader(p.fds[1]);
+    std::string payload;
+    ASSERT_TRUE(reader.next(payload));
+    EXPECT_EQ(payload, std::string(1, tagControl) + "{\"type\":\"one\"}");
+    ASSERT_TRUE(reader.next(payload));
+    EXPECT_EQ(payload, std::string(1, tagRow) + "{\"id\":0}");
+    EXPECT_FALSE(reader.next(payload));     // clean EOF
+}
+
+TEST(ServeFrames, GarbageStreamThrows)
+{
+    Pair p;
+    const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+    ASSERT_TRUE(wire::writeAll(p.fds[0], junk, sizeof(junk) - 1));
+    p.closeA();
+
+    FrameReader reader(p.fds[1]);
+    std::string payload;
+    EXPECT_THROW(reader.next(payload), wire::WireError);
+}
+
+TEST(ServeFrames, OversizedLengthThrows)
+{
+    Pair p;
+    std::string header;
+    for (int i = 0; i < 4; ++i)
+        header.push_back(static_cast<char>(wire::frameMagic >> (8 * i)));
+    const std::uint32_t huge = wire::maxPayloadBytes + 1;
+    for (int i = 0; i < 4; ++i)
+        header.push_back(static_cast<char>(huge >> (8 * i)));
+    ASSERT_TRUE(wire::writeAll(p.fds[0], header.data(), header.size()));
+
+    FrameReader reader(p.fds[1]);
+    std::string payload;
+    EXPECT_THROW(reader.next(payload), wire::WireError);
+}
+
+TEST(ServeFrames, EofMidFrameThrows)
+{
+    Pair p;
+    const std::string framed = wire::frame("half of this will arrive");
+    ASSERT_TRUE(wire::writeAll(p.fds[0], framed.data(),
+                               framed.size() / 2));
+    p.closeA();
+
+    FrameReader reader(p.fds[1]);
+    std::string payload;
+    EXPECT_THROW(reader.next(payload), wire::WireError);
+}
+
+namespace
+{
+
+void
+onUsr1(int)
+{
+    // Nothing: existence without SA_RESTART makes read() return EINTR.
+}
+
+} // namespace
+
+TEST(ServeFrames, ReadsSurviveSignalStorm)
+{
+    struct sigaction sa {};
+    struct sigaction old {};
+    sa.sa_handler = onUsr1;
+    sa.sa_flags = 0;    // deliberately no SA_RESTART
+    sigemptyset(&sa.sa_mask);
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+    Pair p;
+    std::string got;
+    std::thread reader_thread([&] {
+        FrameReader reader(p.fds[1]);
+        std::string payload;
+        if (reader.next(payload))
+            got = payload;
+    });
+
+    // Let the reader block in read(), then pepper it with signals
+    // while the frame trickles in one byte at a time.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const std::string framed = wire::frame(
+        std::string(1, tagControl) + "{\"type\":\"status\"}");
+    for (std::size_t i = 0; i < framed.size(); ++i) {
+        pthread_kill(reader_thread.native_handle(), SIGUSR1);
+        ASSERT_TRUE(wire::writeAll(p.fds[0], framed.data() + i, 1));
+    }
+    pthread_kill(reader_thread.native_handle(), SIGUSR1);
+    p.closeA();
+    reader_thread.join();
+
+    EXPECT_EQ(got,
+              std::string(1, tagControl) + "{\"type\":\"status\"}");
+    sigaction(SIGUSR1, &old, nullptr);
+}

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Content-addressed result store (src/serve/result_store.*):
+ *
+ *  - the content key hashes what is simulated (options, workloads,
+ *    faults, seed, stats flag) and ignores grid position (id, label);
+ *  - tryClaim/await/publish implement single-flight: N concurrent
+ *    claimers of one key produce exactly one owner, everyone else is
+ *    served the published result;
+ *  - an abandoned claim wakes the waiters and one of them re-claims
+ *    ownership — a dead owner never wedges the key;
+ *  - a persisted store reloads every ok row byte-identically (wire
+ *    codec round-trip, wall-clock double included), while failed
+ *    results are never written to disk;
+ *  - a torn tail or a CRC-corrupt frame degrades to the valid prefix,
+ *    exactly like journal replay — and a non-store file or a future
+ *    format version is a hard StoreError.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runner/wire.hh"
+#include "serve/result_store.hh"
+
+using namespace rmt;
+
+namespace
+{
+
+/** Self-deleting temp store directory. */
+struct TempDir
+{
+    explicit TempDir(const std::string &name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+        std::filesystem::remove_all(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+std::string
+storeFile(const TempDir &dir)
+{
+    return dir.path + "/store.rmtrs";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+JobSpec
+sampleSpec(std::uint64_t id)
+{
+    JobSpec s;
+    s.id = id;
+    s.label = "job" + std::to_string(id);
+    s.workloads = {"gcc"};
+    s.options.warmup_insts = 100;
+    s.options.measure_insts = 1000;
+    s.seed = 42;
+    return s;
+}
+
+JobResult
+sampleResult(std::uint64_t id, bool ok = true)
+{
+    JobResult r;
+    r.id = id;
+    r.label = "job" + std::to_string(id);
+    r.status = ok ? JobStatus::Ok : JobStatus::Failed;
+    r.error = ok ? "" : "synthetic";
+    r.attempts = 1;
+    r.wall_seconds = 0.125 + 0.625 * double(id);   // exact doubles
+    r.run.total_cycles = 5000 + id;
+    r.run.completed = ok;
+    return r;
+}
+
+} // namespace
+
+TEST(ResultKey, HashesContentNotGridPosition)
+{
+    const JobSpec a = sampleSpec(3);
+    JobSpec b = sampleSpec(3);
+    b.id = 99;
+    b.label = "somewhere else entirely";
+    EXPECT_EQ(resultKeyU64(a), resultKeyU64(b));
+
+    JobSpec seed = a;
+    seed.seed = 43;
+    EXPECT_NE(resultKeyU64(a), resultKeyU64(seed));
+
+    JobSpec mix = a;
+    mix.workloads = {"swim"};
+    EXPECT_NE(resultKeyU64(a), resultKeyU64(mix));
+
+    JobSpec opts = a;
+    opts.options.slack_fetch = 32;
+    EXPECT_NE(resultKeyU64(a), resultKeyU64(opts));
+
+    JobSpec stats = a;
+    stats.options.collect_stats_json = true;
+    EXPECT_NE(resultKeyU64(a), resultKeyU64(stats));
+
+    JobSpec fault = a;
+    FaultRecord f{};
+    f.kind = FaultRecord::Kind::TransientReg;
+    f.when = 1234;
+    f.reg = 7;
+    f.bit = 3;
+    fault.faults.push_back(f);
+    EXPECT_NE(resultKeyU64(a), resultKeyU64(fault));
+
+    JobSpec bit = fault;
+    bit.faults[0].bit = 4;
+    EXPECT_NE(resultKeyU64(fault), resultKeyU64(bit));
+}
+
+TEST(ResultStore, ClaimPublishHitCounters)
+{
+    ResultStore store;      // memory-only: no open()
+    const std::uint64_t key = resultKeyU64(sampleSpec(0));
+
+    JobResult out;
+    ASSERT_EQ(store.tryClaim(key, out), ResultStore::Claim::Owner);
+    EXPECT_EQ(store.tryClaim(key, out), ResultStore::Claim::InFlight);
+
+    store.publish(key, "srt", sampleResult(0));
+    ASSERT_EQ(store.tryClaim(key, out), ResultStore::Claim::Hit);
+    EXPECT_EQ(wire::encodeJobResult(out),
+              wire::encodeJobResult(sampleResult(0)));
+
+    const ResultStoreStats s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.rows, 1u);
+    EXPECT_EQ(s.disk_rows, 0u);
+    ASSERT_EQ(s.mode_rows.count("srt"), 1u);
+    EXPECT_EQ(s.mode_rows.at("srt"), 1u);
+}
+
+TEST(ResultStore, AbandonWakesWaiterWhoReclaims)
+{
+    ResultStore store;
+    const std::uint64_t key = 0xdeadbeefull;
+
+    JobResult out;
+    ASSERT_EQ(store.tryClaim(key, out), ResultStore::Claim::Owner);
+
+    std::thread waiter([&] {
+        JobResult mine;
+        // The owner abandons: await must return false, and the waiter
+        // must then win ownership.
+        EXPECT_FALSE(store.await(key, mine));
+        EXPECT_EQ(store.tryClaim(key, mine),
+                  ResultStore::Claim::Owner);
+        store.publish(key, "srt", sampleResult(1));
+    });
+
+    // Give the waiter time to block, then walk away.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    store.abandon(key);
+    waiter.join();
+
+    ASSERT_EQ(store.tryClaim(key, out), ResultStore::Claim::Hit);
+    EXPECT_EQ(out.run.total_cycles, sampleResult(1).run.total_cycles);
+}
+
+TEST(ResultStore, SingleFlightManyThreads)
+{
+    ResultStore store;
+    const std::uint64_t key = 7;
+    std::atomic<int> owners{0}, served{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            JobResult r;
+            for (;;) {
+                switch (store.tryClaim(key, r)) {
+                  case ResultStore::Claim::Owner:
+                    ++owners;
+                    store.publish(key, "crt", sampleResult(2));
+                    return;
+                  case ResultStore::Claim::Hit:
+                    ++served;
+                    EXPECT_EQ(r.run.total_cycles,
+                              sampleResult(2).run.total_cycles);
+                    return;
+                  case ResultStore::Claim::InFlight:
+                    if (store.await(key, r)) {
+                        ++served;
+                        EXPECT_EQ(r.run.total_cycles,
+                                  sampleResult(2).run.total_cycles);
+                        return;
+                    }
+                    break;    // owner abandoned; loop and re-claim
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(owners.load(), 1);
+    EXPECT_EQ(served.load(), 7);
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(ResultStore, PersistsOkRowsAndReloadsThemByteIdentically)
+{
+    TempDir dir("serve_store_roundtrip");
+    {
+        ResultStore store;
+        store.setSyncEvery(1);
+        store.open(dir.path);
+        for (std::uint64_t k = 0; k < 4; ++k) {
+            JobResult dummy;
+            ASSERT_EQ(store.tryClaim(k, dummy),
+                      ResultStore::Claim::Owner);
+            store.publish(k, k % 2 ? "crt" : "srt", sampleResult(k));
+        }
+        // A failure unblocks waiters but must never reach the disk.
+        JobResult dummy;
+        ASSERT_EQ(store.tryClaim(99, dummy),
+                  ResultStore::Claim::Owner);
+        store.publish(99, "srt", sampleResult(99, /*ok=*/false));
+    }
+
+    ResultStore reloaded;
+    reloaded.open(dir.path);
+    const ResultStoreStats s = reloaded.stats();
+    EXPECT_EQ(s.disk_rows, 4u);
+    EXPECT_EQ(s.rows, 4u);
+    EXPECT_EQ(s.mode_rows.at("srt"), 2u);
+    EXPECT_EQ(s.mode_rows.at("crt"), 2u);
+
+    for (std::uint64_t k = 0; k < 4; ++k) {
+        JobResult out;
+        ASSERT_EQ(reloaded.tryClaim(k, out), ResultStore::Claim::Hit);
+        EXPECT_EQ(wire::encodeJobResult(out),
+                  wire::encodeJobResult(sampleResult(k)));
+    }
+    // The failed row was memory-only: this process owns it afresh.
+    JobResult out;
+    EXPECT_EQ(reloaded.tryClaim(99, out), ResultStore::Claim::Owner);
+}
+
+TEST(ResultStore, TornTailDegradesToValidPrefix)
+{
+    TempDir dir("serve_store_torn");
+    {
+        ResultStore store;
+        store.setSyncEvery(1);
+        store.open(dir.path);
+        for (std::uint64_t k = 0; k < 3; ++k) {
+            JobResult dummy;
+            store.tryClaim(k, dummy);
+            store.publish(k, "srt", sampleResult(k));
+        }
+    }
+    // Simulate a crash mid-append: half a frame header of junk.
+    std::string bytes = slurp(storeFile(dir));
+    const std::string intact = bytes;
+    bytes += std::string("RMTS\x40", 5);
+    spit(storeFile(dir), bytes);
+
+    ResultStore reloaded;
+    reloaded.open(dir.path);
+    EXPECT_EQ(reloaded.stats().disk_rows, 3u);
+
+    // The reopen truncated the tear away before appending.
+    EXPECT_EQ(slurp(storeFile(dir)), intact);
+}
+
+TEST(ResultStore, CorruptFrameDropsItAndEverythingAfter)
+{
+    TempDir dir("serve_store_corrupt");
+    std::string before_last;
+    {
+        ResultStore store;
+        store.setSyncEvery(1);
+        store.open(dir.path);
+        for (std::uint64_t k = 0; k < 3; ++k) {
+            JobResult dummy;
+            store.tryClaim(k, dummy);
+            store.publish(k, "srt", sampleResult(k));
+            if (k == 1)
+                before_last = slurp(storeFile(dir));
+        }
+    }
+    // Flip one payload byte inside the last frame.
+    std::string bytes = slurp(storeFile(dir));
+    ASSERT_GT(bytes.size(), before_last.size() + 20);
+    bytes[before_last.size() + 17] ^= 0x01;
+    spit(storeFile(dir), bytes);
+
+    ResultStore reloaded;
+    reloaded.open(dir.path);
+    EXPECT_EQ(reloaded.stats().disk_rows, 2u);
+    JobResult out;
+    EXPECT_EQ(reloaded.tryClaim(1, out), ResultStore::Claim::Hit);
+    EXPECT_EQ(reloaded.tryClaim(2, out), ResultStore::Claim::Owner);
+}
+
+TEST(ResultStore, RejectsForeignFilesAndFutureVersions)
+{
+    TempDir dir("serve_store_reject");
+    std::filesystem::create_directories(dir.path);
+
+    spit(storeFile(dir), "this is not a result store at all");
+    {
+        ResultStore store;
+        EXPECT_THROW(store.open(dir.path), StoreError);
+    }
+
+    // Correct magic, version from the future.
+    std::string bytes("RMTRES\0\0", 8);
+    bytes += std::string("\xff\x00\x00\x00", 4);
+    spit(storeFile(dir), bytes);
+    {
+        ResultStore store;
+        EXPECT_THROW(store.open(dir.path), StoreError);
+    }
+}

@@ -156,4 +156,38 @@ avf_args="--modes srt --workloads gcc,compress --stratify
 diff build/avf_forked.jsonl build/avf_inproc.jsonl
 grep -q '"avf_summary"' build/avf_forked.jsonl
 
+echo "== serve: daemon resubmission is byte-identical and >=5x faster =="
+# Start rmtsimd on a fresh store, run the same client campaign twice:
+# the cold pass simulates every trial, the warm pass must be all store
+# hits — byte-identical output, at least 5x faster wall clock — then
+# the daemon must drain cleanly on SIGTERM (socket + pid file gone).
+cmake --build build -j "$jobs" --target rmtsimd >/dev/null
+rm -rf build/serve_gate
+mkdir -p build/serve_gate
+./build/tools/rmtsimd --socket build/serve_gate/d.sock \
+    --store build/serve_gate/store --pid-file build/serve_gate/d.pid \
+    -j "$jobs" &
+for _ in $(seq 50); do
+    [ -S build/serve_gate/d.sock ] && break
+    sleep 0.1
+done
+serve_args="--modes base,srt,crt --workloads gcc,compress --warmup 500
+            --insts 4000 --no-timing --quiet
+            --server build/serve_gate/d.sock"
+t0=$(date +%s%N)
+./build/tools/rmtsim_batch $serve_args --out build/serve_gate/cold.jsonl
+t1=$(date +%s%N)
+./build/tools/rmtsim_batch $serve_args --out build/serve_gate/warm.jsonl
+t2=$(date +%s%N)
+diff build/serve_gate/cold.jsonl build/serve_gate/warm.jsonl
+cold_ns=$((t1 - t0)); warm_ns=$((t2 - t1))
+echo "serve gate: cold ${cold_ns}ns, warm ${warm_ns}ns"
+[ $((warm_ns * 5)) -le "$cold_ns" ]
+./build/tools/rmtsim_report --serve-summary build/serve_gate/d.sock \
+    | grep -q 'hits'
+kill -TERM "$(cat build/serve_gate/d.pid)"
+wait
+[ ! -e build/serve_gate/d.sock ]
+[ ! -e build/serve_gate/d.pid ]
+
 echo "check.sh: all checks OK"

@@ -39,6 +39,7 @@
 #include "runner/fork_executor.hh"
 #include "runner/journal.hh"
 #include "runner/runner.hh"
+#include "serve/client.hh"
 #include "sim/metrics.hh"
 #include "workloads/workloads.hh"
 
@@ -128,6 +129,15 @@ usage()
         "record\n"
         "  --no-timing       omit wall_ms/host (byte-diffable "
         "output)\n"
+        "  --server SOCK     submit the campaign to the rmtsimd at "
+        "SOCK instead of\n"
+        "                    simulating in-process; rows stream back "
+        "in the same\n"
+        "                    order (previously-computed jobs come "
+        "from the daemon's\n"
+        "                    result store).  Incompatible with "
+        "--stratify, --resume,\n"
+        "                    --efficiency and --baseline-cache\n"
         "  --quiet           no stderr progress\n"
         "  --progress        force the stderr heartbeat (done/total, "
         "elapsed, ETA)\n"
@@ -185,6 +195,7 @@ main(int argc, char **argv)
 
     RunnerConfig cfg;
     std::string out_path = "-";
+    std::string server_sock;
     std::string baseline_dir;
     bool want_efficiency = false;
     bool list_only = false;
@@ -261,6 +272,8 @@ main(int argc, char **argv)
                     static_cast<unsigned>(std::stoul(next()));
             } else if (arg == "--out") {
                 out_path = next();
+            } else if (arg == "--server") {
+                server_sock = next();
             } else if (arg == "--efficiency") {
                 want_efficiency = true;
             } else if (arg == "--embed-stats") {
@@ -320,6 +333,37 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!server_sock.empty()) {
+        // Server mode ships JobSpecs, not local machinery: adaptive
+        // sampling, journal resume and the shared baseline cache all
+        // live on this side of the socket and cannot ride along.
+        const char *clash = nullptr;
+        if (stratify)
+            clash = "--stratify";
+        else if (resume)
+            clash = "--resume";
+        else if (want_efficiency)
+            clash = "--efficiency";
+        else if (!baseline_dir.empty())
+            clash = "--baseline-cache";
+        else if (test_crash >= 0)
+            clash = "--test-crash-trial";
+        if (clash) {
+            std::fprintf(stderr,
+                         "rmtsim_batch: %s cannot be combined with "
+                         "--server\n",
+                         clash);
+            return 2;
+        }
+        want_journal = false;   // the daemon's store is the journal
+#if !defined(__unix__) && !defined(__APPLE__)
+        std::fprintf(stderr,
+                     "rmtsim_batch: --server needs Unix-domain "
+                     "sockets (POSIX only)\n");
+        return 2;
+#endif
+    }
+
     if (modes.empty())
         modes.push_back(SimMode::Srt);
 
@@ -350,7 +394,9 @@ main(int argc, char **argv)
     std::map<std::string, std::unique_ptr<FaultOracle>> oracles;
     std::vector<const FaultOracle *> cell_oracles(campaign.jobs.size(),
                                                   nullptr);
-    if (fault_trials || stratify) {
+    // In server mode the daemon runs the goldens itself (once per
+    // distinct point, cached with everything else in its store).
+    if ((fault_trials || stratify) && server_sock.empty()) {
         try {
             for (JobSpec &job : campaign.jobs) {
                 if (job.faults.empty() && !stratify)
@@ -416,6 +462,45 @@ main(int argc, char **argv)
         std::printf("%zu jobs\n", campaign.jobs.size());
         return 0;
     }
+
+#if defined(__unix__) || defined(__APPLE__)
+    if (!server_sock.empty()) {
+        std::signal(SIGPIPE, SIG_IGN);
+        std::ofstream sfile;
+        if (out_path != "-") {
+            sfile.open(out_path);
+            if (!sfile) {
+                std::fprintf(stderr, "rmtsim_batch: cannot open '%s'\n",
+                             out_path.c_str());
+                return 2;
+            }
+        }
+        std::ostream &sout = out_path == "-" ? std::cout : sfile;
+        try {
+            const serve::RemoteCampaignResult r =
+                serve::runRemoteCampaign(server_sock, campaign,
+                                         sink_opts.include_timing,
+                                         sout);
+            if (!quiet) {
+                std::fprintf(
+                    stderr,
+                    "%llu rows from rmtsimd (%llu store hits, %llu "
+                    "simulated, %llu failed)%s\n",
+                    static_cast<unsigned long long>(r.rows),
+                    static_cast<unsigned long long>(r.hits),
+                    static_cast<unsigned long long>(r.misses),
+                    static_cast<unsigned long long>(r.failed),
+                    r.draining ? " [daemon draining]" : "");
+            }
+            if (r.draining || r.rows < campaign.jobs.size())
+                return 4;
+            return r.failed ? 3 : 0;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "rmtsim_batch: %s\n", e.what());
+            return 1;
+        }
+    }
+#endif
 
     const bool fault_exec = fault_trials > 0 || stratify;
     if (fault_exec && use_fork) {

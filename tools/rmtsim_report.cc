@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "obs/report.hh"
+#include "serve/client.hh"
 
 using namespace rmt;
 
@@ -69,7 +71,13 @@ usage()
         "verifies\n"
         "                    the conservation invariant on every "
         "record and\n"
-        "                    exits 1 on violation\n");
+        "                    exits 1 on violation\n"
+        "  --serve-summary SOCK\n"
+        "                    query the rmtsimd at SOCK instead of "
+        "reading a\n"
+        "                    file: result-store hit/miss/in-flight "
+        "counters,\n"
+        "                    stored bytes, and per-mode row counts\n");
 }
 
 } // namespace
@@ -79,6 +87,7 @@ main(int argc, char **argv)
 {
     ReportOptions opts;
     std::string path;
+    std::string serve_sock;
     bool coverage = false;
     bool snapshots = false;
     bool attribution = false;
@@ -122,6 +131,14 @@ main(int argc, char **argv)
             failures = true;
         } else if (arg == "--attribution") {
             attribution = true;
+        } else if (arg == "--serve-summary") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "rmtsim_report: missing value for "
+                             "--serve-summary\n");
+                return 2;
+            }
+            serve_sock = argv[++i];
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             usage();
             std::fprintf(stderr,
@@ -136,6 +153,70 @@ main(int argc, char **argv)
             return 2;
         }
     }
+#if defined(__unix__) || defined(__APPLE__)
+    if (!serve_sock.empty()) {
+        // Live-daemon summary: ask for status and print the store
+        // counters the serving gate (tools/check.sh) asserts on.
+        try {
+            const std::string reply = serve::controlRequest(
+                serve_sock, "{\"type\":\"status\"}");
+            JsonValue status;
+            std::string perr;
+            if (!parseJson(reply, status, perr)) {
+                std::fprintf(stderr,
+                             "rmtsim_report: bad status reply: %s\n",
+                             perr.c_str());
+                return 1;
+            }
+            const JsonValue *store = status.find("store");
+            if (!store) {
+                std::fprintf(stderr, "rmtsim_report: status reply has "
+                             "no store section\n");
+                return 1;
+            }
+            const JsonValue *draining = status.find("draining");
+            std::printf("rmtsimd %s\n", serve_sock.c_str());
+            std::printf("  draining           %s\n",
+                        draining && draining->isBool() &&
+                                draining->boolean()
+                            ? "yes"
+                            : "no");
+            std::printf("  active campaigns   %.0f\n",
+                        status.numberOr("active_campaigns", 0));
+            std::printf("  campaigns done     %.0f\n",
+                        status.numberOr("campaigns_done", 0));
+            std::printf("  workers            %.0f\n",
+                        status.numberOr("workers", 0));
+            std::printf("store\n");
+            std::printf("  hits               %.0f\n",
+                        store->numberOr("hits", 0));
+            std::printf("  misses             %.0f\n",
+                        store->numberOr("misses", 0));
+            std::printf("  in-flight waits    %.0f\n",
+                        store->numberOr("inflight_waits", 0));
+            std::printf("  rows               %.0f\n",
+                        store->numberOr("rows", 0));
+            std::printf("  rows from disk     %.0f\n",
+                        store->numberOr("disk_rows", 0));
+            std::printf("  stored bytes       %.0f\n",
+                        store->numberOr("stored_bytes", 0));
+            if (const JsonValue *modes = store->find("modes")) {
+                for (const auto &[mode, rows] : modes->members()) {
+                    std::printf("  rows[%s]%*s %.0f\n", mode.c_str(),
+                                static_cast<int>(
+                                    mode.size() < 12
+                                        ? 12 - mode.size()
+                                        : 1),
+                                "", rows.number());
+                }
+            }
+            return 0;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "rmtsim_report: %s\n", e.what());
+            return 1;
+        }
+    }
+#endif
     if (path.empty()) {
         usage();
         return 2;
